@@ -1,0 +1,253 @@
+// Command bench regenerates every table and figure of the paper's
+// evaluation section as text tables:
+//
+//	bench -experiment fig6     inference time per configuration (Fig 6)
+//	bench -experiment fig7     breakdown of the inference time (Fig 7)
+//	bench -experiment fig8     partial inference sweep (Fig 8)
+//	bench -experiment table1   VM-based installation overhead (Table 1)
+//	bench -experiment fig1     GoogLeNet architecture walk-through (Fig 1)
+//	bench -experiment featsize feature data size per offloading point (§IV.B)
+//	bench -experiment all      everything
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"websnap/internal/sim"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, all")
+	format := flag.String("format", "table", "output format: table, csv")
+	flag.Parse()
+	if err := run(*experiment, *format, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, format string, out io.Writer) error {
+	if format != "table" && format != "csv" {
+		return fmt.Errorf("unknown format %q (want table or csv)", format)
+	}
+	runners := map[string]func(io.Writer) error{
+		"fig1":     fig1,
+		"fig6":     fig6,
+		"fig6gpu":  fig6gpu,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"table1":   table1,
+		"featsize": featsize,
+		"sweep":    sweep,
+	}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep"}
+	selected := []string{experiment}
+	if experiment == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		fn, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)",
+				name, strings.Join(order, ", "))
+		}
+		if format == "csv" {
+			var buf strings.Builder
+			if err := fn(&buf); err != nil {
+				return err
+			}
+			if err := writeCSV(out, buf.String()); err != nil {
+				return err
+			}
+			continue
+		}
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		if err := fn(w); err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// writeCSV re-emits the tab-separated experiment rows as RFC-4180 CSV. The
+// leading title line becomes a comment.
+func writeCSV(out io.Writer, tabbed string) error {
+	cw := csv.NewWriter(out)
+	for i, line := range strings.Split(strings.TrimRight(tabbed, "\n"), "\n") {
+		if i == 0 {
+			if _, err := fmt.Fprintf(out, "# %s\n", strings.TrimSpace(line)); err != nil {
+				return err
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		for j := range fields {
+			fields[j] = strings.TrimSpace(fields[j])
+		}
+		if err := cw.Write(fields); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(out)
+	return err
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+func mb(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }
+
+func fig6(w io.Writer) error {
+	rows, err := sim.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 6: Execution time of inference in three web apps (seconds)")
+	fmt.Fprintln(w, "Model\tClient\tServer\tOffload(before ACK)\tOffload(after ACK)\tOffload(partial)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Model, secs(r.Client), secs(r.Server), secs(r.BeforeACK),
+			secs(r.AfterACK), secs(r.Partial))
+	}
+	return nil
+}
+
+func fig6gpu(w io.Writer) error {
+	rows, err := sim.Fig6GPU()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Projection: Fig 6 with a GPU-accelerated edge server (webGL ~80x, per the paper's §IV.A remark; seconds)")
+	fmt.Fprintln(w, "Model\tClient\tServer\tOffload(before ACK)\tOffload(after ACK)\tOffload(partial)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			r.Model, secs(r.Client), secs(r.Server), secs(r.BeforeACK),
+			secs(r.AfterACK), secs(r.Partial))
+	}
+	return nil
+}
+
+func fig7(w io.Writer) error {
+	bds, err := sim.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7: Breakdown of the inference time (seconds)")
+	header := []string{"Model", "Config"}
+	for _, p := range sim.AllPhases() {
+		header = append(header, string(p))
+	}
+	header = append(header, "Total")
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, b := range bds {
+		row := []string{b.Model, b.Config}
+		for _, p := range sim.AllPhases() {
+			row = append(row, secs(b.Get(p)))
+		}
+		row = append(row, secs(b.Total()))
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	return nil
+}
+
+func fig8(w io.Writer) error {
+	rows, err := sim.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 8: Inference time with partial inference at various offloading points (seconds)")
+	fmt.Fprintln(w, "Model\tOffloading point\tClient exec\tTransfer\tServer exec\tSnapshot ovh\tTotal\tFeature (MB)")
+	for _, r := range rows {
+		for _, c := range r.Candidates {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				r.Model, c.Point.Label, secs(c.ClientTime), secs(c.TransferTime),
+				secs(c.ServerTime), secs(c.SnapshotOverhead), secs(c.Total),
+				mb(c.FeatureTextBytes))
+		}
+	}
+	return nil
+}
+
+func table1(w io.Writer) error {
+	rows, err := sim.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Table 1: Overhead of VM-based installation for snapshot-based offloading")
+	fmt.Fprintln(w, "Configuration\tMetric\tGoogLeNet\tAgeNet\tGenderNet")
+	line := func(config, metric string, get func(sim.Table1Row) string) {
+		cells := []string{config, metric}
+		for _, r := range rows {
+			cells = append(cells, get(r))
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	line("VM synthesis", "Synthesis time (s)", func(r sim.Table1Row) string { return secs(r.SynthesisTime) })
+	line("VM synthesis", "VM overlay (MB)", func(r sim.Table1Row) string { return mb(r.OverlayBytes) })
+	line("Offloading (w/ pre-sending)", "Migration time (s)",
+		func(r sim.Table1Row) string { return secs(r.MigrationWithPre) })
+	line("Offloading (w/ pre-sending)", "Snapshot except feature data (MB)",
+		func(r sim.Table1Row) string { return mb(r.SansFeatureWithPre) })
+	line("Offloading (w/o pre-sending)", "Migration time (s)",
+		func(r sim.Table1Row) string { return secs(r.MigrationWithoutPre) })
+	line("Offloading (w/o pre-sending)", "Snapshot except feature data (MB)",
+		func(r sim.Table1Row) string { return mb(r.SansFeatureWithoutPre) })
+	return nil
+}
+
+func fig1(w io.Writer) error {
+	rows, err := sim.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 1: GoogLeNet architecture and feature data dimensions")
+	fmt.Fprintln(w, "Layer\tType\tOutput shape\tFeature (KB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%v\t%d\n", r.Layer, r.Type, r.OutputShape, r.FeatureKB)
+	}
+	return nil
+}
+
+func sweep(w io.Writer) error {
+	mbps := []float64{1, 2, 5, 10, 30, 100, 300, 1000}
+	fmt.Fprintln(w, "Ablation: offloading configurations vs bandwidth (GoogLeNet, seconds)")
+	fmt.Fprintln(w, "Bandwidth (Mbps)\tClient\tBefore ACK\tAfter ACK\tBest partial point\tBest partial")
+	pts, err := sim.BandwidthSweep("googlenet", mbps)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Fprintf(w, "%.0f\t%s\t%s\t%s\t%s\t%s\n",
+			p.BandwidthMbps, secs(p.ClientOnly), secs(p.BeforeACK), secs(p.AfterACK),
+			p.BestLabel, secs(p.BestTotal))
+	}
+	return nil
+}
+
+func featsize(w io.Writer) error {
+	rows, err := sim.FeatureSizes()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Feature data size at each offloading point (snapshot text, MB) — §IV.B")
+	fmt.Fprintln(w, "Model\tOffloading point\tFeature (MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", r.Model, r.Label, mb(r.TextBytes))
+	}
+	return nil
+}

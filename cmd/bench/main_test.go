@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run("fig99", "table", &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	tests := []struct {
+		experiment string
+		contains   []string
+	}{
+		{"fig1", []string{"Figure 1", "pool1", "[64 56 56]"}},
+		{"fig6", []string{"Figure 6", "googlenet", "agenet", "gendernet"}},
+		{"fig6gpu", []string{"GPU-accelerated", "googlenet"}},
+		{"fig7", []string{"Figure 7", "Snapshot Capture (C)"}},
+		{"fig8", []string{"Figure 8", "1st_pool"}},
+		{"table1", []string{"Table 1", "VM overlay (MB)", "pre-sending"}},
+		{"featsize", []string{"Feature data size", "1st_conv"}},
+		{"sweep", []string{"Ablation", "30"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.experiment, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tt.experiment, "table", &sb); err != nil {
+				t.Fatalf("run(%s): %v", tt.experiment, err)
+			}
+			out := sb.String()
+			for _, want := range tt.contains {
+				if !strings.Contains(out, want) {
+					t.Errorf("output of %s missing %q", tt.experiment, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run("fig6", "csv", &sb); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# Figure 6") {
+		t.Errorf("csv should start with a comment title, got %.40q", out)
+	}
+	if !strings.Contains(out, "googlenet,") {
+		t.Errorf("csv rows missing: %.200q", out)
+	}
+	if err := run("fig6", "yaml", &sb); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var sb strings.Builder
+	if err := run("all", "table", &sb); err != nil {
+		t.Fatalf("run(all): %v", err)
+	}
+	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

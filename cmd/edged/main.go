@@ -1,0 +1,105 @@
+// Command edged runs the edge server's offloading program: it listens for
+// client connections, stores pre-sent DNN models, executes incoming
+// snapshots on its web-app runtime, and returns result snapshots.
+//
+//	edged -listen :7080
+//	edged -listen :7080 -on-demand        # require VM-synthesis installation first
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"websnap/internal/core"
+	"websnap/internal/edge"
+	"websnap/internal/vmsynth"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7080", "address to listen on")
+		onDemand = flag.Bool("on-demand", false,
+			"start without the offloading system installed; require VM synthesis")
+		baseImage = flag.String("base-image", "ubuntu-12.04",
+			"VM base image available for on-demand installation")
+		modelDir = flag.String("model-dir", "",
+			"directory to persist pre-sent models across restarts (empty = in-memory)")
+		maxConns    = flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve GET /metrics (JSON counters) on this address (empty = disabled)")
+		idle  = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
+		quiet = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *maxConns, *idle, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "edged:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, maxConns int, idle time.Duration, quiet bool) error {
+	catalog, err := core.DefaultCatalog()
+	if err != nil {
+		return err
+	}
+	cfg := edge.Config{
+		Catalog: catalog, Installed: !onDemand, ModelDir: modelDir,
+		MaxConns: maxConns, IdleTimeout: idle,
+	}
+	if !quiet {
+		cfg.Logf = log.Printf
+	}
+	if onDemand {
+		cfg.Synthesizer = vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: baseImage, Bytes: 8 << 30})
+	}
+	srv, err := edge.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("edged: listening on %s (installed=%v)", ln.Addr(), !onDemand)
+
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		metricsSrv = &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("edged: metrics server: %v", err)
+			}
+		}()
+		log.Printf("edged: metrics on http://%s/metrics", metricsAddr)
+	}
+	defer func() {
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case s := <-sig:
+		log.Printf("edged: %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

@@ -1,0 +1,162 @@
+// Command offload runs one of the benchmark ML web apps on the "client
+// device" against an edge server, with a chosen offloading strategy and
+// optional bandwidth shaping, and reports the measured wall-clock times —
+// the runnable counterpart of the paper's Fig 6 configurations.
+//
+//	offload -server 127.0.0.1:7080 -model tinynet -mode full
+//	offload -server 127.0.0.1:7080 -model googlenet -mode partial -split 1st_pool -bandwidth 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"websnap"
+	"websnap/internal/client"
+	"websnap/internal/core"
+	"websnap/internal/imageio"
+	"websnap/internal/mlapp"
+	"websnap/internal/models"
+	"websnap/internal/netem"
+	"websnap/internal/nn"
+	"websnap/internal/tensor"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "127.0.0.1:7080", "edge server address")
+		modelName = flag.String("model", "tinynet",
+			"model: tinynet, googlenet, agenet, gendernet")
+		mode      = flag.String("mode", "full", "offloading mode: local, full, partial, auto")
+		split     = flag.String("split", "", "partial-inference point (e.g. 1st_pool); empty = dynamic")
+		bandwidth = flag.Float64("bandwidth", 0, "shape the link to this many Mbit/s (0 = unshaped)")
+		preSend   = flag.Bool("presend", true, "pre-send the model when the app starts")
+		delta     = flag.Bool("delta", false, "ship repeated offloads as delta snapshots")
+		compress  = flag.Bool("compress", false, "DEFLATE-compress snapshot bodies on the wire")
+		imagePath = flag.String("image", "", "classify this PNG/JPEG file (empty = synthetic pixels)")
+		runs      = flag.Int("runs", 1, "number of inference runs")
+	)
+	flag.Parse()
+	if err := run(*server, *modelName, *mode, *split, *bandwidth, *preSend, *delta, *compress, *imagePath, *runs); err != nil {
+		fmt.Fprintln(os.Stderr, "offload:", err)
+		os.Exit(1)
+	}
+}
+
+func buildModel(name string) (*nn.Network, []string, error) {
+	if name == "tinynet" {
+		m, err := models.BuildTinyNet("tinynet", 3)
+		return m, []string{"cat", "dog", "bird"}, err
+	}
+	m, err := models.Build(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := m.OutputShape()
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]string, out[len(out)-1])
+	for i := range labels {
+		labels[i] = fmt.Sprintf("label_%04d", i)
+	}
+	return m, labels, nil
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "local":
+		return core.ModeLocal, nil
+	case "full":
+		return core.ModeFull, nil
+	case "partial":
+		return core.ModePartial, nil
+	case "auto":
+		return core.ModeAuto, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSend, delta, compress bool, imagePath string, runs int) error {
+	model, labels, err := buildModel(modelName)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	cfg := core.SessionConfig{
+		AppID:       fmt.Sprintf("offload-cli-%d", os.Getpid()),
+		ModelName:   modelName,
+		Model:       model,
+		Labels:      labels,
+		Mode:        mode,
+		PreSend:     preSend,
+		SplitLabel:  split,
+		EnableDelta: delta,
+		Compress:    compress,
+	}
+	if mode != core.ModeLocal {
+		raw, err := net.Dial("tcp", server)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", server, err)
+		}
+		if bandwidthMbps > 0 {
+			raw = netem.Shape(raw, netem.Profile{
+				BandwidthBitsPerSec: bandwidthMbps * 1e6,
+				Latency:             2 * time.Millisecond,
+			})
+		}
+		conn := client.NewConn(raw)
+		defer conn.Close()
+		cfg.Conn = conn
+	}
+	start := time.Now()
+	session, err := core.NewSession(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session: model=%s mode=%s", modelName, session.Mode())
+	if session.Mode() == core.ModePartial {
+		fmt.Printf(" split=%s", session.SplitLabel())
+	}
+	fmt.Println()
+	if preSend && mode != core.ModeLocal {
+		if err := session.WaitForModelUpload(); err != nil {
+			return err
+		}
+		fmt.Printf("model upload + ACK: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	volume := tensor.Volume(model.InputShape())
+	var fileImg websnap.Float32Array
+	if imagePath != "" {
+		fileImg, err = imageio.Load(imagePath, model.InputShape(), imageio.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s (%d pixels)\n", imagePath, len(fileImg))
+	}
+	for i := 0; i < runs; i++ {
+		img := fileImg
+		if img == nil {
+			img = mlapp.SyntheticImage(volume, uint64(i+1))
+		}
+		t0 := time.Now()
+		result, err := session.Classify(img)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %d: result=%q inference=%v\n", i+1, result,
+			time.Since(t0).Round(time.Millisecond))
+	}
+	st := session.Stats()
+	fmt.Printf("stats: offloads=%d deltas=%d fallbacks=%d lastSnapshot=%dB lastResult=%dB inlineModel=%dB\n",
+		st.Offloads, st.DeltaOffloads, st.LocalFallbacks, st.LastSnapshotBytes,
+		st.LastResultBytes, st.LastInlineModelBytes)
+	return nil
+}

@@ -1,0 +1,117 @@
+// Repeated offloading with delta snapshots — the paper's §VI future work,
+// implemented: "how to simplify the snapshot creation/transmission/
+// restoration for future offloading using the data and code left at the
+// server from the first offloading."
+//
+// A camera app classifies a stream of frames. The first offload ships a
+// full snapshot; every subsequent offload ships only the state that changed
+// (the new frame and the previous result), cutting the bytes on the wire.
+//
+//	go run ./examples/repeated_offload
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"websnap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	server, err := websnap.NewEdgeServer(nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(ln) }()
+	defer func() {
+		server.Close()
+		<-done
+	}()
+
+	model, err := websnap.BuildTinyNet("tinynet", 3)
+	if err != nil {
+		return err
+	}
+	conn, err := websnap.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	session, err := websnap.NewSession(websnap.SessionConfig{
+		AppID:       "camera-feed",
+		ModelName:   "tinynet",
+		Model:       model,
+		Labels:      []string{"cat", "dog", "bird"},
+		Mode:        websnap.ModeFull,
+		Conn:        conn,
+		PreSend:     true,
+		EnableDelta: true, // §VI: reuse the state left at the server
+	})
+	if err != nil {
+		return err
+	}
+	if err := session.WaitForModelUpload(); err != nil {
+		return err
+	}
+
+	// Apps accumulate state that does NOT change between inferences:
+	// here a precomputed color palette the UI uses. Full snapshots
+	// re-serialize it on every offload; deltas ship it once.
+	palette := make(websnap.Float32Array, 30000)
+	for i := range palette {
+		palette[i] = float32(i%4096) / 4096
+	}
+	if err := session.App().SetGlobal("uiPalette", palette); err != nil {
+		return err
+	}
+
+	fmt.Println("frame  result  wire-bytes  kind")
+	prevDeltas := 0
+	for frame := uint64(1); frame <= 5; frame++ {
+		img := cameraFrame(frame)
+		start := time.Now()
+		result, err := session.Classify(img)
+		if err != nil {
+			return err
+		}
+		st := session.Stats()
+		kind := "full snapshot"
+		if st.DeltaOffloads > prevDeltas {
+			kind = "delta"
+		}
+		prevDeltas = st.DeltaOffloads
+		fmt.Printf("%5d  %-6s  %10d  %-13s (%v)\n",
+			frame, result, st.LastSnapshotBytes, kind,
+			time.Since(start).Round(time.Millisecond))
+	}
+	st := session.Stats()
+	fmt.Printf("\ntotals: %d offloads, %d as deltas, %d fallbacks\n",
+		st.Offloads, st.DeltaOffloads, st.DeltaFallbacks)
+	return nil
+}
+
+// cameraFrame fabricates frame n of the synthetic camera stream.
+func cameraFrame(n uint64) websnap.Float32Array {
+	img := make(websnap.Float32Array, 3*16*16)
+	s := n*0x9E3779B97F4A7C15 + 1
+	for i := range img {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		img[i] = float32(s%256) / 255
+	}
+	return img
+}

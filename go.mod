@@ -1,0 +1,3 @@
+module websnap
+
+go 1.22

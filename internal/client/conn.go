@@ -1,0 +1,200 @@
+// Package client implements the client-device side of snapshot-based
+// offloading: the synchronous RPC channel to an edge server, asynchronous
+// model pre-sending with ACK tracking (§III.B.1), and the Offloader that
+// intercepts designated events, ships snapshots, and applies result
+// snapshots back into the running app (§III.A).
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"websnap/internal/nn"
+	"websnap/internal/protocol"
+)
+
+// ErrServerError wraps a MsgError response from the edge server.
+var ErrServerError = errors.New("client: edge server error")
+
+// Conn is a synchronous request/response channel to an edge server's
+// offloading program. It serializes requests with a mutex, so one Conn may
+// be shared by the pre-send goroutine and the offloading path.
+type Conn struct {
+	mu      sync.Mutex
+	rw      net.Conn
+	seq     uint64
+	timeout time.Duration
+}
+
+// SetRequestTimeout bounds each request/response round trip; a server that
+// stops responding yields an error instead of a hang. Zero (the default)
+// disables the bound. Large model pre-sends over slow links need a
+// correspondingly generous timeout.
+func (c *Conn) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// NewConn wraps an established connection (possibly netem-shaped).
+func NewConn(rw net.Conn) *Conn {
+	return &Conn{rw: rw}
+}
+
+// Dial connects to an edge server at addr over TCP.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rw.Close()
+}
+
+// roundTrip sends one request and reads one response.
+func (c *Conn) roundTrip(req protocol.Message) (protocol.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.rw.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return protocol.Message{}, fmt.Errorf("client: set deadline: %w", err)
+		}
+		defer c.rw.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	if err := protocol.Write(c.rw, req); err != nil {
+		return protocol.Message{}, err
+	}
+	resp, err := protocol.Read(c.rw)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	if resp.Type == protocol.MsgError {
+		var hdr protocol.ErrorHeader
+		if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+			return protocol.Message{}, err
+		}
+		return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
+	}
+	return resp, nil
+}
+
+// PreSendModel ships one model (descriptor + weights) to the edge server
+// and waits for the ACK. Set partial when sending only the rear part of a
+// split DNN (the front is withheld for privacy, §III.B.2).
+func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool) error {
+	spec, err := nn.EncodeSpec(model)
+	if err != nil {
+		return fmt.Errorf("client: model %q: %w", name, err)
+	}
+	var weights bytes.Buffer
+	if err := model.EncodeWeights(&weights); err != nil {
+		return fmt.Errorf("client: model %q: %w", name, err)
+	}
+	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
+		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
+	}, weights.Bytes())
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return fmt.Errorf("client: pre-send %q: %w", name, err)
+	}
+	if resp.Type != protocol.MsgAck {
+		return fmt.Errorf("client: pre-send %q: unexpected response %s", name, resp.Type)
+	}
+	var ack protocol.AckHeader
+	if err := protocol.DecodeHeader(resp, &ack); err != nil {
+		return err
+	}
+	if ack.ModelName != name {
+		return fmt.Errorf("client: pre-send %q: ACK names %q", name, ack.ModelName)
+	}
+	return nil
+}
+
+// OffloadSnapshot ships an encoded snapshot and returns the encoded result
+// snapshot. With compress set, the snapshot text travels DEFLATE-compressed
+// and the server mirrors the encoding in its response; the returned bytes
+// are always the plain result text. WireBytes reports the on-the-wire size
+// of the shipped body.
+func (c *Conn) OffloadSnapshot(appID string, encoded []byte, compress bool) (result []byte, wireBytes int64, err error) {
+	return c.offloadBody(protocol.MsgSnapshot, protocol.MsgResultSnapshot, appID, encoded, compress)
+}
+
+// OffloadSnapshotDelta ships an encoded snapshot delta and returns the
+// encoded result delta. The server answers with an error when it no longer
+// holds the base state; callers fall back to a full snapshot then.
+func (c *Conn) OffloadSnapshotDelta(appID string, encoded []byte, compress bool) (result []byte, wireBytes int64, err error) {
+	return c.offloadBody(protocol.MsgSnapshotDelta, protocol.MsgResultDelta, appID, encoded, compress)
+}
+
+func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, encoded []byte, compress bool) ([]byte, int64, error) {
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	body := encoded
+	encoding := protocol.EncodingRaw
+	if compress {
+		compressed, err := protocol.CompressBody(encoded)
+		if err != nil {
+			return nil, 0, err
+		}
+		body = compressed
+		encoding = protocol.EncodingFlate
+	}
+	req, err := protocol.Encode(reqType,
+		protocol.SnapshotHeader{AppID: appID, Seq: seq, Encoding: encoding}, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %s: %w", reqType, err)
+	}
+	if resp.Type != respType {
+		return nil, 0, fmt.Errorf("client: %s: unexpected response %s", reqType, resp.Type)
+	}
+	var hdr protocol.SnapshotHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return nil, 0, err
+	}
+	plain, err := protocol.DecodeBody(resp.Body, hdr.Encoding)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: %s result: %w", reqType, err)
+	}
+	return plain, int64(len(body)), nil
+}
+
+// InstallOverlay ships a compressed VM overlay for on-demand installation
+// and returns the server-reported synthesis time.
+func (c *Conn) InstallOverlay(baseImage string, blob []byte) (time.Duration, error) {
+	req, err := protocol.Encode(protocol.MsgInstallOverlay,
+		protocol.InstallOverlayHeader{BaseImage: baseImage}, blob)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, fmt.Errorf("client: install: %w", err)
+	}
+	if resp.Type != protocol.MsgInstallDone {
+		return 0, fmt.Errorf("client: install: unexpected response %s", resp.Type)
+	}
+	var hdr protocol.InstallDoneHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return 0, err
+	}
+	return time.Duration(hdr.SynthesisMillis) * time.Millisecond, nil
+}

@@ -1,0 +1,224 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"websnap/internal/edge"
+	"websnap/internal/mlapp"
+	"websnap/internal/vmsynth"
+	"websnap/internal/webapp"
+)
+
+// startEdge runs a real edge server for in-package integration tests.
+func startEdge(t *testing.T, cfg edge.Config) string {
+	t.Helper()
+	if cfg.Catalog == nil {
+		cat := webapp.NewCatalog()
+		if err := cat.Add(mlapp.FullRegistry()); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.Add(mlapp.PartialRegistry()); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Catalog = cat
+	}
+	srv, err := edge.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func dialEdge(t *testing.T, addr string) *Conn {
+	t.Helper()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func newOffloadedApp(t *testing.T, conn *Conn, opts Options) (*Offloader, *webapp.App) {
+	t.Helper()
+	model := tinyModel(t)
+	app, err := mlapp.NewFullApp("client-int", "tiny", model, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.OffloadEventTypes) == 0 {
+		opts.OffloadEventTypes = []string{mlapp.EventClick}
+	}
+	off, err := NewOffloader(app, conn, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return off, app
+}
+
+func classifyOnce(t *testing.T, off *Offloader, app *webapp.App, seed uint64) string {
+	t.Helper()
+	if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, seed)); err != nil {
+		t.Fatal(err)
+	}
+	app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+	if _, err := off.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	return mlapp.Result(app)
+}
+
+func TestOffloadEndToEndInPackage(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+	conn := dialEdge(t, addr)
+	off, app := newOffloadedApp(t, conn, Options{
+		Models: []ModelToSend{{Name: "tiny", Net: tinyModel(t)}},
+	})
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+	if got := classifyOnce(t, off, app, 1); got == "" {
+		t.Fatal("no result")
+	}
+	st := off.Stats()
+	if st.Offloads != 1 || st.LastSnapshotBytes == 0 || st.LastResultBytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LastTiming.Total() <= 0 {
+		t.Error("timing not recorded")
+	}
+}
+
+func TestOffloadDeltaInPackage(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+	conn := dialEdge(t, addr)
+	off, app := newOffloadedApp(t, conn, Options{EnableDelta: true})
+	classifyOnce(t, off, app, 1)
+	classifyOnce(t, off, app, 2)
+	st := off.Stats()
+	if st.Offloads != 2 || st.DeltaOffloads != 1 {
+		t.Errorf("stats = %+v, want 2 offloads / 1 delta", st)
+	}
+}
+
+func TestRetargetInPackage(t *testing.T) {
+	addrA := startEdge(t, edge.Config{Installed: true})
+	addrB := startEdge(t, edge.Config{Installed: true})
+	connA := dialEdge(t, addrA)
+	off, app := newOffloadedApp(t, connA, Options{
+		Models:      []ModelToSend{{Name: "tiny", Net: tinyModel(t)}},
+		EnableDelta: true,
+	})
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+	first := classifyOnce(t, off, app, 3)
+
+	connB := dialEdge(t, addrB)
+	if err := off.Retarget(connB); err != nil {
+		t.Fatal(err)
+	}
+	if off.ModelAcked("tiny") {
+		t.Error("retarget must clear ACK state")
+	}
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatalf("re-pre-send after retarget: %v", err)
+	}
+	if !off.ModelAcked("tiny") {
+		t.Error("model should be re-acked at the new server")
+	}
+	if got := classifyOnce(t, off, app, 3); got != first {
+		t.Errorf("result after retarget = %q, want %q", got, first)
+	}
+	if err := off.Retarget(nil); err == nil {
+		t.Error("retarget to nil should fail")
+	}
+}
+
+func TestInstallOverlayInPackage(t *testing.T) {
+	syn := vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: "base", Bytes: 1 << 20})
+	addr := startEdge(t, edge.Config{Installed: false, Synthesizer: syn})
+	conn := dialEdge(t, addr)
+	data := []byte(strings.Repeat("system-bits-", 2048))
+	overlay, err := vmsynth.BuildOverlay(vmsynth.Component{
+		Name: "sys", RawBytes: int64(len(data)), CompressRatio: 0.4, Data: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthTime, err := conn.InstallOverlay("base", overlay.Compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synthTime < 0 {
+		t.Errorf("synthesis time = %v", synthTime)
+	}
+	// Installing again on an installed server is a cheap no-op.
+	if _, err := conn.InstallOverlay("base", overlay.Compressed); err != nil {
+		t.Errorf("idempotent install failed: %v", err)
+	}
+}
+
+// TestCompressedOffload: with Compress set, results are identical and the
+// wire body is substantially smaller than the plain snapshot text.
+func TestCompressedOffload(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+
+	run := func(compress bool) (string, int64) {
+		conn := dialEdge(t, addr)
+		off, app := newOffloadedApp(t, conn, Options{Compress: compress})
+		res := classifyOnce(t, off, app, 42)
+		return res, off.Stats().LastSnapshotBytes
+	}
+	plainRes, plainBytes := run(false)
+	compRes, compBytes := run(true)
+	if plainRes != compRes {
+		t.Errorf("compressed result %q != plain result %q", compRes, plainRes)
+	}
+	if compBytes*2 > plainBytes {
+		t.Errorf("compressed body %d B should be well under plain %d B", compBytes, plainBytes)
+	}
+}
+
+// TestCompressedDeltaOffload combines both wire optimizations.
+func TestCompressedDeltaOffload(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+	conn := dialEdge(t, addr)
+	off, app := newOffloadedApp(t, conn, Options{Compress: true, EnableDelta: true})
+	first := classifyOnce(t, off, app, 1)
+	second := classifyOnce(t, off, app, 2)
+	if first == "" || second == "" {
+		t.Fatal("no results")
+	}
+	st := off.Stats()
+	if st.DeltaOffloads != 1 {
+		t.Errorf("stats = %+v, want 1 delta", st)
+	}
+}
+
+func TestLocalFallbackTimingInPackage(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+	conn := dialEdge(t, addr)
+	conn.Close()
+	off, app := newOffloadedApp(t, conn, Options{LocalFallback: true})
+	if got := classifyOnce(t, off, app, 5); got == "" {
+		t.Fatal("fallback produced no result")
+	}
+	if st := off.Stats(); st.LocalFallbacks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,438 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"websnap/internal/nn"
+	"websnap/internal/snapshot"
+	"websnap/internal/webapp"
+)
+
+// ModelToSend names one model to pre-send to the edge server.
+type ModelToSend struct {
+	// Name is the model's name as loaded in the app.
+	Name string
+	// Net is the network to ship. For partial inference this is the rear
+	// part only.
+	Net *nn.Network
+	// Partial marks a rear-only pre-send.
+	Partial bool
+}
+
+// Options configures an Offloader.
+type Options struct {
+	// OffloadEventTypes lists the event types whose handlers are
+	// offloaded instead of executed locally (e.g. "click" for full
+	// inference, "front_complete" for partial inference per Fig 5).
+	OffloadEventTypes []string
+	// Models lists the models to pre-send when StartPreSend is called.
+	// The developer supplies this list, per §III.B.1 ("the list of the
+	// files ... are given by app developers").
+	Models []ModelToSend
+	// LocalFallback executes the event locally when offloading fails
+	// (server unreachable, protocol error). Defaults to false so errors
+	// surface in tests; production callers enable it.
+	LocalFallback bool
+	// ExcludeModels lists models that must never leave the device — the
+	// front part of a partially-split DNN (§III.B.2): withholding it
+	// both shrinks the snapshot and prevents the server from inverting
+	// the feature data back to the input.
+	ExcludeModels []string
+	// EnableDelta ships repeated offloads as deltas against the state
+	// left at the server by the previous offload (the paper's §VI future
+	// work). The first offload — and any offload whose base the server
+	// no longer holds — automatically falls back to a full snapshot.
+	EnableDelta bool
+	// Compress ships snapshot (and delta) bodies DEFLATE-compressed.
+	// Snapshots are text, so this typically shrinks transfers several
+	// fold at the cost of client CPU; it is off by default to match the
+	// paper's plain-text snapshots.
+	Compress bool
+}
+
+// Stats records the transfer sizes of the most recent offload, for
+// experiment reporting.
+type Stats struct {
+	// Offloads counts completed snapshot round trips.
+	Offloads int
+	// LocalFallbacks counts events executed locally after a failed
+	// offload attempt.
+	LocalFallbacks int
+	// LastSnapshotBytes is the encoded size of the last shipped
+	// snapshot.
+	LastSnapshotBytes int64
+	// LastResultBytes is the encoded size of the last result snapshot.
+	LastResultBytes int64
+	// LastModelIncluded reports whether the last offload had to ship
+	// model files inline (offload before ACK).
+	LastModelIncluded bool
+	// LastInlineModelBytes is the size of model weights shipped inline
+	// with the last offload (zero after the ACK has arrived).
+	LastInlineModelBytes int64
+	// DeltaOffloads counts offloads that shipped as deltas against
+	// server-side state.
+	DeltaOffloads int
+	// DeltaFallbacks counts delta attempts the server rejected (base
+	// state missing), causing a full-snapshot retry.
+	DeltaFallbacks int
+	// LastTiming is the wall-clock phase breakdown of the last offload —
+	// the real-path counterpart of the paper's Fig 7.
+	LastTiming Timing
+}
+
+// Timing is the measured wall-clock breakdown of one offload round trip.
+type Timing struct {
+	// InlineModelSend is the time spent shipping un-ACKed models before
+	// the snapshot (zero after pre-sending completes).
+	InlineModelSend time.Duration
+	// CaptureEncode covers snapshot capture plus textual encoding at the
+	// client (Fig 7's "Snapshot Capture (C)").
+	CaptureEncode time.Duration
+	// RoundTrip covers transmission both ways plus everything at the
+	// server (restore, DNN execution, result capture).
+	RoundTrip time.Duration
+	// DecodeApply covers decoding and applying the result snapshot at
+	// the client (Fig 7's "Snapshot Restoration (C)").
+	DecodeApply time.Duration
+}
+
+// Total returns the end-to-end offload time.
+func (t Timing) Total() time.Duration {
+	return t.InlineModelSend + t.CaptureEncode + t.RoundTrip + t.DecodeApply
+}
+
+// Offloader drives a web app with snapshot-based offloading: events of
+// designated types are captured into snapshots and executed at the edge
+// server; everything else runs locally.
+type Offloader struct {
+	app  *webapp.App
+	conn *Conn
+	opts Options
+
+	offloadTypes  map[string]bool
+	excludeModels map[string]bool
+
+	mu      sync.Mutex
+	acked   map[string]bool
+	ackErrs []error
+	stats   Stats
+	// lastSync is the last full snapshot state both client and server
+	// hold (the server's previous result), the base for delta offloads.
+	lastSync *snapshot.Snapshot
+
+	presendWG      sync.WaitGroup
+	presendStarted bool
+}
+
+// NewOffloader wires an app to an edge-server connection.
+func NewOffloader(app *webapp.App, conn *Conn, opts Options) (*Offloader, error) {
+	if app == nil || conn == nil {
+		return nil, errors.New("client: nil app or conn")
+	}
+	types := make(map[string]bool, len(opts.OffloadEventTypes))
+	for _, t := range opts.OffloadEventTypes {
+		types[t] = true
+	}
+	excluded := make(map[string]bool, len(opts.ExcludeModels))
+	for _, name := range opts.ExcludeModels {
+		excluded[name] = true
+	}
+	for _, m := range opts.Models {
+		if excluded[m.Name] {
+			return nil, fmt.Errorf("client: model %q is both pre-sent and excluded", m.Name)
+		}
+	}
+	return &Offloader{
+		app:           app,
+		conn:          conn,
+		opts:          opts,
+		offloadTypes:  types,
+		excludeModels: excluded,
+		acked:         make(map[string]bool),
+	}, nil
+}
+
+// App returns the driven app.
+func (o *Offloader) App() *webapp.App { return o.app }
+
+// Retarget points the offloader at a different edge server — the paper's
+// mobility scenario (§I): snapshot-based offloading "can readily work on a
+// new edge server since it has no dependence on the previous server". All
+// per-server state is reset: model ACKs (the new server has no models) and
+// the delta sync point. Pre-sending restarts if it was started before.
+//
+// Like the app itself, the offloader is single-threaded: Retarget must not
+// race with Step/Offload calls.
+func (o *Offloader) Retarget(conn *Conn) error {
+	if conn == nil {
+		return errors.New("client: retarget to nil conn")
+	}
+	// Let any in-flight pre-send finish against the old server before
+	// swapping; its ACKs are about to be discarded anyway.
+	o.presendWG.Wait()
+	o.mu.Lock()
+	o.conn = conn
+	o.acked = make(map[string]bool)
+	o.ackErrs = nil
+	o.lastSync = nil
+	restart := o.presendStarted
+	o.presendStarted = false
+	o.mu.Unlock()
+	if restart {
+		o.StartPreSend()
+	}
+	return nil
+}
+
+// Stats returns a copy of the offloader's counters.
+func (o *Offloader) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// StartPreSend begins sending the configured models to the edge server in
+// the background, as the paper does when the web app starts. Offloads
+// issued before a model's ACK arrives ship the model inside the snapshot
+// instead (slower); offloads after the ACK ship a spec-only snapshot.
+func (o *Offloader) StartPreSend() {
+	o.mu.Lock()
+	if o.presendStarted {
+		o.mu.Unlock()
+		return
+	}
+	o.presendStarted = true
+	o.mu.Unlock()
+	o.presendWG.Add(1)
+	go func() {
+		defer o.presendWG.Done()
+		for _, m := range o.opts.Models {
+			err := o.conn.PreSendModel(o.app.ID(), m.Name, m.Net, m.Partial)
+			o.mu.Lock()
+			if err != nil {
+				o.ackErrs = append(o.ackErrs, fmt.Errorf("pre-send %q: %w", m.Name, err))
+			} else {
+				o.acked[m.Name] = true
+			}
+			o.mu.Unlock()
+		}
+	}()
+}
+
+// WaitForAcks blocks until every configured model pre-send has completed
+// (successfully or not) and returns any accumulated errors.
+func (o *Offloader) WaitForAcks() error {
+	o.presendWG.Wait()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return errors.Join(o.ackErrs...)
+}
+
+// ModelAcked reports whether the named model's ACK has arrived.
+func (o *Offloader) ModelAcked(name string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.acked[name]
+}
+
+// ShouldOffload reports whether an event's handler is configured for
+// offloading.
+func (o *Offloader) ShouldOffload(ev webapp.Event) bool {
+	return o.offloadTypes[ev.Type]
+}
+
+// Step processes the next pending app event: offloaded types go to the edge
+// server, everything else runs locally. It reports whether an event was
+// processed.
+func (o *Offloader) Step() (bool, error) {
+	ev, ok := o.app.PeekEvent()
+	if !ok {
+		return false, nil
+	}
+	if !o.ShouldOffload(ev) {
+		if err := o.app.Step(); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
+	o.app.PopEvent()
+	if err := o.Offload(ev); err != nil {
+		if !o.opts.LocalFallback {
+			return true, err
+		}
+		o.mu.Lock()
+		o.stats.LocalFallbacks++
+		o.mu.Unlock()
+		o.app.DispatchEvent(ev)
+		if err := o.app.Step(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// Run drives the app until its event queue drains or maxSteps events have
+// been processed.
+func (o *Offloader) Run(maxSteps int) (int, error) {
+	steps := 0
+	for steps < maxSteps {
+		processed, err := o.Step()
+		if err != nil {
+			return steps, err
+		}
+		if !processed {
+			return steps, nil
+		}
+		steps++
+	}
+	if _, pending := o.app.PeekEvent(); pending {
+		return steps, fmt.Errorf("client: app %q did not quiesce within %d steps", o.app.ID(), maxSteps)
+	}
+	return steps, nil
+}
+
+// Offload executes ev's handler at the edge server via a snapshot round
+// trip, then applies the result snapshot to the local app (Fig 3).
+//
+// If a model's ACK has not arrived yet, the client "sends both the snapshot
+// and the NN model, albeit it is slower" (§III.B.1): the model files go
+// first as an inline pre-send, then the snapshot ships spec-only.
+func (o *Offloader) Offload(ev webapp.Event) error {
+	var timing Timing
+	modelIncluded := false
+	var inlineBytes int64
+	policies := make(map[string]snapshot.ModelPolicy)
+	inlineStart := time.Now()
+	for _, name := range o.app.ModelNames() {
+		if o.excludeModels[name] {
+			policies[name] = snapshot.ModelOmit
+			continue
+		}
+		if o.ModelAcked(name) {
+			continue
+		}
+		model, _ := o.app.Model(name)
+		if err := o.conn.PreSendModel(o.app.ID(), name, model, false); err != nil {
+			return fmt.Errorf("client: inline model send %q: %w", name, err)
+		}
+		modelIncluded = true
+		inlineBytes += model.ModelBytes()
+		o.mu.Lock()
+		o.acked[name] = true
+		o.mu.Unlock()
+	}
+	if modelIncluded {
+		timing.InlineModelSend = time.Since(inlineStart)
+	}
+	captureStart := time.Now()
+	snap, err := snapshot.Capture(o.app, snapshot.Options{
+		DefaultModelPolicy: snapshot.ModelSpecOnly,
+		ModelPolicies:      policies,
+		PendingEvent:       &ev,
+	})
+	if err != nil {
+		return fmt.Errorf("client: capture: %w", err)
+	}
+
+	if o.opts.EnableDelta {
+		o.mu.Lock()
+		base := o.lastSync
+		o.mu.Unlock()
+		if base != nil {
+			done, err := o.offloadDelta(base, snap, modelIncluded, inlineBytes, timing, captureStart)
+			if err == nil && done {
+				return nil
+			}
+			if err != nil {
+				// The server may have lost the base state (restart,
+				// hand-off to a new server): retry as a full snapshot.
+				o.mu.Lock()
+				o.stats.DeltaFallbacks++
+				o.lastSync = nil
+				o.mu.Unlock()
+			}
+		}
+	}
+
+	encoded, err := snap.Encode()
+	if err != nil {
+		return fmt.Errorf("client: encode: %w", err)
+	}
+	timing.CaptureEncode = time.Since(captureStart)
+	rtStart := time.Now()
+	resultWire, wireBytes, err := o.conn.OffloadSnapshot(o.app.ID(), encoded, o.opts.Compress)
+	if err != nil {
+		return err
+	}
+	timing.RoundTrip = time.Since(rtStart)
+	applyStart := time.Now()
+	result, err := snapshot.Decode(resultWire)
+	if err != nil {
+		return fmt.Errorf("client: decode result: %w", err)
+	}
+	if err := result.ApplyTo(o.app, snapshot.RestoreOptions{}); err != nil {
+		return fmt.Errorf("client: apply result: %w", err)
+	}
+	timing.DecodeApply = time.Since(applyStart)
+	o.mu.Lock()
+	o.stats.Offloads++
+	o.stats.LastSnapshotBytes = wireBytes
+	o.stats.LastResultBytes = int64(len(resultWire))
+	o.stats.LastModelIncluded = modelIncluded
+	o.stats.LastInlineModelBytes = inlineBytes
+	o.stats.LastTiming = timing
+	o.lastSync = result
+	o.mu.Unlock()
+	return nil
+}
+
+// offloadDelta ships the offload as a delta against base (the server's
+// previous result). It reports done=true on success; a (nil, false) return
+// cannot occur — errors signal the caller to fall back to a full snapshot.
+func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bool,
+	inlineBytes int64, timing Timing, captureStart time.Time) (bool, error) {
+	delta, err := snapshot.Diff(base, snap)
+	if err != nil {
+		return false, err
+	}
+	encoded, err := delta.Encode()
+	if err != nil {
+		return false, err
+	}
+	timing.CaptureEncode = time.Since(captureStart)
+	rtStart := time.Now()
+	resultWire, wireBytes, err := o.conn.OffloadSnapshotDelta(o.app.ID(), encoded, o.opts.Compress)
+	if err != nil {
+		return false, err
+	}
+	timing.RoundTrip = time.Since(rtStart)
+	applyStart := time.Now()
+	resultDelta, err := snapshot.DecodeDelta(resultWire)
+	if err != nil {
+		return false, err
+	}
+	// The result delta is relative to the pre-execution state, which is
+	// exactly the snapshot we just diffed from.
+	result, err := resultDelta.Apply(snap)
+	if err != nil {
+		return false, err
+	}
+	if err := result.ApplyTo(o.app, snapshot.RestoreOptions{}); err != nil {
+		return false, fmt.Errorf("client: apply delta result: %w", err)
+	}
+	timing.DecodeApply = time.Since(applyStart)
+	o.mu.Lock()
+	o.stats.Offloads++
+	o.stats.DeltaOffloads++
+	o.stats.LastSnapshotBytes = wireBytes
+	o.stats.LastResultBytes = int64(len(resultWire))
+	o.stats.LastModelIncluded = modelIncluded
+	o.stats.LastInlineModelBytes = inlineBytes
+	o.stats.LastTiming = timing
+	o.lastSync = result
+	o.mu.Unlock()
+	return true, nil
+}

@@ -1,0 +1,315 @@
+// Package core is the paper's contribution assembled as a library:
+// snapshot-based offloading sessions for ML web apps against generic edge
+// servers. It wires together the web-app runtime, the snapshot mechanism,
+// the client offloader (with model pre-sending), the Neurosurgeon-style
+// partition chooser for privacy-preserving partial inference, and the edge
+// server — behind one small API.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"websnap/internal/client"
+	"websnap/internal/costmodel"
+	"websnap/internal/edge"
+	"websnap/internal/mlapp"
+	"websnap/internal/netem"
+	"websnap/internal/nn"
+	"websnap/internal/partition"
+	"websnap/internal/webapp"
+)
+
+// Mode selects how a session executes DNN inference.
+type Mode int
+
+// Session modes.
+const (
+	// ModeLocal runs everything on the client (the paper's Client
+	// configuration).
+	ModeLocal Mode = iota + 1
+	// ModeFull offloads the whole inference handler (offloading with
+	// full inference).
+	ModeFull
+	// ModePartial runs the front part of the DNN locally and offloads
+	// the rear (partial inference, privacy-preserving).
+	ModePartial
+	// ModeAuto picks between full and partial dynamically from the cost
+	// model and network status, honoring the privacy constraint when
+	// RequireDenature is set.
+	ModeAuto
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeLocal:
+		return "local"
+	case ModeFull:
+		return "full"
+	case ModePartial:
+		return "partial"
+	case ModeAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultCatalog returns a catalog holding the standard ML web-app code
+// bundles; edge servers serving these apps use it to resolve snapshots.
+func DefaultCatalog() (*webapp.Catalog, error) {
+	cat := webapp.NewCatalog()
+	if err := cat.Add(mlapp.FullRegistry()); err != nil {
+		return nil, err
+	}
+	if err := cat.Add(mlapp.PartialRegistry()); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// SessionConfig configures NewSession.
+type SessionConfig struct {
+	// AppID identifies this app instance to the edge server.
+	AppID string
+	// ModelName and Model define the DNN the app uses.
+	ModelName string
+	Model     *nn.Network
+	// Labels are the output label strings shown in the DOM.
+	Labels []string
+	// Mode selects local / full / partial / auto.
+	Mode Mode
+	// Conn is the connection to the edge server; nil only for ModeLocal.
+	Conn *client.Conn
+	// PreSend starts model pre-sending immediately (§III.B.1). When
+	// false, the first offload pays the model upload inline.
+	PreSend bool
+	// LocalFallback executes locally if the edge server fails.
+	LocalFallback bool
+	// EnableDelta ships repeated offloads as deltas against the state
+	// left at the server by the previous offload (§VI future work).
+	EnableDelta bool
+	// Compress ships snapshot bodies DEFLATE-compressed (off by default,
+	// matching the paper's plain-text snapshots).
+	Compress bool
+
+	// SplitLabel pins the partial-inference point (e.g. "1st_pool");
+	// empty selects it dynamically via the cost model.
+	SplitLabel string
+	// RequireDenature keeps at least one DNN layer on the client when
+	// choosing a split (the paper's privacy constraint). Only consulted
+	// for dynamic selection. ModeAuto with RequireDenature unset may
+	// select full offloading.
+	RequireDenature bool
+
+	// ClientDevice, ServerDevice, and Network parametrize the dynamic
+	// partition decision; zero values select the paper's calibrated
+	// profiles and 30 Mbps Wi-Fi.
+	ClientDevice, ServerDevice costmodel.Device
+	Network                    netem.Profile
+}
+
+func (cfg *SessionConfig) applyDefaults() {
+	if cfg.ClientDevice.Name == "" {
+		cfg.ClientDevice = costmodel.ClientOdroid
+	}
+	if cfg.ServerDevice.Name == "" {
+		cfg.ServerDevice = costmodel.ServerX86
+	}
+	if cfg.Network.BandwidthBitsPerSec == 0 && cfg.Network.Latency == 0 {
+		cfg.Network = netem.WiFi30Mbps
+	}
+}
+
+// Session is one running ML web app with an offloading strategy attached.
+type Session struct {
+	cfg  SessionConfig
+	app  *webapp.App
+	off  *client.Offloader // nil in ModeLocal
+	mode Mode              // resolved mode (auto collapses to full/partial)
+	// split describes the chosen partition point in partial mode.
+	split *partition.Candidate
+}
+
+// NewSession builds the app, resolves the offloading strategy, and (when
+// configured) starts pre-sending models.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	cfg.applyDefaults()
+	if cfg.Model == nil || cfg.ModelName == "" {
+		return nil, errors.New("core: model and model name required")
+	}
+	if cfg.Mode == 0 {
+		return nil, errors.New("core: mode required")
+	}
+	if cfg.Mode != ModeLocal && cfg.Conn == nil {
+		return nil, fmt.Errorf("core: mode %s requires a connection", cfg.Mode)
+	}
+	s := &Session{cfg: cfg, mode: cfg.Mode}
+	if err := s.resolveMode(); err != nil {
+		return nil, err
+	}
+	if err := s.buildApp(); err != nil {
+		return nil, err
+	}
+	if err := s.buildOffloader(); err != nil {
+		return nil, err
+	}
+	if s.off != nil && cfg.PreSend {
+		s.off.StartPreSend()
+	}
+	return s, nil
+}
+
+// resolveMode collapses ModeAuto into full or partial using the partition
+// estimator, and selects the split point for partial mode.
+func (s *Session) resolveMode() error {
+	needsPlan := s.mode == ModeAuto || (s.mode == ModePartial && s.cfg.SplitLabel == "")
+	if !needsPlan {
+		if s.mode == ModePartial {
+			plan, err := s.analyze()
+			if err != nil {
+				return err
+			}
+			c, ok := plan.ByLabel(s.cfg.SplitLabel)
+			if !ok {
+				return fmt.Errorf("core: model %q has no partition point %q", s.cfg.ModelName, s.cfg.SplitLabel)
+			}
+			s.split = &c
+		}
+		return nil
+	}
+	plan, err := s.analyze()
+	if err != nil {
+		return err
+	}
+	best, err := plan.Choose(s.cfg.RequireDenature || s.mode == ModePartial)
+	if err != nil {
+		return err
+	}
+	if s.mode == ModeAuto && best.Point.Index == 0 {
+		s.mode = ModeFull
+		return nil
+	}
+	s.mode = ModePartial
+	s.split = &best
+	return nil
+}
+
+func (s *Session) analyze() (partition.Plan, error) {
+	return partition.Analyze(s.cfg.Model, partition.Config{
+		Client:             s.cfg.ClientDevice,
+		Server:             s.cfg.ServerDevice,
+		Network:            s.cfg.Network,
+		StateOverheadBytes: 64 << 10,
+		ResultBytes:        4 << 10,
+	})
+}
+
+func (s *Session) buildApp() error {
+	var err error
+	switch s.mode {
+	case ModeLocal, ModeFull:
+		s.app, err = mlapp.NewFullApp(s.cfg.AppID, s.cfg.ModelName, s.cfg.Model, s.cfg.Labels)
+	case ModePartial:
+		s.app, err = mlapp.NewPartialApp(s.cfg.AppID, s.cfg.ModelName, s.cfg.Model,
+			s.split.Point.Index, s.cfg.Labels)
+	default:
+		err = fmt.Errorf("core: unsupported mode %s", s.mode)
+	}
+	return err
+}
+
+func (s *Session) buildOffloader() error {
+	if s.mode == ModeLocal {
+		return nil
+	}
+	opts := client.Options{
+		LocalFallback: s.cfg.LocalFallback,
+		EnableDelta:   s.cfg.EnableDelta,
+		Compress:      s.cfg.Compress,
+	}
+	switch s.mode {
+	case ModeFull:
+		opts.OffloadEventTypes = []string{mlapp.EventClick}
+		opts.Models = []client.ModelToSend{{Name: s.cfg.ModelName, Net: s.cfg.Model}}
+	case ModePartial:
+		rearName := s.cfg.ModelName + mlapp.RearSuffix
+		rear, ok := s.app.Model(rearName)
+		if !ok {
+			return fmt.Errorf("core: rear model %q missing", rearName)
+		}
+		opts.OffloadEventTypes = []string{mlapp.EventFrontComplete}
+		opts.Models = []client.ModelToSend{{Name: rearName, Net: rear, Partial: true}}
+		opts.ExcludeModels = []string{s.cfg.ModelName + mlapp.FrontSuffix}
+	}
+	off, err := client.NewOffloader(s.app, s.cfg.Conn, opts)
+	if err != nil {
+		return err
+	}
+	s.off = off
+	return nil
+}
+
+// Mode returns the session's resolved mode (auto collapses at creation).
+func (s *Session) Mode() Mode { return s.mode }
+
+// SplitLabel returns the chosen partition point in partial mode ("" in
+// other modes).
+func (s *Session) SplitLabel() string {
+	if s.split == nil {
+		return ""
+	}
+	return s.split.Point.Label
+}
+
+// App exposes the underlying web app (DOM inspection, custom events).
+func (s *Session) App() *webapp.App { return s.app }
+
+// WaitForModelUpload blocks until pre-sent models have been acknowledged.
+func (s *Session) WaitForModelUpload() error {
+	if s.off == nil {
+		return nil
+	}
+	return s.off.WaitForAcks()
+}
+
+// Stats returns offloading counters (zero value in ModeLocal).
+func (s *Session) Stats() client.Stats {
+	if s.off == nil {
+		return client.Stats{}
+	}
+	return s.off.Stats()
+}
+
+// Classify loads an image into the app, clicks the inference button, and
+// drives the app (offloading as configured) until the result is on screen.
+func (s *Session) Classify(img webapp.Float32Array) (string, error) {
+	if err := mlapp.LoadImage(s.app, img); err != nil {
+		return "", err
+	}
+	s.app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+	var err error
+	if s.off != nil {
+		_, err = s.off.Run(16)
+	} else {
+		_, err = s.app.Run(16)
+	}
+	if err != nil {
+		return "", err
+	}
+	res := mlapp.Result(s.app)
+	if res == "" {
+		return "", errors.New("core: inference produced no result")
+	}
+	return res, nil
+}
+
+// NewEdgeServer constructs a pre-installed edge server that can serve the
+// standard ML web apps.
+func NewEdgeServer(logf func(string, ...any)) (*edge.Server, error) {
+	cat, err := DefaultCatalog()
+	if err != nil {
+		return nil, err
+	}
+	return edge.NewServer(edge.Config{Catalog: cat, Installed: true, Logf: logf})
+}

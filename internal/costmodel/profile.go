@@ -1,0 +1,90 @@
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"websnap/internal/nn"
+	"websnap/internal/tensor"
+)
+
+// Profile builds a Device by *measuring* a network on the current machine:
+// every layer is executed individually and its wall-clock time is
+// attributed to its layer type, yielding per-type effective throughputs —
+// exactly how Neurosurgeon constructs its per-layer prediction models from
+// profiling runs. Use it to replace the calibrated paper profiles with a
+// profile of real hardware:
+//
+//	dev, _ := costmodel.Profile("my-laptop", net, 3)
+//	plan, _ := partition.Analyze(net, partition.Config{Client: dev, ...})
+//
+// runs is the number of timed passes per layer (the minimum is kept, which
+// rejects scheduler noise).
+func Profile(name string, net *nn.Network, runs int) (Device, error) {
+	if runs <= 0 {
+		return Device{}, fmt.Errorf("costmodel: profile %q: runs must be positive", name)
+	}
+	infos, err := net.Describe()
+	if err != nil {
+		return Device{}, err
+	}
+	in, err := tensor.New(net.InputShape()...)
+	if err != nil {
+		return Device{}, err
+	}
+	seed := uint64(len(name)) + 12345
+	for i := range in.Data() {
+		seed ^= seed >> 12
+		seed ^= seed << 25
+		seed ^= seed >> 27
+		in.Data()[i] = float32(seed%1000)/500 - 1
+	}
+
+	flopsByType := make(map[nn.LayerType]int64)
+	timeByType := make(map[nn.LayerType]time.Duration)
+	cur := in
+	for i, layer := range net.Layers() {
+		li := infos[i]
+		var best time.Duration
+		var out *tensor.Tensor
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			out, err = layer.Forward(cur)
+			elapsed := time.Since(start)
+			if err != nil {
+				return Device{}, fmt.Errorf("costmodel: profile layer %q: %w", layer.Name(), err)
+			}
+			if r == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		flopsByType[li.Type] += li.FLOPs
+		timeByType[li.Type] += best
+		cur = out
+	}
+
+	dev := Device{
+		Name:        name,
+		FLOPSByType: make(map[nn.LayerType]float64, len(flopsByType)),
+		// Bookkeeping costs: modest defaults; refine with real snapshot
+		// measurements if needed.
+		LayerOverhead:       50 * time.Microsecond,
+		SnapshotFixed:       10 * time.Millisecond,
+		SnapshotBytesPerSec: 200e6,
+	}
+	var totalFLOPs int64
+	var totalTime time.Duration
+	for typ, fl := range flopsByType {
+		t := timeByType[typ]
+		totalFLOPs += fl
+		totalTime += t
+		if fl > 0 && t > 0 {
+			dev.FLOPSByType[typ] = float64(fl) / t.Seconds()
+		}
+	}
+	if totalTime <= 0 || totalFLOPs <= 0 {
+		return Device{}, fmt.Errorf("costmodel: profile %q: nothing measurable in network %q", name, net.Name())
+	}
+	dev.DefaultFLOPS = float64(totalFLOPs) / totalTime.Seconds()
+	return dev, nil
+}

@@ -1,0 +1,90 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"websnap/internal/models"
+	"websnap/internal/nn"
+	"websnap/internal/tensor"
+)
+
+func TestProfileMeasuresRealDevice(t *testing.T) {
+	net, err := models.BuildTinyNet("profile-net", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Profile("test-machine", net, 2)
+	if err != nil {
+		t.Fatalf("Profile: %v", err)
+	}
+	if dev.Name != "test-machine" {
+		t.Errorf("name = %q", dev.Name)
+	}
+	if dev.DefaultFLOPS <= 0 {
+		t.Fatal("no aggregate throughput measured")
+	}
+	// Conv dominates this net; a conv throughput must be measured and be
+	// physically plausible (somewhere between 1 MFLOP/s and 1 TFLOP/s).
+	conv, ok := dev.FLOPSByType[nn.TypeConv]
+	if !ok {
+		t.Fatal("conv throughput missing")
+	}
+	if conv < 1e6 || conv > 1e12 {
+		t.Errorf("conv throughput = %.0f FLOP/s, implausible", conv)
+	}
+	// The resulting device must be usable by the estimator.
+	predicted, err := dev.NetworkTime(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted <= 0 || predicted > 10*time.Second {
+		t.Errorf("predicted forward time = %v, implausible for the tiny net", predicted)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	net, err := models.BuildTinyNet("p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Profile("x", net, 0); err == nil {
+		t.Error("zero runs should fail")
+	}
+}
+
+// TestProfilePredictionTracksReality: the profiled device's prediction for
+// the very network it was profiled on should be within a small factor of a
+// real measured forward pass (it cannot be exact: prediction sums per-type
+// averages).
+func TestProfilePredictionTracksReality(t *testing.T) {
+	net, err := models.BuildTinyNet("track", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Profile("here", net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := dev.NetworkTime(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := tensor.New(net.InputShape()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%251) / 251
+	}
+	start := time.Now()
+	if _, err := net.Forward(in); err != nil {
+		t.Fatal(err)
+	}
+	measured := time.Since(start)
+	ratio := float64(predicted) / float64(measured)
+	if ratio < 0.05 || ratio > 20 {
+		t.Errorf("prediction %v vs measurement %v (ratio %.2f), want same order of magnitude",
+			predicted, measured, ratio)
+	}
+}

@@ -1,0 +1,31 @@
+package edge
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the server's operation counters as JSON — a small
+// observability surface for operators of edge-server fleets.
+//
+//	mux := http.NewServeMux()
+//	mux.Handle("/metrics", srv.MetricsHandler())
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		payload := struct {
+			Installed bool    `json:"installed"`
+			Metrics   Metrics `json:"metrics"`
+		}{
+			Installed: s.Installed(),
+			Metrics:   s.Metrics(),
+		}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
+			s.logf("edge: metrics handler: %v", err)
+		}
+	})
+}

@@ -1,0 +1,572 @@
+// Package edge implements the paper's offloading server program: the
+// process running on a generic edge server that accepts connections from
+// client devices, stores pre-sent NN models, executes incoming snapshots on
+// the server's browser runtime, and returns result snapshots (§III).
+package edge
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"websnap/internal/nn"
+	"websnap/internal/protocol"
+	"websnap/internal/snapshot"
+	"websnap/internal/vmsynth"
+	"websnap/internal/webapp"
+)
+
+// maxHandlerSteps bounds one offloaded execution burst so a buggy app
+// cannot wedge a server goroutine.
+const maxHandlerSteps = 1000
+
+// ModelStore holds models pre-sent by clients, keyed by app instance and
+// model name. It is safe for concurrent use.
+type ModelStore struct {
+	mu     sync.RWMutex
+	models map[string]map[string]*nn.Network
+	// dir, when non-empty, persists model files to disk (see store.go).
+	dir string
+}
+
+// NewModelStore creates an empty store.
+func NewModelStore() *ModelStore {
+	return &ModelStore{models: make(map[string]map[string]*nn.Network)}
+}
+
+// Put stores a model for an app. With a directory-backed store the model
+// files are also written to disk; persistence failures are returned but the
+// in-memory copy is kept, so the current session still works.
+func (s *ModelStore) Put(appID, name string, net *nn.Network) error {
+	s.putMemory(appID, name, net)
+	if s.dir == "" {
+		return nil
+	}
+	return s.persist(appID, name, net)
+}
+
+func (s *ModelStore) putMemory(appID, name string, net *nn.Network) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.models[appID] == nil {
+		s.models[appID] = make(map[string]*nn.Network)
+	}
+	s.models[appID][name] = net
+}
+
+// Get retrieves a model for an app.
+func (s *ModelStore) Get(appID, name string) (*nn.Network, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	net, ok := s.models[appID][name]
+	return net, ok
+}
+
+// Names returns the model names stored for an app, in sorted order.
+func (s *ModelStore) Names(appID string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.models[appID]))
+	for name := range s.models[appID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolver returns a snapshot.ModelResolver scoped to one app.
+func (s *ModelStore) Resolver(appID string) snapshot.ModelResolver {
+	return snapshot.ResolverFunc(func(name string) (*nn.Network, bool) {
+		return s.Get(appID, name)
+	})
+}
+
+// stateStore remembers, per app, the last snapshot state both ends of a
+// session agreed on — "the data and code left at the server from the first
+// offloading" (§VI) — enabling delta offloads.
+type stateStore struct {
+	mu     sync.RWMutex
+	states map[string]*snapshot.Snapshot
+}
+
+func newStateStore() *stateStore {
+	return &stateStore{states: make(map[string]*snapshot.Snapshot)}
+}
+
+func (s *stateStore) Put(appID string, snap *snapshot.Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.states[appID] = snap
+}
+
+func (s *stateStore) Get(appID string) (*snapshot.Snapshot, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap, ok := s.states[appID]
+	return snap, ok
+}
+
+// Config parametrizes a Server.
+type Config struct {
+	// Catalog resolves snapshot code hashes to app code bundles.
+	Catalog *webapp.Catalog
+	// Installed indicates the offloading system is pre-installed. When
+	// false, the server only accepts MsgInstallOverlay until a VM
+	// overlay has been synthesized (§III.B.3).
+	Installed bool
+	// Synthesizer performs VM synthesis for on-demand installation. May
+	// be nil when Installed is true.
+	Synthesizer *vmsynth.Synthesizer
+	// ModelDir, when non-empty, persists pre-sent model files to disk so
+	// they survive server restarts ("the server saves the files",
+	// §III.B.1).
+	ModelDir string
+	// MaxConns caps concurrently served client connections; beyond it,
+	// new connections receive an error and are closed. Zero means
+	// unlimited.
+	MaxConns int
+	// IdleTimeout closes a connection when no request arrives for this
+	// long. Zero means no timeout.
+	IdleTimeout time.Duration
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Server is the edge server's offloading program.
+type Server struct {
+	cfg    Config
+	store  *ModelStore
+	states *stateStore
+	logf   func(string, ...any)
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+
+	installedMu sync.RWMutex
+	installed   bool
+
+	// connSlots is a semaphore bounding concurrent connections; nil when
+	// unlimited.
+	connSlots chan struct{}
+
+	// connsMu guards conns, the set of live client connections, so Close
+	// can terminate them instead of waiting forever on idle readers.
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	metrics metrics
+}
+
+// Metrics is a snapshot of the server's operation counters.
+type Metrics struct {
+	// ConnsServed counts accepted (served) connections.
+	ConnsServed int64
+	// ConnsRefused counts connections turned away at the MaxConns cap.
+	ConnsRefused int64
+	// ModelsStored counts pre-send requests handled.
+	ModelsStored int64
+	// SnapshotsExecuted counts full snapshot offloads executed.
+	SnapshotsExecuted int64
+	// DeltasExecuted counts delta offloads executed.
+	DeltasExecuted int64
+	// Installs counts completed VM-synthesis installations.
+	Installs int64
+	// Errors counts requests answered with MsgError.
+	Errors int64
+}
+
+// metrics is the live atomic counterpart of Metrics.
+type metrics struct {
+	connsServed, connsRefused         atomic.Int64
+	modelsStored                      atomic.Int64
+	snapshotsExecuted, deltasExecuted atomic.Int64
+	installs, errorsAnswered          atomic.Int64
+}
+
+// Metrics returns a consistent-enough snapshot of the server's counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		ConnsServed:       s.metrics.connsServed.Load(),
+		ConnsRefused:      s.metrics.connsRefused.Load(),
+		ModelsStored:      s.metrics.modelsStored.Load(),
+		SnapshotsExecuted: s.metrics.snapshotsExecuted.Load(),
+		DeltasExecuted:    s.metrics.deltasExecuted.Load(),
+		Installs:          s.metrics.installs.Load(),
+		Errors:            s.metrics.errorsAnswered.Load(),
+	}
+}
+
+// NewServer creates an offloading server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, errors.New("edge: nil catalog")
+	}
+	if !cfg.Installed && cfg.Synthesizer == nil {
+		return nil, errors.New("edge: not installed and no synthesizer for on-demand installation")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	store := NewModelStore()
+	if cfg.ModelDir != "" {
+		var err error
+		store, err = NewModelStoreDir(cfg.ModelDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv := &Server{
+		cfg:       cfg,
+		store:     store,
+		states:    newStateStore(),
+		logf:      logf,
+		quit:      make(chan struct{}),
+		installed: cfg.Installed,
+		conns:     make(map[net.Conn]struct{}),
+	}
+	if cfg.MaxConns > 0 {
+		srv.connSlots = make(chan struct{}, cfg.MaxConns)
+	}
+	return srv, nil
+}
+
+// Store exposes the server's model store (for tests and inspection).
+func (s *Server) Store() *ModelStore { return s.store }
+
+// Installed reports whether the offloading system is ready to serve
+// snapshots.
+func (s *Server) Installed() bool {
+	s.installedMu.RLock()
+	defer s.installedMu.RUnlock()
+	return s.installed
+}
+
+// Serve accepts connections on ln until Close is called. It blocks; run it
+// in a goroutine and call Close to stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("edge: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return nil
+			default:
+				return fmt.Errorf("edge: accept: %w", err)
+			}
+		}
+		if s.connSlots != nil {
+			select {
+			case s.connSlots <- struct{}{}:
+			default:
+				// At capacity: refuse politely and move on.
+				s.metrics.connsRefused.Add(1)
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					defer conn.Close()
+					msg, err := protocol.Encode(protocol.MsgError,
+						protocol.ErrorHeader{Message: "edge server at connection capacity"}, nil)
+					if err == nil {
+						if err := protocol.Write(conn, msg); err != nil {
+							s.logf("edge: refuse conn: %v", err)
+						}
+					}
+				}()
+				continue
+			}
+		}
+		s.trackConn(conn, true)
+		s.metrics.connsServed.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.trackConn(conn, false)
+			defer conn.Close()
+			if s.connSlots != nil {
+				defer func() { <-s.connSlots }()
+			}
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes the listener, and waits for in-flight
+// connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.quit)
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	// Terminate live connections: without this, Close would wait forever
+	// on clients idling in between requests.
+	s.connsMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connsMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// trackConn adds or removes a live connection from the close set.
+func (s *Server) trackConn(conn net.Conn, add bool) {
+	s.connsMu.Lock()
+	defer s.connsMu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// handleConn serves one client connection: a sequence of framed requests,
+// each answered with exactly one response.
+func (s *Server) handleConn(conn net.Conn) {
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				s.logf("edge: set deadline: %v", err)
+				return
+			}
+		}
+		msg, err := protocol.Read(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.logf("edge: read: %v", err)
+			}
+			return
+		}
+		resp, err := s.dispatch(msg)
+		if err != nil {
+			s.logf("edge: %s: %v", msg.Type, err)
+			s.metrics.errorsAnswered.Add(1)
+			resp, err = protocol.Encode(protocol.MsgError, protocol.ErrorHeader{Message: err.Error()}, nil)
+			if err != nil {
+				return
+			}
+		}
+		if err := protocol.Write(conn, resp); err != nil {
+			s.logf("edge: write response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
+	if !s.Installed() && msg.Type != protocol.MsgInstallOverlay {
+		return protocol.Message{}, errors.New("offloading system not installed on this edge server")
+	}
+	switch msg.Type {
+	case protocol.MsgModelPreSend:
+		return s.handleModelPreSend(msg)
+	case protocol.MsgSnapshot:
+		return s.handleSnapshot(msg)
+	case protocol.MsgSnapshotDelta:
+		return s.handleSnapshotDelta(msg)
+	case protocol.MsgInstallOverlay:
+		return s.handleInstall(msg)
+	default:
+		return protocol.Message{}, fmt.Errorf("unexpected message %s", msg.Type)
+	}
+}
+
+// handleModelPreSend stores the client's model files and acknowledges, per
+// §III.B.1: "The server saves the files and sends an acknowledgement (ACK)
+// message to the client."
+func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, error) {
+	var hdr protocol.ModelPreSendHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	net, err := nn.DecodeSpec(hdr.Spec)
+	if err != nil {
+		return protocol.Message{}, fmt.Errorf("model %q: %w", hdr.ModelName, err)
+	}
+	if err := net.DecodeWeights(bytes.NewReader(msg.Body)); err != nil {
+		return protocol.Message{}, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
+	}
+	if err := s.store.Put(hdr.AppID, hdr.ModelName, net); err != nil {
+		// The in-memory copy is in place; persistence failure only
+		// affects restarts. Log and keep serving.
+		s.logf("edge: persist model %q: %v", hdr.ModelName, err)
+	}
+	s.metrics.modelsStored.Add(1)
+	s.logf("edge: stored model %q for app %q (%d params, partial=%v)",
+		hdr.ModelName, hdr.AppID, net.TotalParams(), hdr.Partial)
+	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{AppID: hdr.AppID, ModelName: hdr.ModelName}, nil)
+}
+
+// executeSnapshot runs an offloaded snapshot on the server's runtime and
+// returns the captured result state (§III.A). Models absent from the
+// snapshot are attached from the pre-send store so delta-reconstructed
+// snapshots (which never list models) execute too.
+func (s *Server) executeSnapshot(snap *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	registry, ok := s.cfg.Catalog.Lookup(snap.CodeHash)
+	if !ok {
+		return nil, fmt.Errorf("unknown app code %q", snap.CodeHash)
+	}
+	app, err := snapshot.Restore(snap, registry, snapshot.RestoreOptions{
+		Models: s.store.Resolver(snap.AppID),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range s.store.Names(snap.AppID) {
+		if _, loaded := app.Model(name); !loaded {
+			if net, ok := s.store.Get(snap.AppID, name); ok {
+				app.LoadModel(name, net)
+			}
+		}
+	}
+	start := time.Now()
+	steps, err := app.Run(maxHandlerSteps)
+	if err != nil {
+		return nil, fmt.Errorf("execute snapshot: %w", err)
+	}
+	s.logf("edge: app %q ran %d handler(s) in %v", snap.AppID, steps, time.Since(start))
+	result, err := snapshot.Capture(app, snapshot.Options{DefaultModelPolicy: snapshot.ModelOmit})
+	if err != nil {
+		return nil, err
+	}
+	s.states.Put(snap.AppID, result)
+	return result, nil
+}
+
+// handleSnapshot runs a full offloaded snapshot and returns the full result
+// snapshot, mirroring the request's body encoding.
+func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) {
+	var hdr protocol.SnapshotHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	plain, err := protocol.DecodeBody(msg.Body, hdr.Encoding)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	snap, err := snapshot.Decode(plain)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	result, err := s.executeSnapshot(snap)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	s.metrics.snapshotsExecuted.Add(1)
+	body, err := result.Encode()
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	return s.snapshotResponse(protocol.MsgResultSnapshot, snap.AppID, hdr, body)
+}
+
+// snapshotResponse frames a result body, mirroring the request's encoding.
+func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol.SnapshotHeader, body []byte) (protocol.Message, error) {
+	encoding := protocol.EncodingRaw
+	if req.Encoding == protocol.EncodingFlate {
+		compressed, err := protocol.CompressBody(body)
+		if err != nil {
+			return protocol.Message{}, err
+		}
+		body = compressed
+		encoding = protocol.EncodingFlate
+	}
+	return protocol.Encode(t, protocol.SnapshotHeader{
+		AppID: appID, Seq: req.Seq, Encoding: encoding,
+	}, body)
+}
+
+// handleSnapshotDelta runs an offload shipped as a delta against the state
+// left at the server by the previous offload (§VI), and answers with a
+// result delta relative to the reconstructed pre-execution state.
+func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, error) {
+	var hdr protocol.SnapshotHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	plain, err := protocol.DecodeBody(msg.Body, hdr.Encoding)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	delta, err := snapshot.DecodeDelta(plain)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	base, ok := s.states.Get(delta.AppID)
+	if !ok {
+		return protocol.Message{}, fmt.Errorf("%w: no state for app %q at this server",
+			snapshot.ErrBaseMismatch, delta.AppID)
+	}
+	preExec, err := delta.Apply(base)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	result, err := s.executeSnapshot(preExec)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	s.metrics.deltasExecuted.Add(1)
+	resultDelta, err := snapshot.Diff(preExec, result)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	body, err := resultDelta.Encode()
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	return s.snapshotResponse(protocol.MsgResultDelta, delta.AppID, hdr, body)
+}
+
+// handleInstall performs on-demand installation by VM synthesis: the client
+// ships a VM overlay containing the offloading system; once synthesized,
+// the server is customized and starts serving offload requests (§III.B.3).
+func (s *Server) handleInstall(msg protocol.Message) (protocol.Message, error) {
+	if s.Installed() {
+		return protocol.Encode(protocol.MsgInstallDone,
+			protocol.InstallDoneHeader{SynthesisMillis: 0}, nil)
+	}
+	var hdr protocol.InstallOverlayHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	if s.cfg.Synthesizer == nil {
+		return protocol.Message{}, errors.New("no synthesizer available")
+	}
+	res, err := s.cfg.Synthesizer.Synthesize(hdr.BaseImage, msg.Body)
+	if err != nil {
+		return protocol.Message{}, fmt.Errorf("vm synthesis: %w", err)
+	}
+	s.installedMu.Lock()
+	s.installed = true
+	s.installedMu.Unlock()
+	s.metrics.installs.Add(1)
+	s.logf("edge: installed offloading system via VM synthesis (%v)", res.SynthesisTime)
+	return protocol.Encode(protocol.MsgInstallDone, protocol.InstallDoneHeader{
+		BaseImage:       hdr.BaseImage,
+		SynthesisMillis: res.SynthesisTime.Milliseconds(),
+	}, nil)
+}

@@ -1,0 +1,232 @@
+// Package models builds the three benchmark DNN architectures the paper
+// evaluates: GoogLeNet (Szegedy et al. 2015, per Fig 1) and the Levi–Hassner
+// AgeNet and GenderNet CNNs.
+//
+// Weights are synthetic and deterministic (see DESIGN.md §1): every
+// experiment in the paper depends on architecture shape — per-layer FLOPs,
+// parameter bytes, and feature-data sizes — not on trained accuracy.
+package models
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"websnap/internal/nn"
+)
+
+// Canonical model names used throughout the repository.
+const (
+	GoogLeNet = "googlenet"
+	AgeNet    = "agenet"
+	GenderNet = "gendernet"
+)
+
+// Names lists the benchmark models in the order the paper reports them.
+func Names() []string { return []string{GoogLeNet, AgeNet, GenderNet} }
+
+// Build constructs the named model with deterministic weights.
+func Build(name string) (*nn.Network, error) {
+	var (
+		net *nn.Network
+		err error
+	)
+	switch name {
+	case GoogLeNet:
+		net, err = BuildGoogLeNet()
+	case AgeNet:
+		net, err = BuildAgeNet()
+	case GenderNet:
+		net, err = BuildGenderNet()
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	net.InitWeights(h.Sum64())
+	return net, nil
+}
+
+// BuildAgeNet constructs the Levi–Hassner age classification CNN
+// (8 age-bracket outputs): three conv/pool/LRN stages followed by two
+// 512-wide fully-connected layers. ~11.4 M parameters (~44 MB), matching
+// the paper's reported model size.
+func BuildAgeNet() (*nn.Network, error) {
+	return buildLeviHassner(AgeNet, 8)
+}
+
+// BuildGenderNet constructs the Levi–Hassner gender classification CNN
+// (2 outputs); identical topology to AgeNet except the final classifier.
+func BuildGenderNet() (*nn.Network, error) {
+	return buildLeviHassner(GenderNet, 2)
+}
+
+func buildLeviHassner(name string, classes int) (*nn.Network, error) {
+	b := newBuilder()
+	layers := []nn.Layer{
+		b.input("data", 3, 227, 227),
+		b.conv("conv1", 3, 96, 7, 4, 0),
+		nn.NewReLU("relu1"),
+		b.pool("pool1", nn.MaxPool, 3, 2, 0),
+		b.lrn("norm1", 5, 0.0001, 0.75),
+		b.conv("conv2", 96, 256, 5, 1, 2),
+		nn.NewReLU("relu2"),
+		b.pool("pool2", nn.MaxPool, 3, 2, 0),
+		b.lrn("norm2", 5, 0.0001, 0.75),
+		b.conv("conv3", 256, 384, 3, 1, 1),
+		nn.NewReLU("relu3"),
+		b.pool("pool3", nn.MaxPool, 3, 2, 0),
+		b.fc("fc6", 384*7*7, 512),
+		nn.NewReLU("relu6"),
+		nn.NewDropout("drop6", 0.5),
+		b.fc("fc7", 512, 512),
+		nn.NewReLU("relu7"),
+		nn.NewDropout("drop7", 0.5),
+		b.fc("fc8", 512, classes),
+		nn.NewSoftmax("prob"),
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("models: %s: %w", name, b.err)
+	}
+	return nn.NewNetwork(name, layers...)
+}
+
+// BuildGoogLeNet constructs GoogLeNet exactly as sketched in the paper's
+// Fig 1: a conv/pool stem producing 56×56×64 feature data, nine inception
+// modules, global average pooling, and a 1000-way classifier. ~7 M
+// parameters (~27 MB), matching the paper's reported model size.
+func BuildGoogLeNet() (*nn.Network, error) {
+	b := newBuilder()
+	layers := []nn.Layer{
+		b.input("data", 3, 224, 224),
+		b.conv("conv1", 3, 64, 7, 2, 3),
+		nn.NewReLU("relu_conv1"),
+		b.pool("pool1", nn.MaxPool, 3, 2, 0),
+		b.lrn("norm1", 5, 0.0001, 0.75),
+		b.conv("conv2_reduce", 64, 64, 1, 1, 0),
+		nn.NewReLU("relu_conv2_reduce"),
+		b.conv("conv2", 64, 192, 3, 1, 1),
+		nn.NewReLU("relu_conv2"),
+		b.lrn("norm2", 5, 0.0001, 0.75),
+		b.pool("pool2", nn.MaxPool, 3, 2, 0),
+		b.inception("inception_3a", 192, 64, 96, 128, 16, 32, 32),
+		b.inception("inception_3b", 256, 128, 128, 192, 32, 96, 64),
+		b.pool("pool3", nn.MaxPool, 3, 2, 0),
+		b.inception("inception_4a", 480, 192, 96, 208, 16, 48, 64),
+		b.inception("inception_4b", 512, 160, 112, 224, 24, 64, 64),
+		b.inception("inception_4c", 512, 128, 128, 256, 24, 64, 64),
+		b.inception("inception_4d", 512, 112, 144, 288, 32, 64, 64),
+		b.inception("inception_4e", 528, 256, 160, 320, 32, 128, 128),
+		b.pool("pool4", nn.MaxPool, 3, 2, 0),
+		b.inception("inception_5a", 832, 256, 160, 320, 32, 128, 128),
+		b.inception("inception_5b", 832, 384, 192, 384, 48, 128, 128),
+		b.pool("pool5", nn.AvgPool, 7, 1, 0),
+		nn.NewDropout("drop", 0.4),
+		b.fc("loss3_classifier", 1024, 1000),
+		nn.NewSoftmax("prob"),
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("models: googlenet: %w", b.err)
+	}
+	return nn.NewNetwork(GoogLeNet, layers...)
+}
+
+// BuildTinyNet constructs a small but complete CNN (16×16 input, two
+// conv/pool stages, one classifier) with deterministic weights. It is not
+// one of the paper's benchmarks; it exists so demos, examples, and tests
+// can exercise the full offloading pipeline in milliseconds.
+func BuildTinyNet(name string, classes int) (*nn.Network, error) {
+	if classes <= 0 {
+		return nil, fmt.Errorf("models: tiny net %q: classes must be positive, got %d", name, classes)
+	}
+	b := newBuilder()
+	layers := []nn.Layer{
+		b.input("data", 3, 16, 16),
+		b.conv("conv1", 3, 8, 3, 1, 1),
+		nn.NewReLU("relu1"),
+		b.pool("pool1", nn.MaxPool, 2, 2, 0),
+		b.conv("conv2", 8, 16, 3, 1, 1),
+		nn.NewReLU("relu2"),
+		b.pool("pool2", nn.MaxPool, 2, 2, 0),
+		b.fc("fc", 16*4*4, classes),
+		nn.NewSoftmax("prob"),
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("models: tiny net %q: %w", name, b.err)
+	}
+	net, err := nn.NewNetwork(name, layers...)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	net.InitWeights(h.Sum64())
+	return net, nil
+}
+
+// builder accumulates the first construction error so architecture tables
+// above read declaratively.
+type builder struct {
+	err error
+}
+
+func newBuilder() *builder { return &builder{} }
+
+func (b *builder) keep(l nn.Layer, err error) nn.Layer {
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	return l
+}
+
+func (b *builder) input(name string, shape ...int) nn.Layer {
+	return b.keep(nn.NewInput(name, shape...))
+}
+
+func (b *builder) conv(name string, inC, outC, k, stride, pad int) nn.Layer {
+	return b.keep(nn.NewConv(name, inC, outC, k, stride, pad))
+}
+
+func (b *builder) pool(name string, kind nn.Pooling, k, stride, pad int) nn.Layer {
+	return b.keep(nn.NewPool(name, kind, k, stride, pad))
+}
+
+func (b *builder) lrn(name string, localSize int, alpha, beta float64) nn.Layer {
+	return b.keep(nn.NewLRN(name, localSize, alpha, beta))
+}
+
+func (b *builder) fc(name string, in, out int) nn.Layer {
+	return b.keep(nn.NewFC(name, in, out))
+}
+
+// inception assembles the standard four-branch GoogLeNet inception module:
+// 1×1, 1×1→3×3, 1×1→5×5, and 3×3-maxpool→1×1 (each conv followed by ReLU).
+func (b *builder) inception(name string, inC, c1, r3, c3, r5, c5, pp int) nn.Layer {
+	branch := func(layers ...nn.Layer) []nn.Layer { return layers }
+	l, err := nn.NewInception(name,
+		branch(
+			b.conv(name+"_1x1", inC, c1, 1, 1, 0),
+			nn.NewReLU(name+"_relu_1x1"),
+		),
+		branch(
+			b.conv(name+"_3x3_reduce", inC, r3, 1, 1, 0),
+			nn.NewReLU(name+"_relu_3x3_reduce"),
+			b.conv(name+"_3x3", r3, c3, 3, 1, 1),
+			nn.NewReLU(name+"_relu_3x3"),
+		),
+		branch(
+			b.conv(name+"_5x5_reduce", inC, r5, 1, 1, 0),
+			nn.NewReLU(name+"_relu_5x5_reduce"),
+			b.conv(name+"_5x5", r5, c5, 5, 1, 2),
+			nn.NewReLU(name+"_relu_5x5"),
+		),
+		branch(
+			b.keep(nn.NewPool(name+"_pool", nn.MaxPool, 3, 1, 1)),
+			b.conv(name+"_pool_proj", inC, pp, 1, 1, 0),
+			nn.NewReLU(name+"_relu_pool_proj"),
+		),
+	)
+	return b.keep(l, err)
+}

@@ -1,0 +1,96 @@
+// Package netem emulates constrained network conditions, standing in for
+// the paper's use of the Linux netem qdisc to limit bandwidth to 30 Mbps
+// (Wi-Fi-like) between client and edge server (§IV).
+//
+// It provides both an analytic transfer-time model (used by the
+// deterministic experiment simulator) and a real net.Conn wrapper that
+// paces writes to the configured bandwidth (used by the runnable examples
+// and the TCP integration tests).
+package netem
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Profile describes a network condition.
+type Profile struct {
+	// BandwidthBitsPerSec is the link bandwidth in bits per second.
+	BandwidthBitsPerSec float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+}
+
+// WiFi30Mbps is the paper's emulated "good Wi-Fi" condition: 30 Mbit/s
+// with LAN-like latency.
+var WiFi30Mbps = Profile{BandwidthBitsPerSec: 30e6, Latency: 2 * time.Millisecond}
+
+// Unlimited disables shaping (useful in tests).
+var Unlimited = Profile{}
+
+// TransferTime returns the analytic time to move n bytes across the link:
+// one propagation delay plus serialization at the profile bandwidth. A zero
+// bandwidth means unlimited.
+func (p Profile) TransferTime(n int64) time.Duration {
+	d := p.Latency
+	if p.BandwidthBitsPerSec > 0 && n > 0 {
+		secs := float64(n) * 8 / p.BandwidthBitsPerSec
+		d += time.Duration(secs * float64(time.Second))
+	}
+	return d
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	if p.BandwidthBitsPerSec < 0 {
+		return fmt.Errorf("netem: negative bandwidth %f", p.BandwidthBitsPerSec)
+	}
+	if p.Latency < 0 {
+		return fmt.Errorf("netem: negative latency %v", p.Latency)
+	}
+	return nil
+}
+
+// Conn wraps a net.Conn, pacing writes to the profile's bandwidth and
+// charging the propagation delay on the first write of each burst. Reads
+// pass through: shaping the sender side of each direction shapes the link.
+type Conn struct {
+	net.Conn
+	profile Profile
+	// nextFree is the virtual time at which the link is next idle.
+	nextFree time.Time
+	sleep    func(time.Duration)
+	now      func() time.Time
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Shape wraps conn with bandwidth pacing. With an Unlimited profile the
+// original conn is returned.
+func Shape(conn net.Conn, p Profile) net.Conn {
+	if p.BandwidthBitsPerSec <= 0 && p.Latency <= 0 {
+		return conn
+	}
+	return &Conn{Conn: conn, profile: p, sleep: time.Sleep, now: time.Now}
+}
+
+// Write paces the write so the cumulative rate does not exceed the profile
+// bandwidth, then forwards to the underlying conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	now := c.now()
+	start := c.nextFree
+	if start.Before(now) {
+		// Link idle: a fresh burst pays the propagation delay.
+		start = now.Add(c.profile.Latency)
+	}
+	dur := time.Duration(0)
+	if c.profile.BandwidthBitsPerSec > 0 {
+		dur = time.Duration(float64(len(b)) * 8 / c.profile.BandwidthBitsPerSec * float64(time.Second))
+	}
+	c.nextFree = start.Add(dur)
+	if wait := c.nextFree.Sub(now); wait > 0 {
+		c.sleep(wait)
+	}
+	return c.Conn.Write(b)
+}

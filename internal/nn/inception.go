@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+
+	"websnap/internal/tensor"
+)
+
+// Inception is GoogLeNet's inception module: several branches of layers run
+// in parallel on the same input, and their outputs are concatenated along
+// the channel dimension into a single output vector (paper §II.B).
+//
+// Modeling the module as one composite layer keeps the network a simple
+// series of layer executions, which is exactly the view the paper's
+// partial-inference partitioning takes.
+type Inception struct {
+	name     string
+	branches [][]Layer
+}
+
+var _ Layer = (*Inception)(nil)
+
+// NewInception constructs an inception module from its branches. Every
+// branch must contain at least one layer, and every branch output must have
+// the same spatial dimensions so the channel concat is well-defined.
+func NewInception(name string, branches ...[]Layer) (*Inception, error) {
+	if len(branches) == 0 {
+		return nil, fmt.Errorf("nn: inception %q: no branches", name)
+	}
+	for i, b := range branches {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("nn: inception %q: branch %d is empty", name, i)
+		}
+	}
+	return &Inception{name: name, branches: branches}, nil
+}
+
+// Name implements Layer.
+func (l *Inception) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *Inception) Type() LayerType { return TypeInception }
+
+// Branches returns the module's branches. The returned slices are the live
+// internals; callers must not mutate them.
+func (l *Inception) Branches() [][]Layer { return l.branches }
+
+func (l *Inception) branchShape(branch []Layer, in []int) ([]int, error) {
+	cur := in
+	for _, lay := range branch {
+		next, err := lay.OutputShape(cur)
+		if err != nil {
+			return nil, fmt.Errorf("inception %q/%s: %w", l.name, lay.Name(), err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// OutputShape implements Layer.
+func (l *Inception) OutputShape(in []int) ([]int, error) {
+	var oh, ow, totalC int
+	for i, b := range l.branches {
+		s, err := l.branchShape(b, in)
+		if err != nil {
+			return nil, err
+		}
+		if len(s) != 3 {
+			return nil, fmt.Errorf("inception %q: branch %d output %v is not [C H W]: %w",
+				l.name, i, s, ErrBadShape)
+		}
+		if i == 0 {
+			oh, ow = s[1], s[2]
+		} else if s[1] != oh || s[2] != ow {
+			return nil, fmt.Errorf("inception %q: branch %d spatial %dx%d != %dx%d: %w",
+				l.name, i, s[1], s[2], oh, ow, ErrBadShape)
+		}
+		totalC += s[0]
+	}
+	return []int{totalC, oh, ow}, nil
+}
+
+// Forward implements Layer: run each branch and concatenate along channels.
+func (l *Inception) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	outShape, err := l.OutputShape(in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	out, err := tensor.New(outShape...)
+	if err != nil {
+		return nil, err
+	}
+	dst := out.Data()
+	plane := outShape[1] * outShape[2]
+	chOff := 0
+	for _, b := range l.branches {
+		cur := in
+		for _, lay := range b {
+			cur, err = lay.Forward(cur)
+			if err != nil {
+				return nil, fmt.Errorf("inception %q/%s: %w", l.name, lay.Name(), err)
+			}
+		}
+		bc := cur.Dim(0)
+		copy(dst[chOff*plane:(chOff+bc)*plane], cur.Data())
+		chOff += bc
+	}
+	return out, nil
+}
+
+// FLOPs implements Layer: the sum over all branch layers.
+func (l *Inception) FLOPs(in []int) (int64, error) {
+	var total int64
+	for _, b := range l.branches {
+		cur := in
+		for _, lay := range b {
+			f, err := lay.FLOPs(cur)
+			if err != nil {
+				return 0, fmt.Errorf("inception %q/%s: %w", l.name, lay.Name(), err)
+			}
+			total += f
+			cur, err = lay.OutputShape(cur)
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ParamCount implements Layer.
+func (l *Inception) ParamCount() int64 {
+	var total int64
+	for _, b := range l.branches {
+		for _, lay := range b {
+			total += lay.ParamCount()
+		}
+	}
+	return total
+}
+
+// Params implements Layer: branch-major, layer order within branch.
+func (l *Inception) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, b := range l.branches {
+		for _, lay := range b {
+			ps = append(ps, lay.Params()...)
+		}
+	}
+	return ps
+}

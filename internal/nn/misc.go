@@ -1,0 +1,388 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"websnap/internal/tensor"
+)
+
+// Input marks the network's input layer and validates the expected shape.
+// It performs no computation; per the paper, the input layer receives the
+// user's data and passes it on as a vector.
+type Input struct {
+	name  string
+	shape []int
+}
+
+var _ Layer = (*Input)(nil)
+
+// NewInput constructs an input layer expecting the given [C,H,W] shape.
+func NewInput(name string, shape ...int) (*Input, error) {
+	if _, _, _, err := shapeCHW(shape); err != nil {
+		return nil, fmt.Errorf("nn: input %q: %w", name, err)
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Input{name: name, shape: s}, nil
+}
+
+// Name implements Layer.
+func (l *Input) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *Input) Type() LayerType { return TypeInput }
+
+// ExpectedShape returns the declared input shape.
+func (l *Input) ExpectedShape() []int {
+	s := make([]int, len(l.shape))
+	copy(s, l.shape)
+	return s
+}
+
+// OutputShape implements Layer.
+func (l *Input) OutputShape(in []int) ([]int, error) {
+	if len(in) != len(l.shape) {
+		return nil, fmt.Errorf("input %q: %w: got %v, want %v", l.name, ErrBadShape, in, l.shape)
+	}
+	for i := range in {
+		if in[i] != l.shape[i] {
+			return nil, fmt.Errorf("input %q: %w: got %v, want %v", l.name, ErrBadShape, in, l.shape)
+		}
+	}
+	return l.ExpectedShape(), nil
+}
+
+// Forward implements Layer.
+func (l *Input) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := l.OutputShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	return in.Clone(), nil
+}
+
+// FLOPs implements Layer.
+func (l *Input) FLOPs(in []int) (int64, error) { return 0, nil }
+
+// ParamCount implements Layer.
+func (l *Input) ParamCount() int64 { return 0 }
+
+// Params implements Layer.
+func (l *Input) Params() []*tensor.Tensor { return nil }
+
+// FC is a fully-connected (inner product) layer: each neuron computes the
+// weighted sum of all inputs. Any [C,H,W] input is implicitly flattened.
+type FC struct {
+	name string
+	in   int
+	out  int
+	// weight shape: [out, in]; bias shape: [out].
+	weight *tensor.Tensor
+	bias   *tensor.Tensor
+}
+
+var _ Layer = (*FC)(nil)
+
+// NewFC constructs a fully-connected layer with zeroed parameters.
+func NewFC(name string, in, out int) (*FC, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: fc %q: invalid geometry in=%d out=%d", name, in, out)
+	}
+	w, err := tensor.New(out, in)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tensor.New(out)
+	if err != nil {
+		return nil, err
+	}
+	return &FC{name: name, in: in, out: out, weight: w, bias: b}, nil
+}
+
+// Name implements Layer.
+func (l *FC) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *FC) Type() LayerType { return TypeFC }
+
+// Geometry returns (in, out).
+func (l *FC) Geometry() (in, out int) { return l.in, l.out }
+
+// OutputShape implements Layer.
+func (l *FC) OutputShape(in []int) ([]int, error) {
+	if tensor.Volume(in) != l.in {
+		return nil, fmt.Errorf("fc %q: %w: input volume %d, want %d", l.name, ErrBadShape, tensor.Volume(in), l.in)
+	}
+	return []int{l.out}, nil
+}
+
+// Forward implements Layer.
+func (l *FC) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := l.OutputShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	out, err := tensor.New(l.out)
+	if err != nil {
+		return nil, err
+	}
+	src := in.Data()
+	dst := out.Data()
+	wt := l.weight.Data()
+	bias := l.bias.Data()
+	for o := 0; o < l.out; o++ {
+		sum := bias[o]
+		row := wt[o*l.in : (o+1)*l.in]
+		for i, v := range src {
+			sum += v * row[i]
+		}
+		dst[o] = sum
+	}
+	return out, nil
+}
+
+// FLOPs implements Layer.
+func (l *FC) FLOPs(in []int) (int64, error) {
+	if _, err := l.OutputShape(in); err != nil {
+		return 0, err
+	}
+	return 2 * int64(l.in) * int64(l.out), nil
+}
+
+// ParamCount implements Layer.
+func (l *FC) ParamCount() int64 { return int64(l.in)*int64(l.out) + int64(l.out) }
+
+// Params implements Layer.
+func (l *FC) Params() []*tensor.Tensor { return []*tensor.Tensor{l.weight, l.bias} }
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name string
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *ReLU) Type() LayerType { return TypeReLU }
+
+// OutputShape implements Layer.
+func (l *ReLU) OutputShape(in []int) ([]int, error) {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := in.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// FLOPs implements Layer.
+func (l *ReLU) FLOPs(in []int) (int64, error) { return int64(tensor.Volume(in)), nil }
+
+// ParamCount implements Layer.
+func (l *ReLU) ParamCount() int64 { return 0 }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*tensor.Tensor { return nil }
+
+// LRN is local response normalization across channels (Krizhevsky-style),
+// used by GoogLeNet and the Levi–Hassner age/gender networks.
+type LRN struct {
+	name      string
+	localSize int
+	alpha     float64
+	beta      float64
+}
+
+var _ Layer = (*LRN)(nil)
+
+// NewLRN constructs an LRN layer.
+func NewLRN(name string, localSize int, alpha, beta float64) (*LRN, error) {
+	if localSize <= 0 || localSize%2 == 0 {
+		return nil, fmt.Errorf("nn: lrn %q: local size must be odd and positive, got %d", name, localSize)
+	}
+	return &LRN{name: name, localSize: localSize, alpha: alpha, beta: beta}, nil
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *LRN) Type() LayerType { return TypeLRN }
+
+// Settings returns (localSize, alpha, beta).
+func (l *LRN) Settings() (int, float64, float64) { return l.localSize, l.alpha, l.beta }
+
+// OutputShape implements Layer.
+func (l *LRN) OutputShape(in []int) ([]int, error) {
+	if _, _, _, err := shapeCHW(in); err != nil {
+		return nil, fmt.Errorf("lrn %q: %w", l.name, err)
+	}
+	out := make([]int, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if _, err := l.OutputShape(in.Shape()); err != nil {
+		return nil, err
+	}
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	out := in.Clone()
+	src := in.Data()
+	dst := out.Data()
+	half := l.localSize / 2
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			off := y*w + x
+			for ch := 0; ch < c; ch++ {
+				var sum float64
+				lo := ch - half
+				if lo < 0 {
+					lo = 0
+				}
+				hi := ch + half
+				if hi >= c {
+					hi = c - 1
+				}
+				for j := lo; j <= hi; j++ {
+					v := float64(src[j*plane+off])
+					sum += v * v
+				}
+				scale := math.Pow(1+l.alpha/float64(l.localSize)*sum, -l.beta)
+				dst[ch*plane+off] = float32(float64(src[ch*plane+off]) * scale)
+			}
+		}
+	}
+	return out, nil
+}
+
+// FLOPs implements Layer: roughly 2 ops per neighbor plus the power.
+func (l *LRN) FLOPs(in []int) (int64, error) {
+	return int64(tensor.Volume(in)) * int64(2*l.localSize+2), nil
+}
+
+// ParamCount implements Layer.
+func (l *LRN) ParamCount() int64 { return 0 }
+
+// Params implements Layer.
+func (l *LRN) Params() []*tensor.Tensor { return nil }
+
+// Dropout is an identity at inference time (the paper offloads only the
+// inference phase); it exists so architectures match their training-time
+// descriptions layer-for-layer.
+type Dropout struct {
+	name  string
+	ratio float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout constructs a dropout layer with the given training-time ratio.
+func NewDropout(name string, ratio float64) *Dropout {
+	return &Dropout{name: name, ratio: ratio}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *Dropout) Type() LayerType { return TypeDropout }
+
+// Ratio returns the training-time drop ratio.
+func (l *Dropout) Ratio() float64 { return l.ratio }
+
+// OutputShape implements Layer.
+func (l *Dropout) OutputShape(in []int) ([]int, error) {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *Dropout) Forward(in *tensor.Tensor) (*tensor.Tensor, error) { return in.Clone(), nil }
+
+// FLOPs implements Layer.
+func (l *Dropout) FLOPs(in []int) (int64, error) { return 0, nil }
+
+// ParamCount implements Layer.
+func (l *Dropout) ParamCount() int64 { return 0 }
+
+// Params implements Layer.
+func (l *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Softmax turns the final scores into a probability distribution over the
+// output labels.
+type Softmax struct {
+	name string
+}
+
+var _ Layer = (*Softmax)(nil)
+
+// NewSoftmax constructs a softmax layer.
+func NewSoftmax(name string) *Softmax { return &Softmax{name: name} }
+
+// Name implements Layer.
+func (l *Softmax) Name() string { return l.name }
+
+// Type implements Layer.
+func (l *Softmax) Type() LayerType { return TypeSoftmax }
+
+// OutputShape implements Layer.
+func (l *Softmax) OutputShape(in []int) ([]int, error) {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out, nil
+}
+
+// Forward implements Layer.
+func (l *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := in.Clone()
+	d := out.Data()
+	if len(d) == 0 {
+		return out, nil
+	}
+	maxV := d[0]
+	for _, v := range d[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range d {
+		e := math.Exp(float64(v - maxV))
+		d[i] = float32(e)
+		sum += e
+	}
+	if sum > 0 {
+		inv := float32(1 / sum)
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	return out, nil
+}
+
+// FLOPs implements Layer.
+func (l *Softmax) FLOPs(in []int) (int64, error) { return 3 * int64(tensor.Volume(in)), nil }
+
+// ParamCount implements Layer.
+func (l *Softmax) ParamCount() int64 { return 0 }
+
+// Params implements Layer.
+func (l *Softmax) Params() []*tensor.Tensor { return nil }

@@ -1,0 +1,37 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"websnap/internal/costmodel"
+	"websnap/internal/models"
+	"websnap/internal/netem"
+	"websnap/internal/partition"
+)
+
+// Example reproduces the paper's partition decision for GoogLeNet on a
+// 30 Mbps link: full offloading (Input) is fastest, but with the privacy
+// constraint the first pool layer wins.
+func Example() {
+	net, err := models.Build(models.GoogLeNet)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := partition.Analyze(net, partition.Config{
+		Client:  costmodel.ClientOdroid,
+		Server:  costmodel.ServerX86,
+		Network: netem.WiFi30Mbps,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fastest, _ := plan.Choose(false)
+	private, _ := plan.Choose(true)
+	fmt.Println("fastest point:", fastest.Point.Label)
+	fmt.Println("privacy-preserving point:", private.Point.Label)
+	// Output:
+	// fastest point: Input
+	// privacy-preserving point: 1st_pool
+}

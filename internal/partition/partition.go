@@ -1,0 +1,180 @@
+// Package partition decides where to split a DNN between client and edge
+// server for partial inference (paper §III.B.2): "the partitioning point
+// ... can be decided dynamically based on two factors. One is the execution
+// time of each DNN layer, estimated by a prediction model for the DNN
+// layers, as used in Neurosurgeon. The other is the runtime network status.
+// We estimate the total execution time for forward execution and select a
+// partitioning point that can minimize the total execution time, while
+// including at least one layer from the front part of the DNN to denature
+// the input data."
+package partition
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"websnap/internal/costmodel"
+	"websnap/internal/netem"
+	"websnap/internal/nn"
+)
+
+// ErrNoCandidate is returned when no partition point satisfies the
+// constraints.
+var ErrNoCandidate = errors.New("partition: no feasible partition point")
+
+// Config parametrizes the estimator.
+type Config struct {
+	// Client and Server are the device latency models.
+	Client, Server costmodel.Device
+	// Network is the current network status.
+	Network netem.Profile
+	// TextBytesPerValue converts feature element counts to snapshot text
+	// bytes. Zero selects MeasuredTextBytesPerValue().
+	TextBytesPerValue float64
+	// StateOverheadBytes is the size of the non-feature part of the
+	// snapshot (code stub, DOM, plain globals); small, per Table 1.
+	StateOverheadBytes int64
+	// ResultBytes is the size of the returning result snapshot.
+	ResultBytes int64
+}
+
+// Candidate is one evaluated offloading point with its estimated cost
+// components — exactly the quantities plotted in Fig 8.
+type Candidate struct {
+	Point nn.PartitionPoint
+	// ClientTime covers layers [0, Point.Index] on the client.
+	ClientTime time.Duration
+	// SnapshotOverhead covers capture (client) and restore (server) of
+	// the outbound snapshot plus capture (server) / restore (client) of
+	// the result.
+	SnapshotOverhead time.Duration
+	// TransferTime covers the feature-bearing snapshot up and the result
+	// snapshot down.
+	TransferTime time.Duration
+	// ServerTime covers the remaining layers on the server.
+	ServerTime time.Duration
+	// FeatureTextBytes is the textual (snapshot) size of the feature
+	// data crossing the link.
+	FeatureTextBytes int64
+	// Total is the end-to-end estimated inference time.
+	Total time.Duration
+}
+
+// Plan is the full per-point analysis of one network.
+type Plan struct {
+	NetworkName string
+	Candidates  []Candidate
+}
+
+// MeasuredTextBytesPerValue measures how many bytes one float32 activation
+// occupies in the snapshot's textual encoding, by encoding a deterministic
+// sample of activation-like values the way the snapshot encoder does.
+func MeasuredTextBytesPerValue() float64 {
+	const n = 4096
+	sample := make([]float32, n)
+	s := uint64(99991)
+	for i := range sample {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		// Activation-like magnitudes: mostly small positives with spread.
+		sample[i] = float32(s%100000)/10000 - 1
+	}
+	data, err := json.Marshal(sample)
+	if err != nil {
+		return 12 // conservative fallback; never taken for a valid sample
+	}
+	return float64(len(data)) / n
+}
+
+// Analyze evaluates every candidate offloading point of net under cfg.
+// Candidates are ordered front to back, starting at the Input point (full
+// offloading).
+func Analyze(net *nn.Network, cfg Config) (Plan, error) {
+	if cfg.TextBytesPerValue <= 0 {
+		cfg.TextBytesPerValue = MeasuredTextBytesPerValue()
+	}
+	if err := cfg.Network.Validate(); err != nil {
+		return Plan{}, err
+	}
+	infos, err := net.Describe()
+	if err != nil {
+		return Plan{}, fmt.Errorf("partition: %w", err)
+	}
+	points, err := net.PartitionPoints()
+	if err != nil {
+		return Plan{}, fmt.Errorf("partition: %w", err)
+	}
+	plan := Plan{NetworkName: net.Name(), Candidates: make([]Candidate, 0, len(points))}
+	for _, p := range points {
+		c, err := evaluate(infos, p, cfg)
+		if err != nil {
+			return Plan{}, err
+		}
+		plan.Candidates = append(plan.Candidates, c)
+	}
+	if len(plan.Candidates) == 0 {
+		return Plan{}, ErrNoCandidate
+	}
+	return plan, nil
+}
+
+func evaluate(infos []nn.LayerInfo, p nn.PartitionPoint, cfg Config) (Candidate, error) {
+	clientTime, err := cfg.Client.RangeTime(infos, 0, p.Index+1)
+	if err != nil {
+		return Candidate{}, err
+	}
+	serverTime, err := cfg.Server.RangeTime(infos, p.Index+1, len(infos))
+	if err != nil {
+		return Candidate{}, err
+	}
+	featureValues := p.FeatureBytes / 4
+	featureText := int64(float64(featureValues) * cfg.TextBytesPerValue)
+	upBytes := featureText + cfg.StateOverheadBytes
+	downBytes := cfg.ResultBytes + cfg.StateOverheadBytes
+	transfer := cfg.Network.TransferTime(upBytes) + cfg.Network.TransferTime(downBytes)
+	overhead := cfg.Client.SnapshotTime(upBytes) + cfg.Server.SnapshotTime(upBytes) +
+		cfg.Server.SnapshotTime(downBytes) + cfg.Client.SnapshotTime(downBytes)
+	c := Candidate{
+		Point:            p,
+		ClientTime:       clientTime,
+		ServerTime:       serverTime,
+		TransferTime:     transfer,
+		SnapshotOverhead: overhead,
+		FeatureTextBytes: featureText,
+	}
+	c.Total = c.ClientTime + c.ServerTime + c.TransferTime + c.SnapshotOverhead
+	return c, nil
+}
+
+// Choose selects the candidate minimizing total inference time. With
+// requireDenature set (the paper's privacy constraint), the Input point is
+// excluded so at least one real layer runs on the client.
+func (p Plan) Choose(requireDenature bool) (Candidate, error) {
+	var best *Candidate
+	for i := range p.Candidates {
+		c := &p.Candidates[i]
+		if requireDenature && c.Point.Index == 0 {
+			continue
+		}
+		if best == nil || c.Total < best.Total {
+			best = c
+		}
+	}
+	if best == nil {
+		return Candidate{}, fmt.Errorf("%w (requireDenature=%v)", ErrNoCandidate, requireDenature)
+	}
+	return *best, nil
+}
+
+// ByLabel returns the candidate with the given Fig 8 label ("1st_pool", ...).
+func (p Plan) ByLabel(label string) (Candidate, bool) {
+	for _, c := range p.Candidates {
+		if c.Point.Label == label {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}

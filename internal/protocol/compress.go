@@ -1,0 +1,58 @@
+package protocol
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Body encodings carried in snapshot headers. Snapshots are textual
+// programs, so they compress well; compression is optional (and off by
+// default, matching the paper's plain-text snapshots) because it trades
+// client CPU for bandwidth.
+const (
+	// EncodingRaw is the default: the body is the literal snapshot text.
+	EncodingRaw = ""
+	// EncodingFlate marks a DEFLATE-compressed body.
+	EncodingFlate = "flate"
+)
+
+// CompressBody compresses a message body with DEFLATE.
+func CompressBody(body []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: compress: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return nil, fmt.Errorf("protocol: compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("protocol: compress: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBody returns the plain body for the given encoding, enforcing the
+// frame size cap on the decompressed size.
+func DecodeBody(body []byte, encoding string) ([]byte, error) {
+	switch encoding {
+	case EncodingRaw:
+		return body, nil
+	case EncodingFlate:
+		r := flate.NewReader(bytes.NewReader(body))
+		defer r.Close()
+		var buf bytes.Buffer
+		n, err := io.Copy(&buf, io.LimitReader(r, MaxBodyLen+1))
+		if err != nil {
+			return nil, fmt.Errorf("protocol: decompress: %w", err)
+		}
+		if n > MaxBodyLen {
+			return nil, fmt.Errorf("%w: decompressed body exceeds %d bytes", ErrTooLarge, int64(MaxBodyLen))
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown body encoding %q", encoding)
+	}
+}

@@ -1,0 +1,234 @@
+// Package protocol frames the messages exchanged between the client device
+// and the edge server's offloading program: model pre-sending with
+// acknowledgement (§III.B.1), snapshot shipping, and result return (§III.A).
+//
+// Wire format (all integers little-endian):
+//
+//	magic   uint32  "WSNP"
+//	version uint8
+//	type    uint8
+//	hdrLen  uint32  JSON header length
+//	header  []byte  JSON, message-type specific
+//	bodyLen uint64  payload length
+//	body    []byte  raw payload (weights blob, snapshot text, ...)
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	magic   = uint32(0x57534e50) // "WSNP"
+	version = uint8(1)
+
+	// MaxHeaderLen bounds the JSON header; headers are small metadata.
+	MaxHeaderLen = 1 << 20
+	// MaxBodyLen bounds the payload (models and snapshots can reach tens
+	// of MB; 1 GiB is a generous safety cap).
+	MaxBodyLen = 1 << 30
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgModelPreSend carries one model's descriptor (header) and weight
+	// blob (body) from client to server, ahead of any offloading.
+	MsgModelPreSend MsgType = iota + 1
+	// MsgAck acknowledges a model pre-send.
+	MsgAck
+	// MsgSnapshot carries an encoded snapshot from client to server.
+	MsgSnapshot
+	// MsgResultSnapshot carries the result snapshot back to the client.
+	MsgResultSnapshot
+	// MsgError reports a server-side failure.
+	MsgError
+	// MsgInstallOverlay carries a VM overlay for on-demand installation
+	// of the offloading system (§III.B.3).
+	MsgInstallOverlay
+	// MsgInstallDone acknowledges VM synthesis completion.
+	MsgInstallDone
+	// MsgSnapshotDelta carries an encoded snapshot delta relative to the
+	// state left at the server by a previous offload (§VI future work).
+	MsgSnapshotDelta
+	// MsgResultDelta carries the result as a delta relative to the state
+	// the client shipped.
+	MsgResultDelta
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgModelPreSend:
+		return "model-presend"
+	case MsgAck:
+		return "ack"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgResultSnapshot:
+		return "result-snapshot"
+	case MsgError:
+		return "error"
+	case MsgInstallOverlay:
+		return "install-overlay"
+	case MsgInstallDone:
+		return "install-done"
+	case MsgSnapshotDelta:
+		return "snapshot-delta"
+	case MsgResultDelta:
+		return "result-delta"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic    = errors.New("protocol: bad magic")
+	ErrBadVersion  = errors.New("protocol: unsupported version")
+	ErrTooLarge    = errors.New("protocol: message exceeds size limit")
+	ErrUnknownType = errors.New("protocol: unknown message type")
+)
+
+// ModelPreSendHeader is the JSON header of MsgModelPreSend. The weight blob
+// travels in the body; together they are "the NN model files (including the
+// description/parameters of the NN)".
+type ModelPreSendHeader struct {
+	AppID     string          `json:"appId"`
+	ModelName string          `json:"modelName"`
+	Spec      json.RawMessage `json:"spec"`
+	// Partial marks a rear-only model pre-send: the front part is
+	// withheld for privacy (§III.B.2).
+	Partial bool `json:"partial,omitempty"`
+}
+
+// AckHeader is the JSON header of MsgAck.
+type AckHeader struct {
+	AppID     string `json:"appId"`
+	ModelName string `json:"modelName"`
+}
+
+// SnapshotHeader is the JSON header of MsgSnapshot, MsgResultSnapshot,
+// MsgSnapshotDelta, and MsgResultDelta.
+type SnapshotHeader struct {
+	AppID string `json:"appId"`
+	// Seq matches a request to its response on a multiplexed connection.
+	Seq uint64 `json:"seq"`
+	// Encoding is the body encoding (EncodingRaw or EncodingFlate).
+	Encoding string `json:"encoding,omitempty"`
+}
+
+// ErrorHeader is the JSON header of MsgError.
+type ErrorHeader struct {
+	Message string `json:"message"`
+	Seq     uint64 `json:"seq,omitempty"`
+}
+
+// InstallOverlayHeader is the JSON header of MsgInstallOverlay; the
+// compressed overlay bytes travel in the body.
+type InstallOverlayHeader struct {
+	BaseImage string `json:"baseImage"`
+}
+
+// InstallDoneHeader is the JSON header of MsgInstallDone.
+type InstallDoneHeader struct {
+	BaseImage string `json:"baseImage"`
+	// SynthesisMillis reports how long VM synthesis took on the server.
+	SynthesisMillis int64 `json:"synthesisMillis"`
+}
+
+// Message is one framed message.
+type Message struct {
+	Type   MsgType
+	Header []byte // JSON, type-specific
+	Body   []byte
+}
+
+// Write frames and writes msg to w.
+func Write(w io.Writer, msg Message) error {
+	if len(msg.Header) > MaxHeaderLen {
+		return fmt.Errorf("%w: header %d bytes", ErrTooLarge, len(msg.Header))
+	}
+	if len(msg.Body) > MaxBodyLen {
+		return fmt.Errorf("%w: body %d bytes", ErrTooLarge, len(msg.Body))
+	}
+	var hdr [18]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	hdr[4] = version
+	hdr[5] = uint8(msg.Type)
+	binary.LittleEndian.PutUint32(hdr[6:10], uint32(len(msg.Header)))
+	binary.LittleEndian.PutUint64(hdr[10:18], uint64(len(msg.Body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("protocol: write frame header: %w", err)
+	}
+	// Skip zero-length writes: on rendezvous transports (net.Pipe) a
+	// 0-byte Write blocks for a matching Read that io.ReadFull(0) on the
+	// peer never issues.
+	if len(msg.Header) > 0 {
+		if _, err := w.Write(msg.Header); err != nil {
+			return fmt.Errorf("protocol: write header: %w", err)
+		}
+	}
+	if len(msg.Body) > 0 {
+		if _, err := w.Write(msg.Body); err != nil {
+			return fmt.Errorf("protocol: write body: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read reads one framed message from r.
+func Read(r io.Reader) (Message, error) {
+	var hdr [18]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, fmt.Errorf("protocol: read frame header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:4]); m != magic {
+		return Message{}, fmt.Errorf("%w: %#x", ErrBadMagic, m)
+	}
+	if v := hdr[4]; v != version {
+		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	msg := Message{Type: MsgType(hdr[5])}
+	if msg.Type < MsgModelPreSend || msg.Type > MsgResultDelta {
+		return Message{}, fmt.Errorf("%w: %d", ErrUnknownType, hdr[5])
+	}
+	hdrLen := binary.LittleEndian.Uint32(hdr[6:10])
+	bodyLen := binary.LittleEndian.Uint64(hdr[10:18])
+	if hdrLen > MaxHeaderLen {
+		return Message{}, fmt.Errorf("%w: header %d bytes", ErrTooLarge, hdrLen)
+	}
+	if bodyLen > MaxBodyLen {
+		return Message{}, fmt.Errorf("%w: body %d bytes", ErrTooLarge, bodyLen)
+	}
+	msg.Header = make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, msg.Header); err != nil {
+		return Message{}, fmt.Errorf("protocol: read header: %w", err)
+	}
+	msg.Body = make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, msg.Body); err != nil {
+		return Message{}, fmt.Errorf("protocol: read body: %w", err)
+	}
+	return msg, nil
+}
+
+// Encode builds a Message from a header struct and body.
+func Encode(t MsgType, header any, body []byte) (Message, error) {
+	h, err := json.Marshal(header)
+	if err != nil {
+		return Message{}, fmt.Errorf("protocol: marshal %s header: %w", t, err)
+	}
+	return Message{Type: t, Header: h, Body: body}, nil
+}
+
+// DecodeHeader parses a message's JSON header into out.
+func DecodeHeader(msg Message, out any) error {
+	if err := json.Unmarshal(msg.Header, out); err != nil {
+		return fmt.Errorf("protocol: unmarshal %s header: %w", msg.Type, err)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	tests := []struct {
+		name   string
+		msg    Message
+		header any
+	}{
+		{"presend", mustEncode(t, MsgModelPreSend,
+			ModelPreSendHeader{AppID: "a", ModelName: "m", Spec: json.RawMessage(`{"name":"m"}`), Partial: true},
+			[]byte{1, 2, 3}), nil},
+		{"ack", mustEncode(t, MsgAck, AckHeader{AppID: "a", ModelName: "m"}, nil), nil},
+		{"snapshot", mustEncode(t, MsgSnapshot, SnapshotHeader{AppID: "a", Seq: 7}, []byte("// snap")), nil},
+		{"result", mustEncode(t, MsgResultSnapshot, SnapshotHeader{AppID: "a", Seq: 7}, []byte("// snap")), nil},
+		{"error", mustEncode(t, MsgError, ErrorHeader{Message: "boom"}, nil), nil},
+		{"overlay", mustEncode(t, MsgInstallOverlay, InstallOverlayHeader{BaseImage: "ubuntu"}, []byte{9}), nil},
+		{"done", mustEncode(t, MsgInstallDone, InstallDoneHeader{SynthesisMillis: 1900}, nil), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Write(&buf, tt.msg); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if got.Type != tt.msg.Type {
+				t.Errorf("type %s != %s", got.Type, tt.msg.Type)
+			}
+			if !bytes.Equal(got.Header, tt.msg.Header) {
+				t.Error("header corrupted")
+			}
+			if !bytes.Equal(got.Body, tt.msg.Body) {
+				t.Error("body corrupted")
+			}
+		})
+	}
+}
+
+func mustEncode(t *testing.T, typ MsgType, header any, body []byte) Message {
+	t.Helper()
+	msg, err := Encode(typ, header, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return msg
+}
+
+func TestMultipleMessagesOnStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		msg := mustEncode(t, MsgAck, AckHeader{ModelName: "m"}, nil)
+		if err := Write(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := Read(&buf); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+	}
+	if _, err := Read(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	data := make([]byte, 18)
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	msg := Message{Type: MsgAck, Header: []byte("{}")}
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	msg := Message{Type: MsgAck, Header: []byte("{}")}
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[5] = 200
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	msg := mustEncode(t, MsgSnapshot, SnapshotHeader{AppID: "a"}, make([]byte, 100))
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{3, 17, 20, buf.Len() - 1} {
+		if _, err := Read(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Errorf("truncated at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestReadOversizedDeclared(t *testing.T) {
+	var buf bytes.Buffer
+	msg := Message{Type: MsgAck, Header: []byte("{}")}
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the declared body length to something enormous.
+	for i := 10; i < 18; i++ {
+		data[i] = 0xFF
+	}
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	msg := Message{Type: MsgAck, Header: make([]byte, MaxHeaderLen+1)}
+	if err := Write(io.Discard, msg); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeHeader(t *testing.T) {
+	msg := mustEncode(t, MsgAck, AckHeader{AppID: "a", ModelName: "m"}, nil)
+	var hdr AckHeader
+	if err := DecodeHeader(msg, &hdr); err != nil {
+		t.Fatalf("DecodeHeader: %v", err)
+	}
+	if hdr.AppID != "a" || hdr.ModelName != "m" {
+		t.Errorf("header = %+v", hdr)
+	}
+	msg.Header = []byte("not json")
+	if err := DecodeHeader(msg, &hdr); err == nil {
+		t.Error("bad JSON header should fail")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgSnapshot.String() != "snapshot" {
+		t.Errorf("MsgSnapshot = %q", MsgSnapshot)
+	}
+	if MsgType(99).String() != "unknown(99)" {
+		t.Errorf("unknown = %q", MsgType(99))
+	}
+}
+
+// TestEmptyBodyOverPipe is a regression test: messages with empty bodies
+// (ACKs, errors) must not deadlock on rendezvous transports like net.Pipe,
+// where a zero-byte Write blocks for a Read that io.ReadFull(0) never
+// issues.
+func TestEmptyBodyOverPipe(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	msg := mustEncode(t, MsgAck, AckHeader{AppID: "x", ModelName: "m"}, nil)
+	errCh := make(chan error, 1)
+	go func() { errCh <- Write(a, msg) }()
+	got, err := Read(b)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Type != MsgAck || len(got.Body) != 0 {
+		t.Errorf("got %+v", got)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Write deadlocked on empty body")
+	}
+}
+
+func TestCompressDecodeBody(t *testing.T) {
+	text := []byte(strings.Repeat("var feature = [0.1,0.2,0.3];\n", 500))
+	compressed, err := CompressBody(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) >= len(text)/2 {
+		t.Errorf("snapshot-like text should compress well: %d vs %d", len(compressed), len(text))
+	}
+	plain, err := DecodeBody(compressed, EncodingFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, text) {
+		t.Error("compression round trip corrupted the body")
+	}
+	raw, err := DecodeBody(text, EncodingRaw)
+	if err != nil || !bytes.Equal(raw, text) {
+		t.Errorf("raw DecodeBody should pass through: %v", err)
+	}
+	if _, err := DecodeBody(text, "lzma"); err == nil {
+		t.Error("unknown encoding should fail")
+	}
+	if _, err := DecodeBody([]byte("garbage not flate"), EncodingFlate); err == nil {
+		t.Error("corrupt compressed body should fail")
+	}
+}
+
+// Property: any header/body payload round-trips bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(body []byte, app, model string) bool {
+		msg, err := Encode(MsgModelPreSend, ModelPreSendHeader{
+			AppID: app, ModelName: model, Spec: json.RawMessage(`{}`),
+		}, body)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, msg); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Type == msg.Type && bytes.Equal(got.Header, msg.Header) && bytes.Equal(got.Body, msg.Body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package roam manages edge-server selection for a mobile client — the
+// paper's §I mobility scenario: "when we need to change the edge server
+// during app execution (e.g., when a mobile client moves to a different
+// service area), snapshot-based offloading can readily work on a new edge
+// server since it has no dependence on the previous server."
+//
+// A Roamer probes a set of candidate edge servers, connects to the best
+// one, and re-targets the app's offloader when the current server becomes
+// unreachable or a sufficiently faster candidate appears. Because the
+// snapshot mechanism is server-stateless (models re-pre-send, deltas fall
+// back to full snapshots), switching requires no migration protocol at all.
+package roam
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"websnap/internal/client"
+)
+
+// Errors reported by the roamer.
+var (
+	ErrNoServers   = errors.New("roam: no candidate servers")
+	ErrNoReachable = errors.New("roam: no reachable edge server")
+)
+
+// ServerInfo is the probe state of one candidate edge server.
+type ServerInfo struct {
+	Addr string
+	// RTT is the last measured probe round-trip time.
+	RTT time.Duration
+	// Healthy reports whether the last probe succeeded.
+	Healthy bool
+	// LastProbe is when the server was last probed.
+	LastProbe time.Time
+}
+
+// Config parametrizes a Roamer.
+type Config struct {
+	// Servers lists candidate edge server addresses.
+	Servers []string
+	// SwitchMargin is the relative RTT advantage a candidate needs
+	// before the roamer abandons a healthy current server (0.3 = 30%
+	// faster). Zero selects a default of 0.3; hysteresis avoids
+	// flapping between near-equal servers.
+	SwitchMargin float64
+	// Probe measures one server's reachability and latency. Nil selects
+	// a TCP connect probe.
+	Probe func(addr string) (time.Duration, error)
+	// Dial opens an offloading connection. Nil selects client.Dial.
+	Dial func(addr string) (*client.Conn, error)
+	// Now is the clock; nil selects time.Now.
+	Now func() time.Time
+}
+
+// Roamer tracks candidate edge servers and the current connection.
+type Roamer struct {
+	cfg Config
+
+	mu          sync.Mutex
+	servers     map[string]*ServerInfo
+	order       []string
+	currentAddr string
+	currentConn *client.Conn
+	switches    int
+}
+
+// New creates a roamer over the configured candidate servers.
+func New(cfg Config) (*Roamer, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, ErrNoServers
+	}
+	if cfg.SwitchMargin <= 0 {
+		cfg.SwitchMargin = 0.3
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = tcpProbe
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = client.Dial
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	r := &Roamer{cfg: cfg, servers: make(map[string]*ServerInfo, len(cfg.Servers))}
+	for _, addr := range cfg.Servers {
+		if addr == "" {
+			return nil, errors.New("roam: empty server address")
+		}
+		if _, dup := r.servers[addr]; dup {
+			return nil, fmt.Errorf("roam: duplicate server %q", addr)
+		}
+		r.servers[addr] = &ServerInfo{Addr: addr}
+		r.order = append(r.order, addr)
+	}
+	return r, nil
+}
+
+// tcpProbe measures a TCP connect round trip.
+func tcpProbe(addr string) (time.Duration, error) {
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	return time.Since(start), nil
+}
+
+// ProbeAll probes every candidate and returns their states sorted by
+// (healthy first, then RTT).
+func (r *Roamer) ProbeAll() []ServerInfo {
+	r.mu.Lock()
+	addrs := append([]string(nil), r.order...)
+	r.mu.Unlock()
+	type result struct {
+		addr string
+		rtt  time.Duration
+		err  error
+	}
+	results := make([]result, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			rtt, err := r.cfg.Probe(addr)
+			results[i] = result{addr: addr, rtt: rtt, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+	r.mu.Lock()
+	now := r.cfg.Now()
+	for _, res := range results {
+		info := r.servers[res.addr]
+		info.LastProbe = now
+		info.Healthy = res.err == nil
+		if res.err == nil {
+			info.RTT = res.rtt
+		}
+	}
+	out := make([]ServerInfo, 0, len(r.order))
+	for _, addr := range r.order {
+		out = append(out, *r.servers[addr])
+	}
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Healthy != out[j].Healthy {
+			return out[i].Healthy
+		}
+		return out[i].RTT < out[j].RTT
+	})
+	return out
+}
+
+// Best returns the healthiest, lowest-latency candidate from the most
+// recent probes.
+func (r *Roamer) Best() (ServerInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best *ServerInfo
+	for _, addr := range r.order {
+		info := r.servers[addr]
+		if !info.Healthy {
+			continue
+		}
+		if best == nil || info.RTT < best.RTT {
+			best = info
+		}
+	}
+	if best == nil {
+		return ServerInfo{}, ErrNoReachable
+	}
+	return *best, nil
+}
+
+// Current returns the current server address and connection ("" and nil
+// before the first Connect).
+func (r *Roamer) Current() (string, *client.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.currentAddr, r.currentConn
+}
+
+// Switches counts completed server changes (the first Connect included).
+func (r *Roamer) Switches() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.switches
+}
+
+// Connect probes all candidates and connects to the best one.
+func (r *Roamer) Connect() (*client.Conn, error) {
+	r.ProbeAll()
+	best, err := r.Best()
+	if err != nil {
+		return nil, err
+	}
+	return r.SwitchTo(best.Addr)
+}
+
+// SwitchTo connects to the named server, closing the previous connection.
+func (r *Roamer) SwitchTo(addr string) (*client.Conn, error) {
+	r.mu.Lock()
+	if _, known := r.servers[addr]; !known {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("roam: unknown server %q", addr)
+	}
+	r.mu.Unlock()
+	conn, err := r.cfg.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("roam: dial %s: %w", addr, err)
+	}
+	r.mu.Lock()
+	old := r.currentConn
+	r.currentConn = conn
+	r.currentAddr = addr
+	r.switches++
+	r.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return conn, nil
+}
+
+// Evaluate re-probes and decides whether to switch: it switches when the
+// current server is unhealthy, or when a candidate beats it by more than
+// the configured margin. It returns the new connection (nil if no switch
+// happened) and whether a switch occurred.
+func (r *Roamer) Evaluate() (*client.Conn, bool, error) {
+	r.ProbeAll()
+	best, err := r.Best()
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	curAddr := r.currentAddr
+	var cur *ServerInfo
+	if curAddr != "" {
+		cur = r.servers[curAddr]
+	}
+	margin := r.cfg.SwitchMargin
+	r.mu.Unlock()
+	switch {
+	case cur == nil, !cur.Healthy:
+		// No current server or it died: take the best.
+	case best.Addr == curAddr:
+		return nil, false, nil
+	case float64(best.RTT) < float64(cur.RTT)*(1-margin):
+		// Candidate clearly better: switch.
+	default:
+		return nil, false, nil
+	}
+	conn, err := r.SwitchTo(best.Addr)
+	if err != nil {
+		return nil, false, err
+	}
+	return conn, true, nil
+}
+
+// Close closes the current connection, if any.
+func (r *Roamer) Close() error {
+	r.mu.Lock()
+	conn := r.currentConn
+	r.currentConn = nil
+	r.currentAddr = ""
+	r.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package roam
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"websnap/internal/client"
+	"websnap/internal/core"
+	"websnap/internal/mlapp"
+	"websnap/internal/models"
+	"websnap/internal/webapp"
+)
+
+// fakeProbe returns scripted RTTs per address; a negative RTT means
+// unreachable.
+type fakeProbe struct {
+	mu   sync.Mutex
+	rtts map[string]time.Duration
+}
+
+func (f *fakeProbe) set(addr string, rtt time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rtts[addr] = rtt
+}
+
+func (f *fakeProbe) probe(addr string) (time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rtt, ok := f.rtts[addr]
+	if !ok || rtt < 0 {
+		return 0, errors.New("unreachable")
+	}
+	return rtt, nil
+}
+
+func fakeDial(addr string) (*client.Conn, error) {
+	a, _ := net.Pipe()
+	return client.NewConn(a), nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoServers) {
+		t.Errorf("err = %v, want ErrNoServers", err)
+	}
+	if _, err := New(Config{Servers: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate servers should fail")
+	}
+	if _, err := New(Config{Servers: []string{""}}); err == nil {
+		t.Error("empty address should fail")
+	}
+}
+
+func TestBestPicksLowestRTT(t *testing.T) {
+	probe := &fakeProbe{rtts: map[string]time.Duration{
+		"near": 2 * time.Millisecond,
+		"far":  50 * time.Millisecond,
+		"dead": -1,
+	}}
+	r, err := New(Config{
+		Servers: []string{"far", "near", "dead"},
+		Probe:   probe.probe,
+		Dial:    fakeDial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := r.ProbeAll()
+	if infos[0].Addr != "near" || !infos[0].Healthy {
+		t.Errorf("sorted[0] = %+v, want near/healthy", infos[0])
+	}
+	if infos[len(infos)-1].Addr != "dead" || infos[len(infos)-1].Healthy {
+		t.Errorf("sorted[last] = %+v, want dead/unhealthy", infos[len(infos)-1])
+	}
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Addr != "near" {
+		t.Errorf("best = %s, want near", best.Addr)
+	}
+}
+
+func TestBestAllDead(t *testing.T) {
+	probe := &fakeProbe{rtts: map[string]time.Duration{"a": -1}}
+	r, err := New(Config{Servers: []string{"a"}, Probe: probe.probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeAll()
+	if _, err := r.Best(); !errors.Is(err, ErrNoReachable) {
+		t.Errorf("err = %v, want ErrNoReachable", err)
+	}
+}
+
+func TestEvaluateHysteresis(t *testing.T) {
+	probe := &fakeProbe{rtts: map[string]time.Duration{
+		"a": 10 * time.Millisecond,
+		"b": 9 * time.Millisecond, // only 10% better: below the margin
+	}}
+	r, err := New(Config{
+		Servers: []string{"a", "b"}, Probe: probe.probe, Dial: fakeDial,
+		SwitchMargin: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force current = a.
+	r.ProbeAll()
+	if _, err := r.SwitchTo("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, switched, err := r.Evaluate(); err != nil || switched {
+		t.Errorf("marginal candidate should not trigger a switch (switched=%v err=%v)", switched, err)
+	}
+	// Now b becomes clearly better.
+	probe.set("b", 2*time.Millisecond)
+	_, switched, err := r.Evaluate()
+	if err != nil || !switched {
+		t.Fatalf("clear winner should switch (switched=%v err=%v)", switched, err)
+	}
+	if addr, _ := r.Current(); addr != "b" {
+		t.Errorf("current = %s, want b", addr)
+	}
+	// Current server dies: must switch back.
+	probe.set("b", -1)
+	_, switched, err = r.Evaluate()
+	if err != nil || !switched {
+		t.Fatalf("dead current should switch (switched=%v err=%v)", switched, err)
+	}
+	if addr, _ := r.Current(); addr != "a" {
+		t.Errorf("current = %s, want a", addr)
+	}
+	if r.Switches() != 3 {
+		t.Errorf("switches = %d, want 3", r.Switches())
+	}
+}
+
+func TestSwitchToUnknown(t *testing.T) {
+	r, err := New(Config{Servers: []string{"a"}, Probe: (&fakeProbe{rtts: map[string]time.Duration{"a": 1}}).probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SwitchTo("nowhere"); err == nil {
+		t.Error("unknown server should fail")
+	}
+}
+
+// startEdge runs a real edge server for the integration test.
+func startEdge(t *testing.T) (addr string, shutdown func()) {
+	t.Helper()
+	srv, err := core.NewEdgeServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+// TestRoamingOffload is the paper's mobility story end to end: offload to
+// server A, A dies, the roamer moves to B, the offloader re-targets
+// (re-pre-sending its model), and inference continues with identical
+// results — no dependence on the previous server.
+func TestRoamingOffload(t *testing.T) {
+	addrA, shutdownA := startEdge(t)
+	addrB, shutdownB := startEdge(t)
+	defer shutdownB()
+
+	model, err := models.BuildTinyNet("tiny", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"cat", "dog", "bird"}
+
+	roamer, err := New(Config{Servers: []string{addrA, addrB}, Probe: func(addr string) (time.Duration, error) {
+		// Prefer A while it lives (deterministic choice).
+		start := time.Now()
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			return 0, err
+		}
+		c.Close()
+		rtt := time.Since(start)
+		if addr == addrA {
+			return rtt / 1000, nil
+		}
+		return rtt + time.Second, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := roamer.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer roamer.Close()
+	if addr, _ := roamer.Current(); addr != addrA {
+		t.Fatalf("connected to %s, want A=%s", addr, addrA)
+	}
+
+	app, err := mlapp.NewFullApp("roaming-app", "tiny", model, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := client.NewOffloader(app, conn, client.Options{
+		OffloadEventTypes: []string{mlapp.EventClick},
+		Models:            []client.ModelToSend{{Name: "tiny", Net: model}},
+		EnableDelta:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func(seed uint64) string {
+		t.Helper()
+		img := mlapp.SyntheticImage(3*16*16, seed)
+		if err := mlapp.LoadImage(app, img); err != nil {
+			t.Fatal(err)
+		}
+		app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+		if _, err := off.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return mlapp.Result(app)
+	}
+	first := runOnce(1)
+	if first == "" {
+		t.Fatal("no result on server A")
+	}
+
+	// Server A goes away (the client left its service area).
+	shutdownA()
+	newConn, switched, err := roamer.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate after A death: %v", err)
+	}
+	if !switched {
+		t.Fatal("roamer should have switched to B")
+	}
+	if addr, _ := roamer.Current(); addr != addrB {
+		t.Fatalf("current = %s, want B=%s", addr, addrB)
+	}
+	if err := off.Retarget(newConn); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatalf("re-pre-send to B: %v", err)
+	}
+	second := runOnce(2)
+	if second == "" {
+		t.Fatal("no result on server B")
+	}
+	// Same input must give the same answer on either server.
+	if again := runOnce(1); again != first {
+		t.Errorf("server B result %q != server A result %q for identical input", again, first)
+	}
+	st := off.Stats()
+	if st.Offloads != 3 {
+		t.Errorf("offloads = %d, want 3", st.Offloads)
+	}
+}

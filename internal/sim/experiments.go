@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"websnap/internal/costmodel"
+	"websnap/internal/models"
+	"websnap/internal/nn"
+	"websnap/internal/partition"
+	"websnap/internal/vmsynth"
+)
+
+// Phase names one segment of the offloaded inference timeline, following
+// the paper's Fig 7 legend ('C' = client, 'S' = server).
+type Phase string
+
+// Phases in timeline order.
+const (
+	PhaseModelUpload      Phase = "Model Upload"
+	PhaseClientExec       Phase = "DNN Execution (C)"
+	PhaseSnapshotCaptureC Phase = "Snapshot Capture (C)"
+	PhaseTransferUp       Phase = "Snapshot Transmission (C→S)"
+	PhaseSnapshotRestoreS Phase = "Snapshot Restoration (S)"
+	PhaseServerExec       Phase = "DNN Execution (S)"
+	PhaseSnapshotCaptureS Phase = "Snapshot Capture (S)"
+	PhaseTransferDown     Phase = "Snapshot Transmission (S→C)"
+	PhaseSnapshotRestoreC Phase = "Snapshot Restoration (C)"
+)
+
+// AllPhases lists every phase in timeline order.
+func AllPhases() []Phase {
+	return []Phase{
+		PhaseModelUpload, PhaseClientExec, PhaseSnapshotCaptureC, PhaseTransferUp,
+		PhaseSnapshotRestoreS, PhaseServerExec, PhaseSnapshotCaptureS,
+		PhaseTransferDown, PhaseSnapshotRestoreC,
+	}
+}
+
+// PhaseTime is one timed segment.
+type PhaseTime struct {
+	Phase    Phase
+	Duration time.Duration
+}
+
+// Breakdown is the full timeline of one configuration — a Fig 7 bar.
+type Breakdown struct {
+	Model  string
+	Config string
+	Phases []PhaseTime
+}
+
+// Total returns the end-to-end time — a Fig 6 bar.
+func (b Breakdown) Total() time.Duration {
+	var total time.Duration
+	for _, p := range b.Phases {
+		total += p.Duration
+	}
+	return total
+}
+
+// Get returns the duration of one phase (zero if absent).
+func (b Breakdown) Get(phase Phase) time.Duration {
+	for _, p := range b.Phases {
+		if p.Phase == phase {
+			return p.Duration
+		}
+	}
+	return 0
+}
+
+func (b *Breakdown) add(phase Phase, d time.Duration) {
+	b.Phases = append(b.Phases, PhaseTime{Phase: phase, Duration: d})
+}
+
+// Configuration names, matching Fig 6's legend.
+const (
+	ConfigClient     = "Client"
+	ConfigServer     = "Server"
+	ConfigBeforeACK  = "Offloading (before ACK)"
+	ConfigAfterACK   = "Offloading (after ACK)"
+	ConfigPartial    = "Offloading (partial inference)"
+	PartialPointUsed = "1st_pool" // Fig 6's partial bar uses the 1st_pool point (§IV.B)
+)
+
+// ClientOnly simulates running the app entirely at the client.
+func (sc *Scenario) ClientOnly() (Breakdown, error) {
+	t, err := sc.Client.NetworkTime(sc.Net)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{Model: sc.ModelName, Config: ConfigClient}
+	b.add(PhaseClientExec, t)
+	return b, nil
+}
+
+// ServerOnly simulates running the app entirely at the server (the paper's
+// Server configuration: no migration at all).
+func (sc *Scenario) ServerOnly() (Breakdown, error) {
+	t, err := sc.Server.NetworkTime(sc.Net)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{Model: sc.ModelName, Config: ConfigServer}
+	b.add(PhaseServerExec, t)
+	return b, nil
+}
+
+// offloadCycle assembles the snapshot round trip common to all offloading
+// configurations: capture at the client, ship, restore at the server, run
+// the given server portion, capture the result, ship back, restore.
+func (sc *Scenario) offloadCycle(b *Breakdown, upFeatureBytes int64, serverExec time.Duration) {
+	upBytes := sc.StateBytes + upFeatureBytes
+	downBytes := sc.StateBytes + sc.ResultTextBytes
+	b.add(PhaseSnapshotCaptureC, sc.Client.SnapshotTime(upBytes))
+	b.add(PhaseTransferUp, sc.Network.TransferTime(upBytes))
+	b.add(PhaseSnapshotRestoreS, sc.Server.SnapshotTime(upBytes))
+	b.add(PhaseServerExec, serverExec)
+	b.add(PhaseSnapshotCaptureS, sc.Server.SnapshotTime(downBytes))
+	b.add(PhaseTransferDown, sc.Network.TransferTime(downBytes))
+	b.add(PhaseSnapshotRestoreC, sc.Client.SnapshotTime(downBytes))
+}
+
+// OffloadAfterACK simulates offloading once the model pre-send has been
+// acknowledged: the snapshot carries the input image text and no model.
+func (sc *Scenario) OffloadAfterACK() (Breakdown, error) {
+	serverExec, err := sc.Server.NetworkTime(sc.Net)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{Model: sc.ModelName, Config: ConfigAfterACK}
+	sc.offloadCycle(&b, sc.InputTextBytes, serverExec)
+	return b, nil
+}
+
+// OffloadBeforeACK simulates offloading before the ACK arrives: the client
+// must first upload the model files, then proceed as usual (§III.B.1).
+func (sc *Scenario) OffloadBeforeACK() (Breakdown, error) {
+	serverExec, err := sc.Server.NetworkTime(sc.Net)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{Model: sc.ModelName, Config: ConfigBeforeACK}
+	b.add(PhaseModelUpload, sc.Network.TransferTime(sc.ModelUploadBytes()))
+	sc.offloadCycle(&b, sc.InputTextBytes, serverExec)
+	return b, nil
+}
+
+// OffloadPartial simulates partial inference split at the named Fig 8
+// point: the front runs at the client, the snapshot carries feature data
+// instead of the image, and the server runs the rear.
+func (sc *Scenario) OffloadPartial(label string) (Breakdown, error) {
+	infos, err := sc.Net.Describe()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	points, err := sc.Net.PartitionPoints()
+	if err != nil {
+		return Breakdown{}, err
+	}
+	var pt *nn.PartitionPoint
+	for i := range points {
+		if points[i].Label == label {
+			pt = &points[i]
+			break
+		}
+	}
+	if pt == nil {
+		return Breakdown{}, fmt.Errorf("sim: %s has no partition point %q", sc.ModelName, label)
+	}
+	clientExec, err := sc.Client.RangeTime(infos, 0, pt.Index+1)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	serverExec, err := sc.Server.RangeTime(infos, pt.Index+1, len(infos))
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{Model: sc.ModelName, Config: ConfigPartial}
+	b.add(PhaseClientExec, clientExec)
+	sc.offloadCycle(&b, sc.textBytes(int(pt.FeatureBytes/4)), serverExec)
+	return b, nil
+}
+
+// Fig6Row is one group of bars in Fig 6: the inference time of one app
+// under all five configurations.
+type Fig6Row struct {
+	Model     string
+	Client    time.Duration
+	Server    time.Duration
+	BeforeACK time.Duration
+	AfterACK  time.Duration
+	Partial   time.Duration
+}
+
+// Fig6 regenerates Fig 6 for all three benchmark apps.
+func Fig6() ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, len(models.Names()))
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := sc.Fig6Row()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6Row computes one app's Fig 6 bars.
+func (sc *Scenario) Fig6Row() (Fig6Row, error) {
+	clientB, err := sc.ClientOnly()
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	serverB, err := sc.ServerOnly()
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	before, err := sc.OffloadBeforeACK()
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	after, err := sc.OffloadAfterACK()
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	partial, err := sc.OffloadPartial(PartialPointUsed)
+	if err != nil {
+		return Fig6Row{}, err
+	}
+	return Fig6Row{
+		Model:     sc.ModelName,
+		Client:    clientB.Total(),
+		Server:    serverB.Total(),
+		BeforeACK: before.Total(),
+		AfterACK:  after.Total(),
+		Partial:   partial.Total(),
+	}, nil
+}
+
+// Fig6GPU projects Fig 6 onto the GPU-accelerated edge server the paper
+// anticipates in §IV.A (webGL, ~80x DNN speedup): the same apps and
+// network, with only the server device swapped.
+func Fig6GPU() ([]Fig6Row, error) {
+	rows := make([]Fig6Row, 0, len(models.Names()))
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		sc.Server = costmodel.ServerX86GPU
+		row, err := sc.Fig6Row()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig7 regenerates Fig 7: the phase breakdown of the inference time for
+// the offloading configurations of every benchmark app.
+func Fig7() ([]Breakdown, error) {
+	var out []Breakdown
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		before, err := sc.OffloadBeforeACK()
+		if err != nil {
+			return nil, err
+		}
+		after, err := sc.OffloadAfterACK()
+		if err != nil {
+			return nil, err
+		}
+		partial, err := sc.OffloadPartial(PartialPointUsed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, before, after, partial)
+	}
+	return out, nil
+}
+
+// Fig8Row is one model's partial-inference sweep: inference time at every
+// offloading point.
+type Fig8Row struct {
+	Model      string
+	Candidates []partition.Candidate
+}
+
+// Fig8 regenerates Fig 8 by sweeping every candidate offloading point of
+// every benchmark model through the partition estimator.
+func Fig8() ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, len(models.Names()))
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := partition.Analyze(sc.Net, sc.PartitionConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{Model: name, Candidates: plan.Candidates})
+	}
+	return rows, nil
+}
+
+// Table1Row is one column of Table 1.
+type Table1Row struct {
+	Model string
+	// VM synthesis (on-demand installation).
+	SynthesisTime time.Duration
+	OverlayBytes  int64
+	// Snapshot-based offloading with pre-sending.
+	MigrationWithPre   time.Duration
+	SansFeatureWithPre int64
+	// Snapshot-based offloading without pre-sending.
+	MigrationWithoutPre   time.Duration
+	SansFeatureWithoutPre int64
+}
+
+// Table1 regenerates Table 1: the overhead of VM-based installation versus
+// snapshot migration with and without model pre-sending.
+func Table1() ([]Table1Row, error) {
+	syn := vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: "ubuntu-12.04", Bytes: 8 << 30})
+	rows := make([]Table1Row, 0, len(models.Names()))
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		overlay, err := vmsynth.BuildOverlay(vmsynth.StandardComponents(sc.Net.ModelBytes())...)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Model:        name,
+			OverlayBytes: overlay.CompressedBytes,
+			SynthesisTime: sc.Network.TransferTime(overlay.CompressedBytes) +
+				syn.EstimateApply(overlay.CompressedBytes),
+		}
+		// Migration = save + transmit + restore of the snapshot "just
+		// before executing the offloaded event handler" (§IV.C).
+		upBytes := sc.StateBytes + sc.InputTextBytes
+		migrate := sc.Client.SnapshotTime(upBytes) +
+			sc.Network.TransferTime(upBytes) +
+			sc.Server.SnapshotTime(upBytes)
+		row.MigrationWithPre = migrate
+		row.SansFeatureWithPre = sc.StateBytes
+		row.MigrationWithoutPre = sc.Network.TransferTime(sc.ModelUploadBytes()) + migrate
+		row.SansFeatureWithoutPre = sc.StateBytes + sc.ModelUploadBytes()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig1Row describes one stage of GoogLeNet for the Fig 1 architecture
+// table: the layer and its output feature dimensions.
+type Fig1Row struct {
+	Layer       string
+	Type        nn.LayerType
+	OutputShape []int
+	FeatureKB   int64
+}
+
+// Fig1 regenerates the Fig 1 architecture walk-through: GoogLeNet's
+// per-layer feature dimensions from the 224×224×3 input to the 1000-way
+// output.
+func Fig1() ([]Fig1Row, error) {
+	net, err := models.Build(models.GoogLeNet)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := net.Describe()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig1Row, 0, len(infos))
+	for _, li := range infos {
+		rows = append(rows, Fig1Row{
+			Layer:       li.Name,
+			Type:        li.Type,
+			OutputShape: li.OutputShape,
+			FeatureKB:   li.OutputBytes >> 10,
+		})
+	}
+	return rows, nil
+}
+
+// FeatureSizeRow reports the textual feature size at one offloading point —
+// the §IV.B measurement behind the 14.7 MB vs 2.9 MB observation.
+type FeatureSizeRow struct {
+	Model     string
+	Label     string
+	TextBytes int64
+}
+
+// FeatureSizes regenerates the §IV.B feature-size measurements for every
+// benchmark model and offloading point.
+func FeatureSizes() ([]FeatureSizeRow, error) {
+	var out []FeatureSizeRow
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		points, err := sc.Net.PartitionPoints()
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range points {
+			out = append(out, FeatureSizeRow{
+				Model:     name,
+				Label:     p.Label,
+				TextBytes: sc.textBytes(int(p.FeatureBytes / 4)),
+			})
+		}
+	}
+	return out, nil
+}

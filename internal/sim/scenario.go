@@ -1,0 +1,162 @@
+// Package sim reproduces the paper's evaluation (§IV) deterministically:
+// it combines the calibrated device cost models, the network model, and
+// sizes measured from the real snapshot encoder into end-to-end inference
+// timelines for every configuration of Fig 6, the phase breakdown of
+// Fig 7, the partition sweep of Fig 8, and the installation-overhead
+// comparison of Table 1.
+//
+// Functional correctness of the pipeline is established separately by the
+// real TCP integration tests; the simulator's job is the paper's *timing*
+// shape on the paper's hardware, which a laptop cannot reproduce natively
+// (DESIGN.md §1).
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"websnap/internal/costmodel"
+	"websnap/internal/mlapp"
+	"websnap/internal/models"
+	"websnap/internal/netem"
+	"websnap/internal/nn"
+	"websnap/internal/partition"
+	"websnap/internal/snapshot"
+	"websnap/internal/webapp"
+)
+
+// Scenario holds everything needed to simulate one benchmark app.
+type Scenario struct {
+	// ModelName is one of the models package names.
+	ModelName string
+	// Net is the built model.
+	Net *nn.Network
+	// Client and Server are the device latency models.
+	Client, Server costmodel.Device
+	// Network is the emulated link (30 Mbps in the paper).
+	Network netem.Profile
+	// TextBytesPerValue is the measured textual width of one activation
+	// in a snapshot.
+	TextBytesPerValue float64
+	// StateBytes is the measured size of the app's snapshot without
+	// feature data or model weights (Table 1's "snapshot except feature
+	// data" in the pre-sent case).
+	StateBytes int64
+	// InputTextBytes is the measured textual size of the input image in
+	// a snapshot.
+	InputTextBytes int64
+	// ResultTextBytes is the measured textual size of the result scores.
+	ResultTextBytes int64
+	// SpecBytes is the size of the model descriptor JSON that accompanies
+	// a model upload.
+	SpecBytes int64
+}
+
+// labelsFor fabricates the label set each benchmark app displays.
+func labelsFor(name string, classes int) []string {
+	labels := make([]string, classes)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("%s_label_%04d", name, i)
+	}
+	return labels
+}
+
+// NewScenario builds and measures the scenario for one benchmark model
+// using the paper's environment (Odroid client, x86 server, 30 Mbps).
+func NewScenario(modelName string) (*Scenario, error) {
+	net, err := models.Build(modelName)
+	if err != nil {
+		return nil, err
+	}
+	return newScenarioFromNet(modelName, net)
+}
+
+func newScenarioFromNet(modelName string, net *nn.Network) (*Scenario, error) {
+	sc := &Scenario{
+		ModelName:         modelName,
+		Net:               net,
+		Client:            costmodel.ClientOdroid,
+		Server:            costmodel.ServerX86,
+		Network:           netem.WiFi30Mbps,
+		TextBytesPerValue: partition.MeasuredTextBytesPerValue(),
+	}
+	if err := sc.measure(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// measure derives the scenario's snapshot sizes from the real app and the
+// real snapshot encoder, rather than from assumed constants.
+func (sc *Scenario) measure() error {
+	outShape, err := sc.Net.OutputShape()
+	if err != nil {
+		return err
+	}
+	classes := outShape[len(outShape)-1]
+	app, err := mlapp.NewFullApp("measure-"+sc.ModelName, sc.ModelName, sc.Net, labelsFor(sc.ModelName, classes))
+	if err != nil {
+		return err
+	}
+	// State snapshot: app with no image loaded, model spec-only.
+	snap, err := snapshot.Capture(app, snapshot.Options{DefaultModelPolicy: snapshot.ModelSpecOnly})
+	if err != nil {
+		return err
+	}
+	bd, err := snap.Breakdown()
+	if err != nil {
+		return err
+	}
+	sc.StateBytes = bd.TotalBytes
+	spec, err := nn.EncodeSpec(sc.Net)
+	if err != nil {
+		return err
+	}
+	sc.SpecBytes = int64(len(spec))
+
+	inVol := 1
+	for _, d := range sc.Net.InputShape() {
+		inVol *= d
+	}
+	sc.InputTextBytes = sc.textBytes(inVol)
+	resVol := 1
+	for _, d := range outShape {
+		resVol *= d
+	}
+	sc.ResultTextBytes = sc.textBytes(resVol)
+	return nil
+}
+
+// textBytes converts an activation count to snapshot text bytes.
+func (sc *Scenario) textBytes(values int) int64 {
+	return int64(float64(values) * sc.TextBytesPerValue)
+}
+
+// measureEncodedArray returns the exact textual size of a Float32Array as
+// the snapshot encoder renders it; used by tests to validate textBytes.
+func measureEncodedArray(arr webapp.Float32Array) (int64, error) {
+	data, err := json.Marshal([]float32(arr))
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// PartitionConfig exposes the scenario as a partition.Config so the Fig 8
+// sweep and the live partition chooser use identical parameters.
+func (sc *Scenario) PartitionConfig() partition.Config {
+	return partition.Config{
+		Client:             sc.Client,
+		Server:             sc.Server,
+		Network:            sc.Network,
+		TextBytesPerValue:  sc.TextBytesPerValue,
+		StateOverheadBytes: sc.StateBytes,
+		ResultBytes:        sc.ResultTextBytes,
+	}
+}
+
+// ModelUploadBytes is the size of the pre-sent model files (descriptor +
+// binary weights).
+func (sc *Scenario) ModelUploadBytes() int64 {
+	return sc.SpecBytes + sc.Net.ModelBytes()
+}

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"websnap/internal/models"
+	"websnap/internal/webapp"
+)
+
+func scenario(t *testing.T, name string) *Scenario {
+	t.Helper()
+	sc, err := NewScenario(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestScenarioMeasurements(t *testing.T) {
+	sc := scenario(t, models.GoogLeNet)
+	if sc.StateBytes <= 0 || sc.InputTextBytes <= 0 || sc.ResultTextBytes <= 0 || sc.SpecBytes <= 0 {
+		t.Fatalf("unmeasured scenario: %+v", sc)
+	}
+	// Table 1 scale: state (code + DOM + labels, no features/weights)
+	// must be well under a megabyte.
+	if sc.StateBytes > 1<<20 {
+		t.Errorf("state bytes = %d, want < 1 MB", sc.StateBytes)
+	}
+	// The input image text must dominate the result scores text.
+	if sc.InputTextBytes <= sc.ResultTextBytes {
+		t.Error("input text should exceed result text")
+	}
+	// Model upload is descriptor + 4 B/param.
+	if sc.ModelUploadBytes() <= sc.Net.ModelBytes() {
+		t.Error("upload bytes should include the descriptor")
+	}
+}
+
+func TestTextBytesMatchesRealEncoder(t *testing.T) {
+	sc := scenario(t, models.AgeNet)
+	arr := make(webapp.Float32Array, 10000)
+	s := uint64(7)
+	for i := range arr {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		arr[i] = float32(s%100000)/10000 - 1
+	}
+	real, err := measureEncodedArray(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sc.textBytes(len(arr))
+	ratio := float64(est) / float64(real)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("textBytes estimate %d vs real encoding %d (ratio %.2f), want within 25%%", est, real, ratio)
+	}
+}
+
+// TestFig6Shape pins every qualitative claim the paper makes about Fig 6.
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		t.Run(r.Model, func(t *testing.T) {
+			// "the server execution time is much shorter than the
+			// client execution time"
+			if r.Server*3 > r.Client {
+				t.Errorf("server %v should be several times faster than client %v", r.Server, r.Client)
+			}
+			// "offloading after ACK shows an execution time similar
+			// to that of server's": within 1 second.
+			if d := r.AfterACK - r.Server; d < 0 || d > time.Second {
+				t.Errorf("afterACK %v should be within 1s above server %v", r.AfterACK, r.Server)
+			}
+			// "the offloading performance rapidly increases after
+			// the DNN model uploading is over"
+			if r.AfterACK >= r.BeforeACK {
+				t.Errorf("afterACK %v should beat beforeACK %v", r.AfterACK, r.BeforeACK)
+			}
+			// "partial inference is slower than full server-side
+			// inference ... the cost to lessen the privacy concern"
+			if r.Partial <= r.AfterACK {
+				t.Errorf("partial %v should cost more than afterACK %v", r.Partial, r.AfterACK)
+			}
+			// Partial still beats pure client execution by a lot.
+			if r.Partial*2 > r.Client {
+				t.Errorf("partial %v should be well under client %v", r.Partial, r.Client)
+			}
+		})
+	}
+	byModel := map[string]Fig6Row{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	// "for AgeNet and GenderNet, offloading before ACK is even slower
+	// than the local client execution due to their large model size"
+	for _, m := range []string{models.AgeNet, models.GenderNet} {
+		if r := byModel[m]; r.BeforeACK <= r.Client {
+			t.Errorf("%s: beforeACK %v should exceed client %v", m, r.BeforeACK, r.Client)
+		}
+	}
+	// ... but not for GoogLeNet (its model is smaller and its client
+	// execution much longer).
+	if r := byModel[models.GoogLeNet]; r.BeforeACK >= r.Client {
+		t.Errorf("googlenet: beforeACK %v should beat client %v", r.BeforeACK, r.Client)
+	}
+}
+
+// TestFig6GPUProjection: with the §IV.A GPU server (~80x), server execution
+// collapses and the after-ACK offload becomes transfer-dominated — the
+// "sharply reduced in the near future" remark, quantified.
+func TestFig6GPUProjection(t *testing.T) {
+	cpu, err := Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := Fig6GPU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gpu {
+		if gpu[i].Model != cpu[i].Model {
+			t.Fatalf("row order mismatch")
+		}
+		// Server execution should collapse by well over an order of
+		// magnitude.
+		if gpu[i].Server*20 > cpu[i].Server {
+			t.Errorf("%s: GPU server %v not ≪ CPU server %v", gpu[i].Model, gpu[i].Server, cpu[i].Server)
+		}
+		// After-ACK offloading should now take about the transfer time:
+		// well under a second for every model.
+		if gpu[i].AfterACK > time.Second {
+			t.Errorf("%s: GPU afterACK = %v, want sub-second", gpu[i].Model, gpu[i].AfterACK)
+		}
+		// Client execution is unchanged.
+		if gpu[i].Client != cpu[i].Client {
+			t.Errorf("%s: client time must not depend on the server device", gpu[i].Model)
+		}
+	}
+}
+
+// TestFig7Shape pins the paper's breakdown observations: snapshot overheads
+// are negligible next to DNN execution, and server execution dominates.
+func TestFig7Shape(t *testing.T) {
+	bds, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bds) != 9 { // 3 configs x 3 models
+		t.Fatalf("got %d breakdowns, want 9", len(bds))
+	}
+	for _, b := range bds {
+		snapshotOverhead := b.Get(PhaseSnapshotCaptureC) + b.Get(PhaseSnapshotRestoreS) +
+			b.Get(PhaseSnapshotCaptureS) + b.Get(PhaseSnapshotRestoreC)
+		exec := b.Get(PhaseServerExec) + b.Get(PhaseClientExec)
+		if snapshotOverhead*5 > exec {
+			t.Errorf("%s/%s: snapshot overhead %v not negligible vs execution %v",
+				b.Model, b.Config, snapshotOverhead, exec)
+		}
+		if b.Config == ConfigAfterACK {
+			// "The most dominant part of the inference time is the
+			// server execution time".
+			if b.Get(PhaseServerExec)*2 < b.Total() {
+				t.Errorf("%s: server exec %v should dominate total %v",
+					b.Model, b.Get(PhaseServerExec), b.Total())
+			}
+		}
+		if b.Config == ConfigBeforeACK && b.Get(PhaseModelUpload) == 0 {
+			t.Errorf("%s: beforeACK must include model upload", b.Model)
+		}
+		if b.Config == ConfigAfterACK && b.Get(PhaseModelUpload) != 0 {
+			t.Errorf("%s: afterACK must not include model upload", b.Model)
+		}
+		if b.Config == ConfigPartial && b.Get(PhaseClientExec) == 0 {
+			t.Errorf("%s: partial must include client execution", b.Model)
+		}
+	}
+}
+
+// TestFig8Shape: the sweep exists for every model, times dip from conv to
+// pool, and 1st_pool minimizes among privacy-preserving points.
+func TestFig8Shape(t *testing.T) {
+	rows, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Candidates) < 4 {
+			t.Errorf("%s: only %d candidates", r.Model, len(r.Candidates))
+		}
+		var bestLabel string
+		var best time.Duration
+		for _, c := range r.Candidates {
+			if c.Point.Index == 0 {
+				continue
+			}
+			if bestLabel == "" || c.Total < best {
+				bestLabel, best = c.Point.Label, c.Total
+			}
+		}
+		if bestLabel != "1st_pool" {
+			t.Errorf("%s: best privacy point = %s, want 1st_pool", r.Model, bestLabel)
+		}
+	}
+}
+
+// TestTable1Shape pins Table 1's relationships and rough magnitudes.
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	paper := map[string]struct {
+		synthesisSecs float64
+		overlayMB     float64
+		migNoPreSecs  float64
+	}{
+		models.GoogLeNet: {19.31, 65, 7.79},
+		models.AgeNet:    {24.29, 82, 12.07},
+		models.GenderNet: {24.31, 82, 12.07},
+	}
+	for _, r := range rows {
+		t.Run(r.Model, func(t *testing.T) {
+			p := paper[r.Model]
+			// Magnitudes within 15% of the paper.
+			if s := r.SynthesisTime.Seconds(); s < p.synthesisSecs*0.85 || s > p.synthesisSecs*1.15 {
+				t.Errorf("synthesis %.2fs, paper %.2fs", s, p.synthesisSecs)
+			}
+			if mb := float64(r.OverlayBytes) / (1 << 20); mb < p.overlayMB*0.9 || mb > p.overlayMB*1.1 {
+				t.Errorf("overlay %.1f MB, paper %.0f MB", mb, p.overlayMB)
+			}
+			if s := r.MigrationWithoutPre.Seconds(); s < p.migNoPreSecs*0.85 || s > p.migNoPreSecs*1.15 {
+				t.Errorf("migration w/o pre-send %.2fs, paper %.2fs", s, p.migNoPreSecs)
+			}
+			// Orderings: snapshot migration with pre-sending is
+			// sub-second, "much smaller than the VM synthesis".
+			if r.MigrationWithPre >= time.Second {
+				t.Errorf("migration with pre-send %v, want < 1s", r.MigrationWithPre)
+			}
+			if r.MigrationWithoutPre >= r.SynthesisTime {
+				t.Error("first offload without pre-send should still beat VM synthesis")
+			}
+			if r.SansFeatureWithPre >= r.SansFeatureWithoutPre {
+				t.Error("pre-sending should shrink the model-free snapshot size")
+			}
+		})
+	}
+}
+
+func TestFig1Dimensions(t *testing.T) {
+	rows, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLayer := map[string][]int{}
+	for _, r := range rows {
+		byLayer[r.Layer] = r.OutputShape
+	}
+	pool1 := byLayer["pool1"]
+	if len(pool1) != 3 || pool1[0] != 64 || pool1[1] != 56 || pool1[2] != 56 {
+		t.Errorf("pool1 = %v, Fig 1 says 56x56x64", pool1)
+	}
+	out := byLayer["prob"]
+	if len(out) != 1 || out[0] != 1000 {
+		t.Errorf("prob = %v, want [1000]", out)
+	}
+}
+
+// TestFeatureSizes pins the §IV.B measurement: GoogLeNet's feature text
+// surges at 1st_conv and shrinks at 1st_pool (paper: 14.7 MB vs 2.9 MB,
+// a ~5x drop; our textual encoding is denser but the ratio holds).
+func TestFeatureSizes(t *testing.T) {
+	rows, err := FeatureSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(model, label string) int64 {
+		for _, r := range rows {
+			if r.Model == model && r.Label == label {
+				return r.TextBytes
+			}
+		}
+		t.Fatalf("missing %s/%s", model, label)
+		return 0
+	}
+	conv1 := get(models.GoogLeNet, "1st_conv")
+	pool1 := get(models.GoogLeNet, "1st_pool")
+	ratio := float64(conv1) / float64(pool1)
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("conv1/pool1 text ratio = %.2f, paper reports ~5 (14.7/2.9)", ratio)
+	}
+	if conv1 < 4<<20 {
+		t.Errorf("1st_conv feature text = %d bytes, want multi-MB like the paper", conv1)
+	}
+	// "other models also show a similar size behavior"
+	for _, m := range []string{models.AgeNet, models.GenderNet} {
+		if get(m, "1st_conv") <= get(m, "1st_pool") {
+			t.Errorf("%s: conv should exceed pool", m)
+		}
+	}
+}
+
+func TestOffloadPartialUnknownLabel(t *testing.T) {
+	sc := scenario(t, models.GenderNet)
+	if _, err := sc.OffloadPartial("99th_pool"); err == nil {
+		t.Error("unknown label should fail")
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{}
+	b.add(PhaseServerExec, time.Second)
+	b.add(PhaseTransferUp, 2*time.Second)
+	if b.Total() != 3*time.Second {
+		t.Errorf("Total = %v", b.Total())
+	}
+	if b.Get(PhaseServerExec) != time.Second {
+		t.Errorf("Get = %v", b.Get(PhaseServerExec))
+	}
+	if b.Get(PhaseModelUpload) != 0 {
+		t.Error("absent phase should be zero")
+	}
+	if len(AllPhases()) != 9 {
+		t.Errorf("AllPhases = %d, want 9", len(AllPhases()))
+	}
+}

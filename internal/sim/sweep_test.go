@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"websnap/internal/models"
+)
+
+func TestBandwidthSweepShape(t *testing.T) {
+	mbps := []float64{1, 5, 30, 100, 1000}
+	pts, err := BandwidthSweep(models.GoogLeNet, mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(mbps) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		// More bandwidth never hurts any offloading configuration.
+		if pts[i].AfterACK > pts[i-1].AfterACK {
+			t.Errorf("afterACK rose from %v to %v at %.0f Mbps",
+				pts[i-1].AfterACK, pts[i].AfterACK, pts[i].BandwidthMbps)
+		}
+		if pts[i].BeforeACK > pts[i-1].BeforeACK {
+			t.Errorf("beforeACK rose at %.0f Mbps", pts[i].BandwidthMbps)
+		}
+		if pts[i].BestTotal > pts[i-1].BestTotal {
+			t.Errorf("best partition total rose at %.0f Mbps", pts[i].BandwidthMbps)
+		}
+		// ClientOnly is bandwidth-invariant.
+		if pts[i].ClientOnly != pts[0].ClientOnly {
+			t.Error("client-only time must not depend on bandwidth")
+		}
+	}
+	// At very low bandwidth, offloading before ACK loses to the client.
+	if pts[0].BeforeACK < pts[0].ClientOnly {
+		t.Errorf("at 1 Mbps, beforeACK %v should exceed client %v",
+			pts[0].BeforeACK, pts[0].ClientOnly)
+	}
+	// At very high bandwidth, the privacy-constrained choice remains a
+	// real layer (never Input).
+	for _, p := range pts {
+		if p.BestLabel == "Input" || p.BestLabel == "" {
+			t.Errorf("at %.0f Mbps best = %q, must be a real layer", p.BandwidthMbps, p.BestLabel)
+		}
+		if p.FullOffload > p.BestTotal {
+			t.Errorf("at %.0f Mbps unconstrained %v should not exceed constrained %v",
+				p.BandwidthMbps, p.FullOffload, p.BestTotal)
+		}
+	}
+}
+
+func TestBandwidthSweepValidation(t *testing.T) {
+	if _, err := BandwidthSweep(models.AgeNet, nil); err == nil {
+		t.Error("empty list should fail")
+	}
+	if _, err := BandwidthSweep(models.AgeNet, []float64{-3}); err == nil {
+		t.Error("negative bandwidth should fail")
+	}
+	if _, err := BandwidthSweep("nope", []float64{30}); err == nil {
+		t.Error("unknown model should fail")
+	}
+}

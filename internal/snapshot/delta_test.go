@@ -1,0 +1,306 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"websnap/internal/webapp"
+)
+
+func capture(t *testing.T, app *webapp.App) *Snapshot {
+	t.Helper()
+	snap, err := Capture(app, Options{DefaultModelPolicy: ModelOmit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// TestDiffApplyRoundTrip: for arbitrary mutations between two captures,
+// Apply(base, Diff(base, cur)) must reproduce cur exactly.
+func TestDiffApplyRoundTrip(t *testing.T) {
+	app, _ := inferenceApp(t)
+	base := capture(t, app)
+
+	// Mutate: change a global, add one, remove one, touch the DOM,
+	// enqueue an event.
+	if err := app.SetGlobal("image", webapp.Float32Array{9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetGlobal("newFlag", true); err != nil {
+		t.Fatal(err)
+	}
+	cur := capture(t, app)
+	delete(cur.Globals, "scores") // simulate a removed global
+	cur.DOM.Find("result").Text = "changed"
+	cur.Pending = append(cur.Pending, webapp.Event{Target: "btn", Type: "click"})
+
+	d, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppID != cur.AppID || got.CodeHash != cur.CodeHash {
+		t.Error("identity fields wrong")
+	}
+	if len(got.Globals) != len(cur.Globals) {
+		t.Fatalf("globals %d != %d", len(got.Globals), len(cur.Globals))
+	}
+	for name, v := range cur.Globals {
+		if !webapp.DeepEqual(got.Globals[name], v) {
+			t.Errorf("global %q differs", name)
+		}
+	}
+	if !got.DOM.Equal(cur.DOM) {
+		t.Error("DOM differs")
+	}
+	if len(got.Pending) != 1 || got.Pending[0].Type != "click" {
+		t.Errorf("pending = %+v", got.Pending)
+	}
+	gh, err := got.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cur.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != ch {
+		t.Error("reconstructed snapshot hash differs from original")
+	}
+}
+
+func TestDiffIsMinimal(t *testing.T) {
+	app, _ := inferenceApp(t)
+	base := capture(t, app)
+	cur := capture(t, app)
+	d, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.SetGlobals) != 0 || len(d.DelGlobals) != 0 || d.DOM != nil || d.BindingsChanged {
+		t.Errorf("no-op diff carries state: %+v", d)
+	}
+
+	if err := app.SetGlobal("counter", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	cur2 := capture(t, app)
+	d2, err := Diff(base, cur2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.SetGlobals) != 1 {
+		t.Errorf("single-global change carries %d globals", len(d2.SetGlobals))
+	}
+	if d2.DOM != nil {
+		t.Error("unchanged DOM must be omitted")
+	}
+}
+
+// TestDeltaMuchSmallerThanSnapshot pins the extension's purpose: a small
+// state change after a large first snapshot ships a tiny delta.
+func TestDeltaMuchSmallerThanSnapshot(t *testing.T) {
+	app, _ := inferenceApp(t)
+	// Make the heap big: a large feature array.
+	big := make(webapp.Float32Array, 50000)
+	for i := range big {
+		big[i] = float32(i%97) / 97
+	}
+	if err := app.SetGlobal("bigFeature", big); err != nil {
+		t.Fatal(err)
+	}
+	base := capture(t, app)
+	baseWire, err := base.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := app.SetGlobal("counter", 42.0); err != nil {
+		t.Fatal(err)
+	}
+	cur := capture(t, app)
+	d, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaWire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(deltaWire))*20 > int64(len(baseWire)) {
+		t.Errorf("delta %d B not ≪ snapshot %d B", len(deltaWire), len(baseWire))
+	}
+}
+
+func TestDeltaEncodeDecodeRoundTrip(t *testing.T) {
+	app, _ := inferenceApp(t)
+	if err := app.SetGlobal("doomed", "bye"); err != nil {
+		t.Fatal(err)
+	}
+	base := capture(t, app)
+	if err := app.SetGlobal("image", webapp.Float32Array{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	app.DOM().Find("result").Text = "dog"
+	cur := capture(t, app)
+	delete(cur.Globals, "doomed")
+	cur.Pending = []webapp.Event{{Target: "btn", Type: "go", Payload: "x"}}
+
+	d, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDelta(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppID != d.AppID || got.CodeHash != d.CodeHash || got.BaseHash != d.BaseHash {
+		t.Error("identity fields corrupted")
+	}
+	if len(got.SetGlobals) != len(d.SetGlobals) {
+		t.Fatalf("set globals %d != %d", len(got.SetGlobals), len(d.SetGlobals))
+	}
+	for name, v := range d.SetGlobals {
+		if !webapp.DeepEqual(got.SetGlobals[name], v) {
+			t.Errorf("global %q corrupted", name)
+		}
+	}
+	if len(got.DelGlobals) != 1 || got.DelGlobals[0] != "doomed" {
+		t.Errorf("deletes = %v", got.DelGlobals)
+	}
+	if got.DOM == nil || !got.DOM.Equal(d.DOM) {
+		t.Error("DOM corrupted")
+	}
+	if len(got.Pending) != 1 || got.Pending[0].Payload != "x" {
+		t.Errorf("pending = %+v", got.Pending)
+	}
+
+	// The decoded delta must apply identically.
+	a1, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := got.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := a1.Hash()
+	h2, _ := a2.Hash()
+	if h1 != h2 {
+		t.Error("decoded delta applies differently")
+	}
+}
+
+func TestApplyBaseMismatch(t *testing.T) {
+	app, _ := inferenceApp(t)
+	base := capture(t, app)
+	if err := app.SetGlobal("x", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	cur := capture(t, app)
+	d, err := Diff(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetGlobal("x", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	otherBase := capture(t, app)
+	if _, err := d.Apply(otherBase); !errors.Is(err, ErrBaseMismatch) {
+		t.Errorf("err = %v, want ErrBaseMismatch", err)
+	}
+}
+
+func TestDiffAcrossAppsFails(t *testing.T) {
+	app, _ := inferenceApp(t)
+	base := capture(t, app)
+	other := *base
+	other.AppID = "someone-else"
+	if _, err := Diff(base, &other); err == nil {
+		t.Error("cross-app diff should fail")
+	}
+}
+
+func TestHashIgnoresModels(t *testing.T) {
+	app, _ := inferenceApp(t)
+	withModels, err := Capture(app, Options{DefaultModelPolicy: ModelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutModels, err := Capture(app, Options{DefaultModelPolicy: ModelOmit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := withModels.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := withoutModels.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("hash must cover state, not model placement")
+	}
+}
+
+func TestDecodeDeltaCorrupt(t *testing.T) {
+	tests := [][]byte{
+		nil,
+		[]byte("// wrong header\n"),
+		[]byte(deltaHeader + "\nmeow;\n"),
+		[]byte(deltaHeader + "\nvar __appID = \"a\";\n"), // missing hashes
+	}
+	for i, data := range tests {
+		if _, err := DecodeDelta(data); err == nil {
+			t.Errorf("case %d decoded without error", i)
+		}
+	}
+}
+
+// Property: diff/apply round-trips for arbitrary single-global changes.
+func TestQuickDiffApply(t *testing.T) {
+	app, _ := inferenceApp(t)
+	base := capture(t, app)
+	f := func(val float64, s string, fs []float32) bool {
+		cur := *base
+		cur.Globals = make(map[string]webapp.Value, len(base.Globals)+1)
+		for k, v := range base.Globals {
+			cur.Globals[k] = v
+		}
+		v, err := webapp.Normalize(map[string]webapp.Value{"n": val, "s": s, "f": fs})
+		if err != nil {
+			return false
+		}
+		cur.Globals["mut"] = v
+		d, err := Diff(base, &cur)
+		if err != nil {
+			return false
+		}
+		wire, err := d.Encode()
+		if err != nil {
+			return false
+		}
+		dd, err := DecodeDelta(wire)
+		if err != nil {
+			return false
+		}
+		got, err := dd.Apply(base)
+		if err != nil {
+			return false
+		}
+		return webapp.DeepEqual(got.Globals["mut"], v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"websnap/internal/nn"
+	"websnap/internal/webapp"
+)
+
+// header is the first line of every encoded snapshot.
+const header = "// websnap-snapshot v1"
+
+// f32Key marks a Float32Array inside the JSON value encoding, standing in
+// for JavaScript's `new Float32Array([...])`. It is reserved: captured app
+// state must not use it as a map key.
+const f32Key = "__f32__"
+
+// Encode renders the snapshot as its textual program form — "the snapshot
+// app". One declaration per line:
+//
+//	// websnap-snapshot v1
+//	var __appID = "...";
+//	var __codeHash = "...";
+//	__model("gnet", {...spec...}, "<base64 weights or empty>");
+//	var feature = {"__f32__":[0.12,-1.5,...]};
+//	__dom({...});
+//	__bind({...});
+//	__dispatch({"target":"btn","type":"front_complete"});
+//
+// Running the snapshot (Restore) rebuilds exactly this state and
+// re-dispatches the pending events.
+func (s *Snapshot) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	fmt.Fprintln(w, header)
+	if err := writeVar(w, "__appID", s.AppID); err != nil {
+		return nil, err
+	}
+	if err := writeVar(w, "__codeHash", s.CodeHash); err != nil {
+		return nil, err
+	}
+	for _, ms := range s.Models {
+		spec, err := json.Marshal(ms.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: encode model %q spec: %w", ms.Name, err)
+		}
+		name, err := json.Marshal(ms.Name)
+		if err != nil {
+			return nil, err
+		}
+		blob := ""
+		if ms.Weights != nil {
+			blob = base64.StdEncoding.EncodeToString(ms.Weights)
+		}
+		fmt.Fprintf(w, "__model(%s, %s, %q);\n", name, spec, blob)
+	}
+	for _, name := range sortedGlobalNames(s.Globals) {
+		enc, err := encodeValue(s.Globals[name])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: encode global %q: %w", name, err)
+		}
+		fmt.Fprintf(w, "var %s = %s;\n", name, enc)
+	}
+	dom, err := webapp.MarshalDOM(s.DOM)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "__dom(%s);\n", dom)
+	for _, b := range s.Bindings {
+		enc, err := json.Marshal(b)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: encode binding: %w", err)
+		}
+		fmt.Fprintf(w, "__bind(%s);\n", enc)
+	}
+	for _, ev := range s.Pending {
+		enc, err := json.Marshal(wireEvent{
+			Target: ev.Target, Type: ev.Type, Payload: toWire(ev.Payload),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: encode event: %w", err)
+		}
+		fmt.Fprintf(w, "__dispatch(%s);\n", enc)
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses a textual snapshot produced by Encode.
+func Decode(data []byte) (*Snapshot, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024), 1<<30)
+	if !sc.Scan() || sc.Text() != header {
+		return nil, fmt.Errorf("%w: missing header", ErrCorrupt)
+	}
+	s := &Snapshot{Globals: make(map[string]webapp.Value)}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if err := s.decodeLine(line); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrCorrupt, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if s.AppID == "" || s.CodeHash == "" {
+		return nil, fmt.Errorf("%w: missing __appID or __codeHash", ErrCorrupt)
+	}
+	if s.DOM == nil {
+		return nil, fmt.Errorf("%w: missing __dom", ErrCorrupt)
+	}
+	return s, nil
+}
+
+type wireEvent struct {
+	Target  string `json:"target"`
+	Type    string `json:"type"`
+	Payload any    `json:"payload,omitempty"`
+}
+
+func (s *Snapshot) decodeLine(line string) error {
+	switch {
+	case strings.HasPrefix(line, "var "):
+		return s.decodeVar(line)
+	case strings.HasPrefix(line, "__model("):
+		return s.decodeModel(line)
+	case strings.HasPrefix(line, "__dom("):
+		body, err := callBody(line, "__dom")
+		if err != nil {
+			return err
+		}
+		dom, err := webapp.UnmarshalDOM([]byte(body))
+		if err != nil {
+			return err
+		}
+		s.DOM = dom
+		return nil
+	case strings.HasPrefix(line, "__bind("):
+		body, err := callBody(line, "__bind")
+		if err != nil {
+			return err
+		}
+		var b webapp.Binding
+		if err := json.Unmarshal([]byte(body), &b); err != nil {
+			return err
+		}
+		s.Bindings = append(s.Bindings, b)
+		return nil
+	case strings.HasPrefix(line, "__dispatch("):
+		body, err := callBody(line, "__dispatch")
+		if err != nil {
+			return err
+		}
+		var we wireEvent
+		if err := json.Unmarshal([]byte(body), &we); err != nil {
+			return err
+		}
+		payload, err := fromWire(we.Payload)
+		if err != nil {
+			return err
+		}
+		s.Pending = append(s.Pending, webapp.Event{Target: we.Target, Type: we.Type, Payload: payload})
+		return nil
+	default:
+		return fmt.Errorf("unrecognized statement %.40q", line)
+	}
+}
+
+func (s *Snapshot) decodeVar(line string) error {
+	rest := strings.TrimPrefix(line, "var ")
+	eq := strings.Index(rest, " = ")
+	if eq < 0 || !strings.HasSuffix(rest, ";") {
+		return fmt.Errorf("malformed var statement")
+	}
+	name := rest[:eq]
+	body := rest[eq+3 : len(rest)-1]
+	switch name {
+	case "__appID", "__codeHash":
+		var v string
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			return err
+		}
+		if name == "__appID" {
+			s.AppID = v
+		} else {
+			s.CodeHash = v
+		}
+		return nil
+	default:
+		v, err := decodeValue(body)
+		if err != nil {
+			return fmt.Errorf("global %q: %w", name, err)
+		}
+		s.Globals[name] = v
+		return nil
+	}
+}
+
+func (s *Snapshot) decodeModel(line string) error {
+	body, err := callBody(line, "__model")
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader("[" + body + "]"))
+	var args []json.RawMessage
+	if err := dec.Decode(&args); err != nil || len(args) != 3 {
+		return fmt.Errorf("malformed __model arguments: %v", err)
+	}
+	var ms ModelState
+	if err := json.Unmarshal(args[0], &ms.Name); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(args[1], &ms.Spec); err != nil {
+		return err
+	}
+	var blob string
+	if err := json.Unmarshal(args[2], &blob); err != nil {
+		return err
+	}
+	if blob != "" {
+		ms.Weights, err = base64.StdEncoding.DecodeString(blob)
+		if err != nil {
+			return fmt.Errorf("model weights: %w", err)
+		}
+	}
+	s.Models = append(s.Models, ms)
+	return nil
+}
+
+// writeVar emits `var name = "<json string>";`.
+func writeVar(w *bufio.Writer, name, value string) error {
+	enc, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "var %s = %s;\n", name, enc)
+	return err
+}
+
+// callBody extracts X from `name(X);`.
+func callBody(line, name string) (string, error) {
+	if !strings.HasPrefix(line, name+"(") || !strings.HasSuffix(line, ");") {
+		return "", fmt.Errorf("malformed %s statement", name)
+	}
+	return line[len(name)+1 : len(line)-2], nil
+}
+
+// encodeValue renders a canonical value as single-line JSON with
+// Float32Array as the {"__f32__": [...]} marker object. Typed-array floats
+// therefore serialize textually, like JS array literals in the paper's
+// snapshots.
+func encodeValue(v webapp.Value) (string, error) {
+	data, err := json.Marshal(toWire(v))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func decodeValue(body string) (webapp.Value, error) {
+	var raw any
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		return nil, err
+	}
+	return fromWire(raw)
+}
+
+// toWire maps the canonical value tree to a json.Marshal-able tree.
+func toWire(v webapp.Value) any {
+	switch t := v.(type) {
+	case webapp.Float32Array:
+		return map[string]any{f32Key: []float32(t)}
+	case []webapp.Value:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = toWire(e)
+		}
+		return out
+	case map[string]webapp.Value:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = toWire(e)
+		}
+		return out
+	default:
+		return t
+	}
+}
+
+// fromWire maps a json.Unmarshal-ed tree back to canonical value form.
+func fromWire(v any) (webapp.Value, error) {
+	switch t := v.(type) {
+	case nil, bool, float64, string:
+		return t, nil
+	case []any:
+		out := make([]webapp.Value, len(t))
+		for i, e := range t {
+			n, err := fromWire(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case map[string]any:
+		if raw, ok := t[f32Key]; ok && len(t) == 1 {
+			arr, ok := raw.([]any)
+			if !ok {
+				return nil, fmt.Errorf("%s marker is not an array", f32Key)
+			}
+			fa := make(webapp.Float32Array, len(arr))
+			for i, e := range arr {
+				f, ok := e.(float64)
+				if !ok {
+					return nil, fmt.Errorf("%s element %d is not a number", f32Key, i)
+				}
+				fa[i] = float32(f)
+			}
+			return fa, nil
+		}
+		out := make(map[string]webapp.Value, len(t))
+		for k, e := range t {
+			n, err := fromWire(e)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = n
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported wire type %T", v)
+	}
+}
+
+// checkReserved rejects values that would collide with the Float32Array
+// marker encoding.
+func checkReserved(v webapp.Value) error {
+	switch t := v.(type) {
+	case []webapp.Value:
+		for _, e := range t {
+			if err := checkReserved(e); err != nil {
+				return err
+			}
+		}
+	case map[string]webapp.Value:
+		for k, e := range t {
+			if k == f32Key {
+				return fmt.Errorf("%w: %q", ErrReservedKey, f32Key)
+			}
+			if err := checkReserved(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sortedGlobalNames(globals map[string]webapp.Value) []string {
+	names := make([]string, 0, len(globals))
+	for k := range globals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func encodeWeights(net *nn.Network) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := net.EncodeWeights(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWeights(net *nn.Network, blob []byte) error {
+	return net.DecodeWeights(bytes.NewReader(blob))
+}

@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"testing"
+
+	"websnap/internal/webapp"
+)
+
+// FuzzDecode hardens the snapshot parser: arbitrary bytes must either
+// decode into a snapshot that re-encodes cleanly, or fail — never panic.
+func FuzzDecode(f *testing.F) {
+	app, err := webapp.NewApp("fuzz", seedRegistry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := app.SetGlobal("x", webapp.Float32Array{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := Capture(app, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	wire, err := snap.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte(header + "\n"))
+	f.Add([]byte(header + "\nvar x = {\"__f32__\":[1e999]};\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := s.Encode(); err != nil {
+			t.Errorf("decoded snapshot failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeDelta hardens the delta parser the same way.
+func FuzzDecodeDelta(f *testing.F) {
+	app, err := webapp.NewApp("fuzz", seedRegistry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	base, err := Capture(app, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := app.SetGlobal("y", 4.5); err != nil {
+		f.Fatal(err)
+	}
+	cur, err := Capture(app, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	d, err := Diff(base, cur)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wire, err := d.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add([]byte(deltaHeader + "\n__delete(\"x\");\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dd, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		if _, err := dd.Encode(); err != nil {
+			t.Errorf("decoded delta failed to re-encode: %v", err)
+		}
+	})
+}
+
+func seedRegistry() *webapp.Registry {
+	reg := webapp.NewRegistry("fuzz-app")
+	reg.MustRegister("noop", func(*webapp.App, webapp.Event) error { return nil })
+	return reg
+}

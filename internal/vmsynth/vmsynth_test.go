@@ -1,0 +1,150 @@
+package vmsynth
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"websnap/internal/netem"
+)
+
+func TestStandardComponentsInventory(t *testing.T) {
+	comps := StandardComponents(27 << 20)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	var total int64
+	names := map[string]bool{}
+	for _, c := range comps {
+		if err := c.Validate(); err != nil {
+			t.Errorf("component %q invalid: %v", c.Name, err)
+		}
+		total += c.RawBytes
+		names[c.Name] = true
+	}
+	for _, want := range []string{"browser", "libs", "offload-server", "model"} {
+		if !names[want] {
+			t.Errorf("missing component %q", want)
+		}
+	}
+	if total != BrowserBytes+LibraryBytes+ServerBytes+27<<20 {
+		t.Errorf("total raw = %d", total)
+	}
+}
+
+// TestTable1OverlaySizes checks the analytic compressed overlay sizes
+// against the paper's Table 1: 65 MB for GoogLeNet (27 MB model) and 82 MB
+// for AgeNet/GenderNet (44 MB models), within 10%.
+func TestTable1OverlaySizes(t *testing.T) {
+	tests := []struct {
+		name       string
+		modelBytes int64
+		paperMB    float64
+	}{
+		{"googlenet", 27 << 20, 65},
+		{"agenet", 44 << 20, 82},
+		{"gendernet", 44 << 20, 82},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o, err := BuildOverlay(StandardComponents(tt.modelBytes)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMB := float64(o.CompressedBytes) / (1 << 20)
+			if gotMB < tt.paperMB*0.9 || gotMB > tt.paperMB*1.1 {
+				t.Errorf("overlay = %.1f MB, want within 10%% of %.0f MB", gotMB, tt.paperMB)
+			}
+		})
+	}
+}
+
+// TestTable1SynthesisTimes checks transfer + apply against the paper's
+// 19.31 s and 24.29 s synthesis times (within 15%).
+func TestTable1SynthesisTimes(t *testing.T) {
+	syn := NewSynthesizer(BaseImage{Name: "ubuntu-12.04", Bytes: 1 << 30})
+	tests := []struct {
+		modelBytes int64
+		paperSecs  float64
+	}{
+		{27 << 20, 19.31},
+		{44 << 20, 24.29},
+	}
+	for _, tt := range tests {
+		o, err := BuildOverlay(StandardComponents(tt.modelBytes)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := netem.WiFi30Mbps.TransferTime(o.CompressedBytes) + syn.EstimateApply(o.CompressedBytes)
+		got := total.Seconds()
+		if got < tt.paperSecs*0.85 || got > tt.paperSecs*1.15 {
+			t.Errorf("synthesis total = %.2fs, want within 15%% of %.2fs", got, tt.paperSecs)
+		}
+	}
+}
+
+func TestBuildOverlayRealCompression(t *testing.T) {
+	// Compressible "binary" component and incompressible-ish component.
+	binData := []byte(strings.Repeat("LIBC-SYMBOLS-", 1000))
+	comps := []Component{
+		{Name: "bin", RawBytes: int64(len(binData)), CompressRatio: 0.4, Data: binData},
+	}
+	o, err := BuildOverlay(comps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Compressed == nil {
+		t.Fatal("real data should produce a real blob")
+	}
+	if o.CompressedBytes >= o.RawBytes {
+		t.Errorf("repetitive data did not compress: %d >= %d", o.CompressedBytes, o.RawBytes)
+	}
+
+	syn := NewSynthesizer(BaseImage{Name: "base", Bytes: 1})
+	res, err := syn.Synthesize("base", o.Compressed)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if res.DecompressedBytes != o.RawBytes {
+		t.Errorf("decompressed %d bytes, want %d", res.DecompressedBytes, o.RawBytes)
+	}
+	if res.SynthesisTime <= 0 {
+		t.Error("synthesis time should be positive")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	syn := NewSynthesizer(BaseImage{Name: "base", Bytes: 1})
+	if _, err := syn.Synthesize("missing-base", []byte{1}); err == nil {
+		t.Error("unknown base image should fail")
+	}
+	if _, err := syn.Synthesize("base", nil); err == nil {
+		t.Error("empty overlay should fail")
+	}
+	if _, err := syn.Synthesize("base", []byte("definitely not flate data")); err == nil {
+		t.Error("corrupt overlay should fail")
+	}
+}
+
+func TestBuildOverlayValidation(t *testing.T) {
+	if _, err := BuildOverlay(); err == nil {
+		t.Error("empty overlay should fail")
+	}
+	if _, err := BuildOverlay(Component{Name: "", RawBytes: 1}); err == nil {
+		t.Error("unnamed component should fail")
+	}
+	if _, err := BuildOverlay(Component{Name: "x", RawBytes: 5, Data: []byte{1}}); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := BuildOverlay(Component{Name: "x", RawBytes: 1, CompressRatio: 2}); err == nil {
+		t.Error("ratio > 1 should fail")
+	}
+}
+
+func TestEstimateApplyDefaultRate(t *testing.T) {
+	syn := &Synthesizer{}
+	got := syn.EstimateApply(DefaultApplyBytesPerSec)
+	if got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Errorf("EstimateApply at default rate = %v, want ~1s", got)
+	}
+}

@@ -1,0 +1,54 @@
+package webapp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Catalog maps code hashes to registered app code bundles. It stands in for
+// the snapshot's embedded JavaScript text: the paper's snapshots carry the
+// app's functions verbatim, whereas here both client and edge server
+// resolve the same bundle by its content hash (see DESIGN.md §1).
+//
+// A Catalog is safe for concurrent use; the edge server looks bundles up
+// from per-connection goroutines.
+type Catalog struct {
+	mu      sync.RWMutex
+	bundles map[string]*Registry
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{bundles: make(map[string]*Registry)}
+}
+
+// Add registers a code bundle under its hash. Adding the same bundle twice
+// is a no-op; adding a different bundle with a colliding hash is an error.
+func (c *Catalog) Add(r *Registry) error {
+	if r == nil {
+		return fmt.Errorf("webapp: catalog: nil registry")
+	}
+	h := r.CodeHash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.bundles[h]; ok && existing != r {
+		return fmt.Errorf("webapp: catalog: hash collision for %q", h)
+	}
+	c.bundles[h] = r
+	return nil
+}
+
+// Lookup resolves a code hash to its bundle.
+func (c *Catalog) Lookup(codeHash string) (*Registry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.bundles[codeHash]
+	return r, ok
+}
+
+// Len returns the number of registered bundles.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.bundles)
+}

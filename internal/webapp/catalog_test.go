@@ -1,0 +1,140 @@
+package webapp
+
+import "testing"
+
+func newBundle(name string, handlers ...string) *Registry {
+	r := NewRegistry(name)
+	for _, h := range handlers {
+		r.MustRegister(h, func(*App, Event) error { return nil })
+	}
+	return r
+}
+
+func TestCatalogAddLookup(t *testing.T) {
+	cat := NewCatalog()
+	if cat.Len() != 0 {
+		t.Fatalf("new catalog len = %d", cat.Len())
+	}
+	a := newBundle("app-a", "h1")
+	if err := cat.Add(a); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := cat.Add(a); err != nil {
+		t.Errorf("re-adding the same bundle should be a no-op: %v", err)
+	}
+	if cat.Len() != 1 {
+		t.Errorf("len = %d, want 1", cat.Len())
+	}
+	got, ok := cat.Lookup(a.CodeHash())
+	if !ok || got != a {
+		t.Error("lookup failed")
+	}
+	if _, ok := cat.Lookup("nope"); ok {
+		t.Error("unknown hash should miss")
+	}
+	if err := cat.Add(nil); err == nil {
+		t.Error("nil registry should fail")
+	}
+}
+
+func TestCatalogCollision(t *testing.T) {
+	cat := NewCatalog()
+	// Two distinct bundles with identical name and handler names hash
+	// the same: a collision must be rejected, not silently replaced.
+	a := newBundle("app", "h")
+	b := newBundle("app", "h")
+	if a.CodeHash() != b.CodeHash() {
+		t.Fatal("test setup: hashes should collide")
+	}
+	if err := cat.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add(b); err == nil {
+		t.Error("colliding distinct bundle should be rejected")
+	}
+}
+
+func TestAppAccessors(t *testing.T) {
+	reg := newBundle("acc-app", "h")
+	app, err := NewApp("instance-1", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.ID() != "instance-1" {
+		t.Errorf("ID = %q", app.ID())
+	}
+	if app.Registry() != reg {
+		t.Error("Registry accessor broken")
+	}
+	if app.CodeHash() != reg.CodeHash() {
+		t.Error("CodeHash mismatch")
+	}
+	if reg.Name() != "acc-app" {
+		t.Errorf("Name = %q", reg.Name())
+	}
+	if err := app.SetGlobal("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.SetGlobal("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	names := app.GlobalNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("GlobalNames = %v, want sorted [a b]", names)
+	}
+
+	app.DispatchEvent(Event{Target: "t", Type: "x"})
+	app.DispatchEvent(Event{Target: "t", Type: "y"})
+	pending := app.PendingEvents()
+	if len(pending) != 2 || pending[0].Type != "x" {
+		t.Errorf("PendingEvents = %v", pending)
+	}
+	if ev, ok := app.PeekEvent(); !ok || ev.Type != "x" {
+		t.Errorf("PeekEvent = %v, %v", ev, ok)
+	}
+	app.ClearEvents()
+	if _, ok := app.PeekEvent(); ok {
+		t.Error("ClearEvents left events behind")
+	}
+
+	// Replace* round trips.
+	app2, err := NewApp("instance-2", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2.ReplaceGlobals(app.Globals())
+	if v, _ := app2.Global("a"); v != float64(1) {
+		t.Error("ReplaceGlobals lost data")
+	}
+	dom := NewNode("body", "root")
+	dom.AppendChild(NewNode("div", "x"))
+	app2.ReplaceDOM(dom)
+	if app2.DOM().Find("x") == nil {
+		t.Error("ReplaceDOM lost tree")
+	}
+	if err := app.AddEventListener("t", "x", "h"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app2.ReplaceBindings(app.Bindings()); err != nil {
+		t.Fatal(err)
+	}
+	if got := app2.Bindings(); len(got) != 1 || got[0].Handler != "h" {
+		t.Errorf("Bindings = %v", got)
+	}
+}
+
+func TestNewAppNilRegistry(t *testing.T) {
+	if _, err := NewApp("x", nil); err == nil {
+		t.Error("nil registry should fail")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister on duplicate should panic")
+		}
+	}()
+	r := newBundle("p", "h")
+	r.MustRegister("h", func(*App, Event) error { return nil })
+}

@@ -1,0 +1,141 @@
+package websnap_test
+
+import (
+	"net"
+	"testing"
+
+	"websnap"
+)
+
+// startServer brings up an edge server for facade tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := websnap.NewEdgeServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// TestPublicAPIEndToEnd drives the whole system exclusively through the
+// re-exported facade, as a downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	addr := startServer(t)
+	model, err := websnap.BuildTinyNet("tinynet", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := websnap.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	session, err := websnap.NewSession(websnap.SessionConfig{
+		AppID:     "facade-test",
+		ModelName: "tinynet",
+		Model:     model,
+		Labels:    []string{"cat", "dog", "bird"},
+		Mode:      websnap.ModeFull,
+		Conn:      conn,
+		PreSend:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WaitForModelUpload(); err != nil {
+		t.Fatal(err)
+	}
+	img := make(websnap.Float32Array, 3*16*16)
+	for i := range img {
+		img[i] = float32(i%97) / 97
+	}
+	got, err := session.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"cat": true, "dog": true, "bird": true}
+	if !want[got] {
+		t.Errorf("Classify = %q, want one of the labels", got)
+	}
+	if st := session.Stats(); st.Offloads != 1 {
+		t.Errorf("offloads = %d, want 1", st.Offloads)
+	}
+}
+
+func TestPublicExperimentDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers build full models")
+	}
+	rows, err := websnap.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("Fig6 rows = %d, want 3", len(rows))
+	}
+	t1, err := websnap.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 3 {
+		t.Errorf("Table1 rows = %d, want 3", len(t1))
+	}
+	f1, err := websnap.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) == 0 {
+		t.Error("Fig1 empty")
+	}
+}
+
+func TestPublicModelBuilders(t *testing.T) {
+	for name, build := range map[string]func() (*websnap.Network, error){
+		"googlenet": websnap.BuildGoogLeNet,
+		"agenet":    websnap.BuildAgeNet,
+		"gendernet": websnap.BuildGenderNet,
+	} {
+		net, err := build()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if net.Name() != name {
+			t.Errorf("%s built as %q", name, net.Name())
+		}
+	}
+	if _, err := websnap.BuildModel("nope"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestPublicPartitionAnalysis(t *testing.T) {
+	model, err := websnap.BuildTinyNet("tinynet", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := websnap.AnalyzePartition(model, websnap.PartitionConfig{
+		Client:  websnap.ClientOdroid,
+		Server:  websnap.ServerX86,
+		Network: websnap.WiFi30Mbps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Candidates) == 0 {
+		t.Error("no candidates")
+	}
+	if _, err := plan.Choose(true); err != nil {
+		t.Errorf("Choose: %v", err)
+	}
+}
