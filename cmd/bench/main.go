@@ -7,7 +7,11 @@
 //	bench -experiment table1   VM-based installation overhead (Table 1)
 //	bench -experiment fig1     GoogLeNet architecture walk-through (Fig 1)
 //	bench -experiment featsize feature data size per offloading point (§IV.B)
+//	bench -experiment load     edge scheduler under concurrent clients
 //	bench -experiment all      everything
+//
+// The load experiment takes the scheduler knobs -workers, -queue and
+// -batch, mirroring cmd/edged's flags.
 package main
 
 import (
@@ -25,16 +29,20 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, all")
 	format := flag.String("format", "table", "output format: table, csv")
+	var lc sim.LoadConfig
+	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
+	flag.IntVar(&lc.QueueDepth, "queue", 0, "load experiment: admission queue depth (0 = default)")
+	flag.IntVar(&lc.MaxBatch, "batch", 8, "load experiment: max coalesced batch size")
 	flag.Parse()
-	if err := run(*experiment, *format, os.Stdout); err != nil {
+	if err := run(*experiment, *format, lc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, format string, out io.Writer) error {
+func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 	if format != "table" && format != "csv" {
 		return fmt.Errorf("unknown format %q (want table or csv)", format)
 	}
@@ -47,8 +55,9 @@ func run(experiment, format string, out io.Writer) error {
 		"table1":   table1,
 		"featsize": featsize,
 		"sweep":    sweep,
+		"load":     func(w io.Writer) error { return load(w, lc) },
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order
@@ -235,6 +244,34 @@ func sweep(w io.Writer) error {
 		fmt.Fprintf(w, "%.0f\t%s\t%s\t%s\t%s\t%s\n",
 			p.BandwidthMbps, secs(p.ClientOnly), secs(p.BeforeACK), secs(p.AfterACK),
 			p.BestLabel, secs(p.BestTotal))
+	}
+	return nil
+}
+
+// loadClients is the default concurrency sweep of the load experiment.
+var loadClients = []int{1, 2, 4, 8, 16, 32, 64}
+
+func load(w io.Writer, lc sim.LoadConfig) error {
+	if lc.MaxBatch < 1 {
+		lc.MaxBatch = 1
+	}
+	pts, err := sim.LoadSweep("googlenet", loadClients, lc)
+	if err != nil {
+		return err
+	}
+	base := lc
+	base.MaxBatch = 1
+	basePts, err := sim.LoadSweep("googlenet", loadClients, base)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Load sweep: concurrent partial-offload clients, GoogLeNet @ %s (batch=%d vs batch=1)\n",
+		sim.PartialPointUsed, lc.MaxBatch)
+	fmt.Fprintln(w, "Clients\tOffloaded/s\tOffloaded/s (batch=1)\tTotal/s\tp50 (s)\tp99 (s)\tFallback %")
+	for i, p := range pts {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\t%.2f\t%s\t%s\t%.0f\n",
+			p.Clients, p.OffloadedThroughput, basePts[i].OffloadedThroughput,
+			p.Throughput, secs(p.P50), secs(p.P99), 100*p.FallbackRate())
 	}
 	return nil
 }

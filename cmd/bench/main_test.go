@@ -3,11 +3,13 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"websnap/internal/sim"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run("fig99", "table", &sb); err == nil {
+	if err := run("fig99", "table", sim.LoadConfig{}, &sb); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -25,11 +27,12 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"table1", []string{"Table 1", "VM overlay (MB)", "pre-sending"}},
 		{"featsize", []string{"Feature data size", "1st_conv"}},
 		{"sweep", []string{"Ablation", "30"}},
+		{"load", []string{"Load sweep", "Fallback %"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.experiment, func(t *testing.T) {
 			var sb strings.Builder
-			if err := run(tt.experiment, "table", &sb); err != nil {
+			if err := run(tt.experiment, "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 				t.Fatalf("run(%s): %v", tt.experiment, err)
 			}
 			out := sb.String()
@@ -44,7 +47,7 @@ func TestRunSingleExperiments(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	var sb strings.Builder
-	if err := run("fig6", "csv", &sb); err != nil {
+	if err := run("fig6", "csv", sim.LoadConfig{}, &sb); err != nil {
 		t.Fatalf("csv: %v", err)
 	}
 	out := sb.String()
@@ -54,7 +57,7 @@ func TestRunCSVFormat(t *testing.T) {
 	if !strings.Contains(out, "googlenet,") {
 		t.Errorf("csv rows missing: %.200q", out)
 	}
-	if err := run("fig6", "yaml", &sb); err == nil {
+	if err := run("fig6", "yaml", sim.LoadConfig{}, &sb); err == nil {
 		t.Error("unknown format should fail")
 	}
 }
@@ -64,7 +67,7 @@ func TestRunAll(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	var sb strings.Builder
-	if err := run("all", "table", &sb); err != nil {
+	if err := run("all", "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1"} {

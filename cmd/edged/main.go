@@ -20,6 +20,7 @@ import (
 
 	"websnap/internal/core"
 	"websnap/internal/edge"
+	"websnap/internal/sched"
 	"websnap/internal/vmsynth"
 )
 
@@ -37,15 +38,39 @@ func main() {
 			"serve GET /metrics (JSON counters) on this address (empty = disabled)")
 		idle  = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
 		quiet = flag.Bool("quiet", false, "suppress per-request logging")
+
+		workers = flag.Int("workers", edge.DefaultWorkers,
+			"scheduler worker-pool size (concurrent snapshot executions)")
+		queue = flag.Int("queue", 0,
+			"scheduler admission-queue depth (0 = default)")
+		batch = flag.Int("batch", 1,
+			"max snapshot sessions coalesced into one batched forward pass (1 = no batching)")
+		batchWindow = flag.Duration("batch-window", 0,
+			"how long a worker holds an under-filled batch open (0 = batch only queued backlog)")
+		block = flag.Bool("queue-block", false,
+			"block full-queue submissions up to -queue-wait instead of rejecting them")
+		queueWait = flag.Duration("queue-wait", 0,
+			"how long -queue-block waits for queue space (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *maxConns, *idle, *quiet); err != nil {
+	sc := schedConfig{
+		workers: *workers, queue: *queue, batch: *batch,
+		batchWindow: *batchWindow, block: *block, queueWait: *queueWait,
+	}
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *maxConns, *idle, *quiet, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, maxConns int, idle time.Duration, quiet bool) error {
+// schedConfig bundles the scheduler flags.
+type schedConfig struct {
+	workers, queue, batch  int
+	batchWindow, queueWait time.Duration
+	block                  bool
+}
+
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, maxConns int, idle time.Duration, quiet bool, sc schedConfig) error {
 	catalog, err := core.DefaultCatalog()
 	if err != nil {
 		return err
@@ -53,6 +78,12 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, 
 	cfg := edge.Config{
 		Catalog: catalog, Installed: !onDemand, ModelDir: modelDir,
 		MaxConns: maxConns, IdleTimeout: idle,
+		Workers: sc.workers, QueueDepth: sc.queue,
+		MaxBatch: sc.batch, BatchWindow: sc.batchWindow,
+		QueueWait: sc.queueWait,
+	}
+	if sc.block {
+		cfg.QueuePolicy = sched.PolicyBlock
 	}
 	if !quiet {
 		cfg.Logf = log.Printf

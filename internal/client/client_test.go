@@ -252,3 +252,130 @@ func TestRunQuiesceError(t *testing.T) {
 		t.Error("Run under budget should report non-quiescence")
 	}
 }
+
+func TestOverloadedErrorAndLoadHint(t *testing.T) {
+	clientSide, serverSide := net.Pipe()
+	go func() {
+		defer serverSide.Close()
+		if _, err := protocol.Read(serverSide); err != nil {
+			return
+		}
+		msg, _ := protocol.Encode(protocol.MsgError, protocol.ErrorHeader{
+			Message:    "queue full",
+			Overloaded: true,
+			Load: &protocol.LoadHint{
+				QueueDepth: 8, QueueCap: 8, Workers: 2, Busy: 2,
+				QueueingMillis: 250, Saturated: true,
+			},
+		}, nil)
+		protocol.Write(serverSide, msg)
+	}()
+	conn := NewConn(clientSide)
+	defer conn.Close()
+	_, _, err := conn.OffloadSnapshot("a", []byte("snap"), false)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if !errors.Is(err, ErrServerError) {
+		t.Errorf("overload error should also match ErrServerError, got %v", err)
+	}
+	hint, at, ok := conn.LastLoad()
+	if !ok {
+		t.Fatal("LastLoad not recorded from error header")
+	}
+	if !hint.Saturated || hint.QueueingDelay() != 250*time.Millisecond {
+		t.Errorf("hint = %+v", hint)
+	}
+	if at.IsZero() {
+		t.Error("load timestamp not set")
+	}
+}
+
+func TestPingCollectsLoad(t *testing.T) {
+	clientSide, serverSide := net.Pipe()
+	go func() {
+		defer serverSide.Close()
+		msg, err := protocol.Read(serverSide)
+		if err != nil || msg.Type != protocol.MsgPing {
+			return
+		}
+		var hdr protocol.PingHeader
+		if protocol.DecodeHeader(msg, &hdr) != nil || hdr.Hints < protocol.HintLoadV1 {
+			return
+		}
+		pong, _ := protocol.Encode(protocol.MsgPong, protocol.PongHeader{
+			Installed: true,
+			Load:      &protocol.LoadHint{Workers: 4, QueueingMillis: 10},
+		}, nil)
+		protocol.Write(serverSide, pong)
+	}()
+	conn := NewConn(clientSide)
+	defer conn.Close()
+	installed, load, err := conn.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !installed || load == nil || load.Workers != 4 {
+		t.Errorf("installed=%v load=%+v", installed, load)
+	}
+	if _, _, ok := conn.LastLoad(); !ok {
+		t.Error("ping did not record the load hint")
+	}
+}
+
+func TestLoadSheddingKeepsEventLocal(t *testing.T) {
+	// A fresh saturated hint must keep offloadable events on the client
+	// without any network round trip: the scripted server answers nothing.
+	clientSide, serverSide := net.Pipe()
+	defer serverSide.Close()
+	conn := NewConn(clientSide)
+	defer conn.Close()
+	conn.noteLoad(&protocol.LoadHint{Saturated: true, QueueingMillis: 5000})
+
+	app := tinyApp(t)
+	off, err := NewOffloader(app, conn, Options{
+		OffloadEventTypes: []string{mlapp.EventClick},
+		MaxQueueingDelay:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, 1)); err != nil {
+		t.Fatal(err)
+	}
+	app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+	if _, err := off.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := mlapp.Result(app); got == "" {
+		t.Fatal("local execution produced no result")
+	}
+	st := off.Stats()
+	if st.LoadSheds != 1 {
+		t.Errorf("LoadSheds = %d, want 1", st.LoadSheds)
+	}
+	if st.Offloads != 0 || st.LocalFallbacks != 0 {
+		t.Errorf("unexpected stats %+v", st)
+	}
+}
+
+func TestStaleLoadHintIgnored(t *testing.T) {
+	clientSide, serverSide := net.Pipe()
+	defer serverSide.Close()
+	conn := NewConn(clientSide)
+	defer conn.Close()
+	conn.noteLoad(&protocol.LoadHint{Saturated: true})
+	conn.loadMu.Lock()
+	conn.loadAt = time.Now().Add(-time.Minute)
+	conn.loadMu.Unlock()
+	off, err := NewOffloader(tinyApp(t), conn, Options{
+		OffloadEventTypes: []string{mlapp.EventClick},
+		MaxQueueingDelay:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.shouldShed() {
+		t.Error("stale hint should not shed")
+	}
+}

@@ -20,14 +20,51 @@ import (
 // ErrServerError wraps a MsgError response from the edge server.
 var ErrServerError = errors.New("client: edge server error")
 
+// ErrOverloaded wraps a MsgError response whose header carries the overload
+// marker: the request was fine, but the server's admission queue is full.
+// The client should execute locally (or pick another server) instead of
+// retrying. ErrOverloaded errors also match ErrServerError.
+var ErrOverloaded = errors.New("client: edge server overloaded")
+
 // Conn is a synchronous request/response channel to an edge server's
 // offloading program. It serializes requests with a mutex, so one Conn may
 // be shared by the pre-send goroutine and the offloading path.
+//
+// Every request advertises the load-hint extension; servers that support it
+// attach their scheduling load to responses, which the Conn records for
+// LastLoad. Old servers ignore the advertisement.
 type Conn struct {
 	mu      sync.Mutex
 	rw      net.Conn
 	seq     uint64
 	timeout time.Duration
+
+	loadMu   sync.Mutex
+	lastLoad *protocol.LoadHint
+	loadAt   time.Time
+}
+
+// noteLoad records a load hint found in a response header.
+func (c *Conn) noteLoad(h *protocol.LoadHint) {
+	if h == nil {
+		return
+	}
+	c.loadMu.Lock()
+	c.lastLoad = h
+	c.loadAt = time.Now()
+	c.loadMu.Unlock()
+}
+
+// LastLoad returns the most recent load hint received from the server and
+// when it arrived. ok is false when no response has carried one (old
+// server, or no requests yet).
+func (c *Conn) LastLoad() (hint protocol.LoadHint, at time.Time, ok bool) {
+	c.loadMu.Lock()
+	defer c.loadMu.Unlock()
+	if c.lastLoad == nil {
+		return protocol.LoadHint{}, time.Time{}, false
+	}
+	return *c.lastLoad, c.loadAt, true
 }
 
 // SetRequestTimeout bounds each request/response round trip; a server that
@@ -83,9 +120,35 @@ func (c *Conn) roundTrip(req protocol.Message) (protocol.Message, error) {
 		if err := protocol.DecodeHeader(resp, &hdr); err != nil {
 			return protocol.Message{}, err
 		}
+		c.noteLoad(hdr.Load)
+		if hdr.Overloaded {
+			return protocol.Message{}, fmt.Errorf("%w: %w: %s", ErrServerError, ErrOverloaded, hdr.Message)
+		}
 		return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
 	}
 	return resp, nil
+}
+
+// Ping probes the server's install state and, when the server supports the
+// load-hint extension, its current scheduling load.
+func (c *Conn) Ping() (installed bool, load *protocol.LoadHint, err error) {
+	req, err := protocol.Encode(protocol.MsgPing, protocol.PingHeader{Hints: protocol.HintLoadV1}, nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return false, nil, fmt.Errorf("client: ping: %w", err)
+	}
+	if resp.Type != protocol.MsgPong {
+		return false, nil, fmt.Errorf("client: ping: unexpected response %s", resp.Type)
+	}
+	var hdr protocol.PongHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return false, nil, err
+	}
+	c.noteLoad(hdr.Load)
+	return hdr.Installed, hdr.Load, nil
 }
 
 // PreSendModel ships one model (descriptor + weights) to the edge server
@@ -102,6 +165,7 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 	}
 	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
 		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
+		Hints: protocol.HintLoadV1,
 	}, weights.Bytes())
 	if err != nil {
 		return err
@@ -117,6 +181,7 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 	if err := protocol.DecodeHeader(resp, &ack); err != nil {
 		return err
 	}
+	c.noteLoad(ack.Load)
 	if ack.ModelName != name {
 		return fmt.Errorf("client: pre-send %q: ACK names %q", name, ack.ModelName)
 	}
@@ -155,7 +220,7 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 		encoding = protocol.EncodingFlate
 	}
 	req, err := protocol.Encode(reqType,
-		protocol.SnapshotHeader{AppID: appID, Seq: seq, Encoding: encoding}, body)
+		protocol.SnapshotHeader{AppID: appID, Seq: seq, Encoding: encoding, Hints: protocol.HintLoadV1}, body)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -170,6 +235,7 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
 		return nil, 0, err
 	}
+	c.noteLoad(hdr.Load)
 	plain, err := protocol.DecodeBody(resp.Body, hdr.Encoding)
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: %s result: %w", reqType, err)

@@ -51,7 +51,20 @@ type Options struct {
 	// fold at the cost of client CPU; it is off by default to match the
 	// paper's plain-text snapshots.
 	Compress bool
+	// MaxQueueingDelay sheds offloads to local execution while the
+	// server's last load hint predicts a queueing delay above this bound
+	// or reports a saturated admission queue — the client-side half of
+	// load-aware offloading: don't ship work to a server that will park
+	// it in a queue longer than it is worth. Zero disables shedding.
+	MaxQueueingDelay time.Duration
+	// LoadHintTTL bounds how long a received load hint influences
+	// shedding; stale hints are ignored. Zero selects DefaultLoadHintTTL.
+	LoadHintTTL time.Duration
 }
+
+// DefaultLoadHintTTL is how long a load hint stays fresh for shedding
+// decisions when Options.LoadHintTTL is zero.
+const DefaultLoadHintTTL = 5 * time.Second
 
 // Stats records the transfer sizes of the most recent offload, for
 // experiment reporting.
@@ -78,6 +91,9 @@ type Stats struct {
 	// DeltaFallbacks counts delta attempts the server rejected (base
 	// state missing), causing a full-snapshot retry.
 	DeltaFallbacks int
+	// LoadSheds counts events executed locally because the server's load
+	// hint predicted too much queueing delay (no offload was attempted).
+	LoadSheds int
 	// LastTiming is the wall-clock phase breakdown of the last offload —
 	// the real-path counterpart of the paper's Fig 7.
 	LastTiming Timing
@@ -259,6 +275,16 @@ func (o *Offloader) Step() (bool, error) {
 		return true, nil
 	}
 	o.app.PopEvent()
+	if o.shouldShed() {
+		o.mu.Lock()
+		o.stats.LoadSheds++
+		o.mu.Unlock()
+		o.app.DispatchEvent(ev)
+		if err := o.app.Step(); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
 	if err := o.Offload(ev); err != nil {
 		if !o.opts.LocalFallback {
 			return true, err
@@ -272,6 +298,30 @@ func (o *Offloader) Step() (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// shouldShed reports whether the server's last load hint says to keep this
+// event local: the hint is fresh and predicts a queueing delay beyond the
+// configured bound (or a saturated queue).
+func (o *Offloader) shouldShed() bool {
+	if o.opts.MaxQueueingDelay <= 0 {
+		return false
+	}
+	o.mu.Lock()
+	conn := o.conn
+	o.mu.Unlock()
+	hint, at, ok := conn.LastLoad()
+	if !ok {
+		return false
+	}
+	ttl := o.opts.LoadHintTTL
+	if ttl <= 0 {
+		ttl = DefaultLoadHintTTL
+	}
+	if time.Since(at) > ttl {
+		return false
+	}
+	return hint.Saturated || hint.QueueingDelay() > o.opts.MaxQueueingDelay
 }
 
 // Run drives the app until its event queue drains or maxSteps events have

@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"websnap/internal/client"
 	"websnap/internal/costmodel"
@@ -92,6 +93,10 @@ type SessionConfig struct {
 	// Compress ships snapshot bodies DEFLATE-compressed (off by default,
 	// matching the paper's plain-text snapshots).
 	Compress bool
+	// MaxQueueingDelay sheds offloads to local execution when the edge
+	// server's load hint predicts more queueing delay than this (or a
+	// saturated queue). Zero disables load shedding.
+	MaxQueueingDelay time.Duration
 
 	// SplitLabel pins the partial-inference point (e.g. "1st_pool");
 	// empty selects it dynamically via the cost model.
@@ -196,12 +201,22 @@ func (s *Session) resolveMode() error {
 }
 
 func (s *Session) analyze() (partition.Plan, error) {
+	// Fold the server's advertised queueing delay (if a load hint has
+	// already arrived on this connection) into the decision: a loaded
+	// server pushes the optimum toward keeping layers on the client.
+	var queueDelay time.Duration
+	if s.cfg.Conn != nil {
+		if hint, _, ok := s.cfg.Conn.LastLoad(); ok {
+			queueDelay = hint.QueueingDelay()
+		}
+	}
 	return partition.Analyze(s.cfg.Model, partition.Config{
 		Client:             s.cfg.ClientDevice,
 		Server:             s.cfg.ServerDevice,
 		Network:            s.cfg.Network,
 		StateOverheadBytes: 64 << 10,
 		ResultBytes:        4 << 10,
+		ServerQueueDelay:   queueDelay,
 	})
 }
 
@@ -224,9 +239,10 @@ func (s *Session) buildOffloader() error {
 		return nil
 	}
 	opts := client.Options{
-		LocalFallback: s.cfg.LocalFallback,
-		EnableDelta:   s.cfg.EnableDelta,
-		Compress:      s.cfg.Compress,
+		LocalFallback:    s.cfg.LocalFallback,
+		EnableDelta:      s.cfg.EnableDelta,
+		Compress:         s.cfg.Compress,
+		MaxQueueingDelay: s.cfg.MaxQueueingDelay,
 	}
 	switch s.mode {
 	case ModeFull:

@@ -3,26 +3,38 @@ package edge
 import (
 	"encoding/json"
 	"net/http"
+
+	"websnap/internal/sched"
 )
 
-// MetricsHandler serves the server's operation counters as JSON — a small
-// observability surface for operators of edge-server fleets.
+// MetricsHandler serves the server's operation counters and scheduler state
+// as JSON — a small observability surface for operators of edge-server
+// fleets.
 //
 //	mux := http.NewServeMux()
 //	mux.Handle("/metrics", srv.MetricsHandler())
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		st := s.SchedStats()
 		w.Header().Set("Content-Type", "application/json")
 		payload := struct {
-			Installed bool    `json:"installed"`
-			Metrics   Metrics `json:"metrics"`
+			Installed bool        `json:"installed"`
+			Metrics   Metrics     `json:"metrics"`
+			Scheduler sched.Stats `json:"scheduler"`
+			// QueueingMillis is the estimated wait a request submitted
+			// now would spend queued — the same figure served to clients
+			// as a load hint.
+			QueueingMillis float64 `json:"queueingMillis"`
 		}{
-			Installed: s.Installed(),
-			Metrics:   s.Metrics(),
+			Installed:      s.Installed(),
+			Metrics:        s.Metrics(),
+			Scheduler:      st,
+			QueueingMillis: float64(st.QueueingDelay().Microseconds()) / 1000,
 		}
 		if err := json.NewEncoder(w).Encode(payload); err != nil {
 			s.logf("edge: metrics handler: %v", err)

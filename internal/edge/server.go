@@ -6,17 +6,23 @@ package edge
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"websnap/internal/nn"
 	"websnap/internal/protocol"
+	"websnap/internal/sched"
 	"websnap/internal/snapshot"
 	"websnap/internal/vmsynth"
 	"websnap/internal/webapp"
@@ -31,13 +37,22 @@ const maxHandlerSteps = 1000
 type ModelStore struct {
 	mu     sync.RWMutex
 	models map[string]map[string]*nn.Network
+	// prints holds a content fingerprint per stored model. Models are
+	// keyed per app instance, so two clients running "the same" model have
+	// distinct entries; the fingerprint proves the weights are
+	// byte-identical, which is what lets the scheduler batch their
+	// inference together.
+	prints map[string]map[string]string
 	// dir, when non-empty, persists model files to disk (see store.go).
 	dir string
 }
 
 // NewModelStore creates an empty store.
 func NewModelStore() *ModelStore {
-	return &ModelStore{models: make(map[string]map[string]*nn.Network)}
+	return &ModelStore{
+		models: make(map[string]map[string]*nn.Network),
+		prints: make(map[string]map[string]string),
+	}
 }
 
 // Put stores a model for an app. With a directory-backed store the model
@@ -52,12 +67,51 @@ func (s *ModelStore) Put(appID, name string, net *nn.Network) error {
 }
 
 func (s *ModelStore) putMemory(appID, name string, net *nn.Network) {
+	fp := fingerprint(net)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.models[appID] == nil {
 		s.models[appID] = make(map[string]*nn.Network)
+		s.prints[appID] = make(map[string]string)
 	}
 	s.models[appID][name] = net
+	s.prints[appID][name] = fp
+}
+
+// fingerprint hashes a model's architecture and weights. Equal fingerprints
+// mean byte-identical models.
+func fingerprint(net *nn.Network) string {
+	h := sha256.New()
+	if spec, err := nn.EncodeSpec(net); err == nil {
+		h.Write(spec)
+	}
+	if err := net.EncodeWeights(h); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// FingerprintSet returns a stable summary of every model stored for an app:
+// sorted "name=fingerprint" pairs. Two apps with equal sets hold
+// byte-identical model files under the same names.
+func (s *ModelStore) FingerprintSet(appID string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.prints[appID]))
+	for name := range s.prints[appID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(s.prints[appID][name])
+	}
+	return b.String()
 }
 
 // Get retrieves a model for an app.
@@ -134,21 +188,53 @@ type Config struct {
 	// IdleTimeout closes a connection when no request arrives for this
 	// long. Zero means no timeout.
 	IdleTimeout time.Duration
+	// Workers sizes the scheduler's worker pool. Zero selects
+	// DefaultWorkers.
+	Workers int
+	// QueueDepth bounds the scheduler's admission queue. Zero selects the
+	// scheduler default.
+	QueueDepth int
+	// QueuePolicy selects the overload behavior: reject immediately (the
+	// default — saturated servers shed load so clients fall back locally)
+	// or block up to QueueWait.
+	QueuePolicy sched.Policy
+	// QueueWait bounds how long PolicyBlock waits for queue space.
+	QueueWait time.Duration
+	// MaxBatch caps how many same-model snapshot sessions one worker
+	// coalesces into a single batched forward pass. Zero or one disables
+	// batching.
+	MaxBatch int
+	// BatchWindow is how long a worker holds an under-filled batch open
+	// for same-model arrivals; zero batches only the already-queued
+	// backlog.
+	BatchWindow time.Duration
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
 }
+
+// DefaultWorkers is the worker-pool size when Config.Workers is zero.
+const DefaultWorkers = 4
 
 // Server is the edge server's offloading program.
 type Server struct {
 	cfg    Config
 	store  *ModelStore
 	states *stateStore
+	sched  *sched.Scheduler
 	logf   func(string, ...any)
 	quit   chan struct{}
 	wg     sync.WaitGroup
+	// reqWG tracks requests between dispatch and response write, so Close
+	// can let in-flight sessions flush their final frames before
+	// terminating connections.
+	reqWG  sync.WaitGroup
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
+
+	// soloSeq generates unique batch keys for sessions that must not be
+	// coalesced.
+	soloSeq atomic.Uint64
 
 	installedMu sync.RWMutex
 	installed   bool
@@ -236,7 +322,50 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.MaxConns > 0 {
 		srv.connSlots = make(chan struct{}, cfg.MaxConns)
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	var err error
+	srv.sched, err = sched.New(sched.Config{
+		Workers:     workers,
+		QueueDepth:  cfg.QueueDepth,
+		Policy:      cfg.QueuePolicy,
+		QueueWait:   cfg.QueueWait,
+		MaxBatch:    cfg.MaxBatch,
+		BatchWindow: cfg.BatchWindow,
+		Logf:        logf,
+	}, srv.execBatch)
+	if err != nil {
+		return nil, err
+	}
 	return srv, nil
+}
+
+// SchedStats returns the scheduler's current state and counters.
+func (s *Server) SchedStats() sched.Stats { return s.sched.Stats() }
+
+// loadHint summarizes the scheduler's state for response headers.
+func (s *Server) loadHint() *protocol.LoadHint {
+	st := s.sched.Stats()
+	return &protocol.LoadHint{
+		QueueDepth:        st.QueueDepth,
+		QueueCap:          st.QueueCap,
+		Workers:           st.Workers,
+		Busy:              st.Busy,
+		EWMAServiceMillis: float64(st.EWMAService) / float64(time.Millisecond),
+		QueueingMillis:    float64(st.QueueingDelay()) / float64(time.Millisecond),
+		Saturated:         st.Saturated(),
+	}
+}
+
+// hintFor returns the load hint when the request advertised the extension,
+// nil otherwise (old clients get byte-identical headers).
+func (s *Server) hintFor(hints int) *protocol.LoadHint {
+	if hints >= protocol.HintLoadV1 {
+		return s.loadHint()
+	}
+	return nil
 }
 
 // Store exposes the server's model store (for tests and inspection).
@@ -306,8 +435,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes the listener, and waits for in-flight
-// connections to finish.
+// Close stops accepting and shuts down gracefully: the scheduler drains —
+// in-flight sessions finish, queued ones are cancelled and answered with an
+// Error frame — then connections are terminated and all goroutines joined.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -322,6 +452,11 @@ func (s *Server) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Drain the scheduler: running batches complete, queued tasks fail
+	// with ErrClosed. Their waiting connection handlers then write the
+	// final result or Error frame, which reqWG tracks.
+	s.sched.Close()
+	s.reqWG.Wait()
 	// Terminate live connections: without this, Close would wait forever
 	// on clients idling in between requests.
 	s.connsMu.Lock()
@@ -361,23 +496,61 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		resp, err := s.dispatch(msg)
-		if err != nil {
-			s.logf("edge: %s: %v", msg.Type, err)
-			s.metrics.errorsAnswered.Add(1)
-			resp, err = protocol.Encode(protocol.MsgError, protocol.ErrorHeader{Message: err.Error()}, nil)
-			if err != nil {
-				return
-			}
-		}
-		if err := protocol.Write(conn, resp); err != nil {
-			s.logf("edge: write response: %v", err)
+		if err := s.serveRequest(conn, msg); err != nil {
 			return
 		}
 	}
 }
 
+// serveRequest dispatches one request and writes its response, tracked by
+// reqWG so Close lets the final frame flush before terminating the
+// connection.
+func (s *Server) serveRequest(conn net.Conn, msg protocol.Message) error {
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+	resp, err := s.dispatch(msg)
+	if err != nil {
+		s.logf("edge: %s: %v", msg.Type, err)
+		s.metrics.errorsAnswered.Add(1)
+		hdr := protocol.ErrorHeader{Message: err.Error()}
+		var oe *overloadError
+		if errors.As(err, &oe) {
+			hdr.Message = oe.err.Error()
+			hdr.Seq = oe.seq
+			hdr.Overloaded = oe.overloaded
+			hdr.Load = s.hintFor(oe.hints)
+		}
+		resp, err = protocol.Encode(protocol.MsgError, hdr, nil)
+		if err != nil {
+			return err
+		}
+	}
+	if err := protocol.Write(conn, resp); err != nil {
+		s.logf("edge: write response: %v", err)
+		return err
+	}
+	return nil
+}
+
+// overloadError decorates a scheduler admission failure with the request
+// context its Error frame needs: the sequence number, the overload marker
+// that tells the client to execute locally, and the negotiated hints.
+type overloadError struct {
+	err        error
+	seq        uint64
+	overloaded bool
+	hints      int
+}
+
+func (e *overloadError) Error() string { return e.err.Error() }
+func (e *overloadError) Unwrap() error { return e.err }
+
 func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
+	// Pings work before installation: probes need to learn the install
+	// state without tripping an error.
+	if msg.Type == protocol.MsgPing {
+		return s.handlePing(msg)
+	}
 	if !s.Installed() && msg.Type != protocol.MsgInstallOverlay {
 		return protocol.Message{}, errors.New("offloading system not installed on this edge server")
 	}
@@ -393,6 +566,19 @@ func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
 	default:
 		return protocol.Message{}, fmt.Errorf("unexpected message %s", msg.Type)
 	}
+}
+
+// handlePing answers a load probe with the server's install state and, when
+// negotiated, its scheduling load.
+func (s *Server) handlePing(msg protocol.Message) (protocol.Message, error) {
+	var hdr protocol.PingHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	return protocol.Encode(protocol.MsgPong, protocol.PongHeader{
+		Installed: s.Installed(),
+		Load:      s.hintFor(hdr.Hints),
+	}, nil)
 }
 
 // handleModelPreSend stores the client's model files and acknowledges, per
@@ -418,23 +604,26 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 	s.metrics.modelsStored.Add(1)
 	s.logf("edge: stored model %q for app %q (%d params, partial=%v)",
 		hdr.ModelName, hdr.AppID, net.TotalParams(), hdr.Partial)
-	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{AppID: hdr.AppID, ModelName: hdr.ModelName}, nil)
+	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
+		AppID:     hdr.AppID,
+		ModelName: hdr.ModelName,
+		Load:      s.hintFor(hdr.Hints),
+	}, nil)
 }
 
-// executeSnapshot runs an offloaded snapshot on the server's runtime and
-// returns the captured result state (§III.A). Models absent from the
-// snapshot are attached from the pre-send store so delta-reconstructed
-// snapshots (which never list models) execute too.
-func (s *Server) executeSnapshot(snap *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+// restoreApp re-creates a running app from an offloaded snapshot. Models
+// absent from the snapshot are attached from the pre-send store so
+// delta-reconstructed snapshots (which never list models) execute too.
+func (s *Server) restoreApp(snap *snapshot.Snapshot) (*webapp.App, *webapp.Registry, error) {
 	registry, ok := s.cfg.Catalog.Lookup(snap.CodeHash)
 	if !ok {
-		return nil, fmt.Errorf("unknown app code %q", snap.CodeHash)
+		return nil, nil, fmt.Errorf("unknown app code %q", snap.CodeHash)
 	}
 	app, err := snapshot.Restore(snap, registry, snapshot.RestoreOptions{
 		Models: s.store.Resolver(snap.AppID),
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, name := range s.store.Names(snap.AppID) {
 		if _, loaded := app.Model(name); !loaded {
@@ -443,18 +632,214 @@ func (s *Server) executeSnapshot(snap *snapshot.Snapshot) (*snapshot.Snapshot, e
 			}
 		}
 	}
+	return app, registry, nil
+}
+
+// captureResult captures the post-execution state and records it as the
+// app's synchronized server-side state for delta offloads.
+func (s *Server) captureResult(app *webapp.App, appID string) (*snapshot.Snapshot, error) {
+	result, err := snapshot.Capture(app, snapshot.Options{DefaultModelPolicy: snapshot.ModelOmit})
+	if err != nil {
+		return nil, err
+	}
+	s.states.Put(appID, result)
+	return result, nil
+}
+
+// executeSnapshot runs one offloaded snapshot on the server's runtime and
+// returns the captured result state (§III.A).
+func (s *Server) executeSnapshot(snap *snapshot.Snapshot) (*snapshot.Snapshot, error) {
+	app, _, err := s.restoreApp(snap)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	steps, err := app.Run(maxHandlerSteps)
 	if err != nil {
 		return nil, fmt.Errorf("execute snapshot: %w", err)
 	}
 	s.logf("edge: app %q ran %d handler(s) in %v", snap.AppID, steps, time.Since(start))
-	result, err := snapshot.Capture(app, snapshot.Options{DefaultModelPolicy: snapshot.ModelOmit})
+	return s.captureResult(app, snap.AppID)
+}
+
+// execBatch is the scheduler's executor: one batch of snapshot sessions.
+// Multi-task batches (same batch key: same code, same event, byte-identical
+// models) run through the app's registered batched handler; anything
+// unexpected falls back to per-session execution, which is always correct.
+func (s *Server) execBatch(batch []*sched.Task) []sched.Result {
+	if len(batch) > 1 {
+		if results, ok := s.executeBatched(batch); ok {
+			return results
+		}
+	}
+	results := make([]sched.Result, len(batch))
+	for i, t := range batch {
+		r, err := s.executeSnapshot(t.Payload.(*snapshot.Snapshot))
+		results[i] = sched.Result{Value: r, Err: err}
+	}
+	return results
+}
+
+// executeBatched coalesces the batch into one batched handler invocation:
+// restore every session, pop the shared pending event from each, run the
+// batched handler once, then drain any follow-on events and capture each
+// result. ok=false means the batch could not be run coalesced and no app
+// state was published; the caller re-executes per session.
+func (s *Server) executeBatched(batch []*sched.Task) ([]sched.Result, bool) {
+	apps := make([]*webapp.App, len(batch))
+	evs := make([]webapp.Event, len(batch))
+	var fn webapp.BatchHandlerFunc
+	for i, t := range batch {
+		snap := t.Payload.(*snapshot.Snapshot)
+		app, registry, err := s.restoreApp(snap)
+		if err != nil {
+			return nil, false
+		}
+		ev, handler, ok := soleBatchableEvent(app)
+		if !ok {
+			return nil, false
+		}
+		bfn, ok := registry.BatchHandler(handler)
+		if !ok {
+			return nil, false
+		}
+		if i == 0 {
+			fn = bfn
+		}
+		app.PopEvent()
+		apps[i], evs[i] = app, ev
+	}
+	start := time.Now()
+	if err := fn(apps, evs); err != nil {
+		s.logf("edge: batched handler failed, re-executing solo: %v", err)
+		return nil, false
+	}
+	s.logf("edge: batched %d session(s) in %v", len(batch), time.Since(start))
+	results := make([]sched.Result, len(batch))
+	for i, t := range batch {
+		snap := t.Payload.(*snapshot.Snapshot)
+		if _, err := apps[i].Run(maxHandlerSteps); err != nil {
+			results[i] = sched.Result{Err: fmt.Errorf("execute snapshot: %w", err)}
+			continue
+		}
+		r, err := s.captureResult(apps[i], snap.AppID)
+		results[i] = sched.Result{Value: r, Err: err}
+	}
+	return results, true
+}
+
+// soleBatchableEvent reports the app's single pending payload-free event and
+// the one handler bound to it, the shape a batched execution requires.
+func soleBatchableEvent(app *webapp.App) (webapp.Event, string, bool) {
+	pending := app.PendingEvents()
+	if len(pending) != 1 || pending[0].Payload != nil {
+		return webapp.Event{}, "", false
+	}
+	ev := pending[0]
+	handler, matches := "", 0
+	for _, b := range app.Bindings() {
+		if b.Target == ev.Target && b.Event == ev.Type {
+			handler, matches = b.Handler, matches+1
+		}
+	}
+	if matches != 1 {
+		return webapp.Event{}, "", false
+	}
+	return ev, handler, true
+}
+
+// soloKey returns a unique batch key, for sessions that must not coalesce.
+func (s *Server) soloKey() string {
+	return "solo:" + strconv.FormatUint(s.soloSeq.Add(1), 10)
+}
+
+// batchKey derives the coalescing key for a snapshot session. Sessions get
+// the same key — and may be batched into one forward pass — only when they
+// run the same handler of the same code bundle on byte-identical model
+// files: the key hashes the code hash, the pending event and its resolved
+// handler, the fingerprints of the app's pre-sent models, any models
+// shipped inline in the snapshot, and the app's string-valued globals
+// (which select the model the handler uses).
+func (s *Server) batchKey(snap *snapshot.Snapshot) string {
+	ev, handler, ok := batchableSnapshotEvent(snap)
+	if !ok {
+		return s.soloKey()
+	}
+	registry, ok := s.cfg.Catalog.Lookup(snap.CodeHash)
+	if !ok {
+		return s.soloKey()
+	}
+	if _, ok := registry.BatchHandler(handler); !ok {
+		return s.soloKey()
+	}
+	h := sha256.New()
+	for _, part := range []string{snap.CodeHash, ev.Target, ev.Type, handler, s.store.FingerprintSet(snap.AppID)} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	for _, m := range snap.Models {
+		h.Write([]byte(m.Name))
+		if spec, err := json.Marshal(m.Spec); err == nil {
+			h.Write(spec)
+		}
+		h.Write(m.Weights)
+		h.Write([]byte{0})
+	}
+	var strs []string
+	for name, v := range snap.Globals {
+		if sv, ok := v.(string); ok {
+			strs = append(strs, name+"="+sv)
+		}
+	}
+	sort.Strings(strs)
+	for _, kv := range strs {
+		h.Write([]byte(kv))
+		h.Write([]byte{0})
+	}
+	return "b:" + hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// batchableSnapshotEvent is soleBatchableEvent evaluated directly on the
+// snapshot, before any restore happens.
+func batchableSnapshotEvent(snap *snapshot.Snapshot) (webapp.Event, string, bool) {
+	if len(snap.Pending) != 1 || snap.Pending[0].Payload != nil {
+		return webapp.Event{}, "", false
+	}
+	ev := snap.Pending[0]
+	handler, matches := "", 0
+	for _, b := range snap.Bindings {
+		if b.Target == ev.Target && b.Event == ev.Type {
+			handler, matches = b.Handler, matches+1
+		}
+	}
+	if matches != 1 {
+		return webapp.Event{}, "", false
+	}
+	return ev, handler, true
+}
+
+// scheduleSnapshot submits one decoded snapshot session to the scheduler
+// and waits for its result. Admission failures are wrapped as overload
+// errors so the connection handler can answer with the overload marker and
+// load hint that redirect the client to local execution.
+func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.SnapshotHeader) (*snapshot.Snapshot, error) {
+	task := sched.NewTask(s.batchKey(snap), snap)
+	if err := s.sched.Submit(task); err != nil {
+		return nil, &overloadError{
+			err:        err,
+			seq:        hdr.Seq,
+			overloaded: errors.Is(err, sched.ErrQueueFull),
+			hints:      hdr.Hints,
+		}
+	}
+	v, err := task.Wait()
 	if err != nil {
+		if errors.Is(err, sched.ErrClosed) {
+			return nil, &overloadError{err: err, seq: hdr.Seq, hints: hdr.Hints}
+		}
 		return nil, err
 	}
-	s.states.Put(snap.AppID, result)
-	return result, nil
+	return v.(*snapshot.Snapshot), nil
 }
 
 // handleSnapshot runs a full offloaded snapshot and returns the full result
@@ -472,7 +857,7 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	result, err := s.executeSnapshot(snap)
+	result, err := s.scheduleSnapshot(snap, hdr)
 	if err != nil {
 		return protocol.Message{}, err
 	}
@@ -497,6 +882,7 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 	}
 	return protocol.Encode(t, protocol.SnapshotHeader{
 		AppID: appID, Seq: req.Seq, Encoding: encoding,
+		Load: s.hintFor(req.Hints),
 	}, body)
 }
 
@@ -525,7 +911,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	result, err := s.executeSnapshot(preExec)
+	result, err := s.scheduleSnapshot(preExec, hdr)
 	if err != nil {
 		return protocol.Message{}, err
 	}

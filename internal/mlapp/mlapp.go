@@ -55,6 +55,7 @@ func FullRegistry() *webapp.Registry {
 	reg := webapp.NewRegistry("mlapp-full")
 	reg.MustRegister("load_image", handleLoadImage)
 	reg.MustRegister("inference", handleInference)
+	reg.MustRegisterBatch("inference", handleInferenceBatch)
 	return reg
 }
 
@@ -64,6 +65,7 @@ func PartialRegistry() *webapp.Registry {
 	reg.MustRegister("load_image", handleLoadImage)
 	reg.MustRegister("front", handleFront)
 	reg.MustRegister("rear", handleRear)
+	reg.MustRegisterBatch("rear", handleRearBatch)
 	return reg
 }
 
@@ -212,6 +214,50 @@ func handleRear(app *webapp.App, ev webapp.Event) error {
 		return fmt.Errorf("mlapp: inference_rear: %w", err)
 	}
 	return publishResult(app, out)
+}
+
+// handleInferenceBatch is the batched form of handleInference: one
+// layer-major forward pass over every coalesced app's image. The edge
+// scheduler only batches sessions whose models are byte-identical, so
+// running all inputs through apps[0]'s model is exact.
+func handleInferenceBatch(apps []*webapp.App, evs []webapp.Event) error {
+	return runBatch(apps, "", "inference")
+}
+
+// handleRearBatch is the batched form of handleRear, coalescing partial
+// offloads that share the same pre-sent rear model.
+func handleRearBatch(apps []*webapp.App, evs []webapp.Event) error {
+	return runBatch(apps, RearSuffix, "inference_rear")
+}
+
+func runBatch(apps []*webapp.App, suffix, what string) error {
+	if len(apps) == 0 {
+		return nil
+	}
+	model, err := appModel(apps[0], suffix)
+	if err != nil {
+		return err
+	}
+	global := GlobalImage
+	if suffix == RearSuffix {
+		global = GlobalFeature
+	}
+	ins := make([]*tensor.Tensor, len(apps))
+	for i, app := range apps {
+		if ins[i], err = globalTensor(app, global, model.InputShape()); err != nil {
+			return err
+		}
+	}
+	outs, err := model.ForwardBatch(ins)
+	if err != nil {
+		return fmt.Errorf("mlapp: batched %s: %w", what, err)
+	}
+	for i, app := range apps {
+		if err := publishResult(app, outs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func appModel(app *webapp.App, suffix string) (*nn.Network, error) {

@@ -273,3 +273,104 @@ func TestPublishResultWithoutLabels(t *testing.T) {
 		t.Errorf("result = %q, want class-index fallback", got)
 	}
 }
+
+func TestBatchHandlersMatchPerAppHandlers(t *testing.T) {
+	// Build pairs of identical apps; run one through the per-app handler
+	// and the other through the batched handler, and require bit-identical
+	// published scores — the contract the edge scheduler's micro-batching
+	// relies on.
+	const n = 4
+	model := tinyModel(t)
+	var solo, batched []*webapp.App
+	for i := 0; i < n; i++ {
+		img := SyntheticImage(3*16*16, uint64(i+1))
+		for _, group := range []*[]*webapp.App{&solo, &batched} {
+			app, err := NewFullApp("a", "tiny", model, labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := LoadImage(app, img); err != nil {
+				t.Fatal(err)
+			}
+			*group = append(*group, app)
+		}
+	}
+	ev := webapp.Event{Target: ButtonID, Type: EventClick}
+	for _, app := range solo {
+		if err := handleInference(app, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn, ok := FullRegistry().BatchHandler("inference")
+	if !ok {
+		t.Fatal("full registry has no batched inference handler")
+	}
+	evs := make([]webapp.Event, n)
+	for i := range evs {
+		evs[i] = ev
+	}
+	if err := fn(batched, evs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := Result(batched[i]), Result(solo[i]); got != want {
+			t.Errorf("app %d: batched result %q, solo %q", i, got, want)
+		}
+		sg, _ := batched[i].Global(GlobalScores)
+		sw, _ := solo[i].Global(GlobalScores)
+		got, want := sg.(webapp.Float32Array), sw.(webapp.Float32Array)
+		if len(got) != len(want) {
+			t.Fatalf("app %d: score lengths %d vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("app %d score %d: batched %v != solo %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRearBatchHandlerMatchesSolo(t *testing.T) {
+	model := tinyModel(t)
+	mk := func(seed uint64) *webapp.App {
+		app, err := NewPartialApp("a", "tiny", model, 2, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadImage(app, SyntheticImage(3*16*16, seed)); err != nil {
+			t.Fatal(err)
+		}
+		// Run front() so the feature global is populated.
+		app.DispatchEvent(webapp.Event{Target: ButtonID, Type: EventClick})
+		if err := app.Step(); err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	a, b := mk(7), mk(7)
+	ev := webapp.Event{Target: ButtonID, Type: EventFrontComplete}
+	if err := handleRear(a, ev); err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := PartialRegistry().BatchHandler("rear")
+	if !ok {
+		t.Fatal("partial registry has no batched rear handler")
+	}
+	if err := fn([]*webapp.App{b}, []webapp.Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	if Result(a) != Result(b) {
+		t.Errorf("batched rear result %q != solo %q", Result(b), Result(a))
+	}
+}
+
+func TestBatchRegistrationHashNeutral(t *testing.T) {
+	// Batched handlers are an execution strategy, not app code: a registry
+	// with them must hash identically to one without.
+	plain := webapp.NewRegistry("mlapp-full")
+	plain.MustRegister("load_image", handleLoadImage)
+	plain.MustRegister("inference", handleInference)
+	if plain.CodeHash() != FullRegistry().CodeHash() {
+		t.Error("batch handler registration changed the code hash")
+	}
+}

@@ -101,6 +101,37 @@ func (n *Network) ForwardRange(in *tensor.Tensor, from, to int) (*tensor.Tensor,
 	return cur, nil
 }
 
+// ForwardBatch runs one forward pass over a batch of inputs, layer-major:
+// every sample is advanced through layer k before any sample touches layer
+// k+1. That is the batched execution the edge scheduler's micro-batching
+// relies on — each layer's weights are fetched into cache once and reused
+// across the whole batch instead of being re-streamed per request, which is
+// where batched inference wins over running the samples back to back.
+// Results are bit-identical to per-sample Forward calls because each
+// sample's per-layer computation is unchanged.
+func (n *Network) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("nn: network %q: empty batch", n.name)
+	}
+	cur := make([]*tensor.Tensor, len(ins))
+	copy(cur, ins)
+	for _, l := range n.layers {
+		for i, t := range cur {
+			out, err := l.Forward(t)
+			if err != nil {
+				return nil, fmt.Errorf("network %q: layer %q (batch member %d): %w", n.name, l.Name(), i, err)
+			}
+			cur[i] = out
+		}
+	}
+	for i := range cur {
+		if cur[i] == ins[i] {
+			cur[i] = ins[i].Clone()
+		}
+	}
+	return cur, nil
+}
+
 // LayerInfo describes one layer's static properties at its position in the
 // network, as needed by the cost model, the partition chooser, and Fig 1.
 type LayerInfo struct {

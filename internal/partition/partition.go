@@ -38,6 +38,12 @@ type Config struct {
 	StateOverheadBytes int64
 	// ResultBytes is the size of the returning result snapshot.
 	ResultBytes int64
+	// ServerQueueDelay is the edge server's estimated queueing delay (from
+	// its load hint): how long an offloaded session waits for a scheduler
+	// worker before its server-side layers run. It burdens every candidate
+	// that offloads work, so a loaded server shifts the optimum toward
+	// later split points — or to fully local execution.
+	ServerQueueDelay time.Duration
 }
 
 // Candidate is one evaluated offloading point with its estimated cost
@@ -55,6 +61,9 @@ type Candidate struct {
 	TransferTime time.Duration
 	// ServerTime covers the remaining layers on the server.
 	ServerTime time.Duration
+	// QueueDelay is the estimated wait for a scheduler worker at the
+	// server (zero for an idle server or when no load hint is known).
+	QueueDelay time.Duration
 	// FeatureTextBytes is the textual (snapshot) size of the feature
 	// data crossing the link.
 	FeatureTextBytes int64
@@ -143,9 +152,10 @@ func evaluate(infos []nn.LayerInfo, p nn.PartitionPoint, cfg Config) (Candidate,
 		ServerTime:       serverTime,
 		TransferTime:     transfer,
 		SnapshotOverhead: overhead,
+		QueueDelay:       cfg.ServerQueueDelay,
 		FeatureTextBytes: featureText,
 	}
-	c.Total = c.ClientTime + c.ServerTime + c.TransferTime + c.SnapshotOverhead
+	c.Total = c.ClientTime + c.ServerTime + c.TransferTime + c.SnapshotOverhead + c.QueueDelay
 	return c, nil
 }
 

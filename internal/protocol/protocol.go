@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 const (
@@ -59,6 +60,11 @@ const (
 	// MsgResultDelta carries the result as a delta relative to the state
 	// the client shipped.
 	MsgResultDelta
+	// MsgPing asks the server for its current status without submitting
+	// work; used by load probes and roaming server selection.
+	MsgPing
+	// MsgPong answers a ping with the server's install state and load.
+	MsgPong
 )
 
 func (t MsgType) String() string {
@@ -81,6 +87,10 @@ func (t MsgType) String() string {
 		return "snapshot-delta"
 	case MsgResultDelta:
 		return "result-delta"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -94,6 +104,42 @@ var (
 	ErrUnknownType = errors.New("protocol: unknown message type")
 )
 
+// HintLoadV1 is the load-hint extension version. Requests advertise the
+// extensions they understand in their header's Hints field; servers attach
+// a LoadHint to responses only when the request advertised at least this
+// version. The negotiation rides inside the JSON headers, so peers that
+// predate the extension interoperate unchanged: old servers ignore the
+// unknown Hints field, old clients never advertise and never receive hints.
+const HintLoadV1 = 1
+
+// LoadHint is the edge server's advertised scheduling load, attached to
+// responses for clients that negotiated the extension. Clients fold the
+// estimated queueing delay into their local/full/partial offload decision
+// and shed load to local execution when the server saturates.
+type LoadHint struct {
+	// QueueDepth is the number of snapshot sessions waiting for a worker.
+	QueueDepth int `json:"queueDepth"`
+	// QueueCap is the admission queue's capacity (0 = unbounded).
+	QueueCap int `json:"queueCap,omitempty"`
+	// Workers and Busy report the worker pool size and how many workers
+	// are currently executing.
+	Workers int `json:"workers"`
+	Busy    int `json:"busy"`
+	// EWMAServiceMillis is the smoothed per-session service time.
+	EWMAServiceMillis float64 `json:"ewmaServiceMillis"`
+	// QueueingMillis is the server's estimate of the delay a request
+	// submitted now would spend waiting for a worker.
+	QueueingMillis float64 `json:"queueingMillis"`
+	// Saturated marks a server whose admission queue is full; clients
+	// should prefer local execution or another server.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// QueueingDelay returns the advertised queueing estimate as a duration.
+func (h LoadHint) QueueingDelay() time.Duration {
+	return time.Duration(h.QueueingMillis * float64(time.Millisecond))
+}
+
 // ModelPreSendHeader is the JSON header of MsgModelPreSend. The weight blob
 // travels in the body; together they are "the NN model files (including the
 // description/parameters of the NN)".
@@ -104,12 +150,17 @@ type ModelPreSendHeader struct {
 	// Partial marks a rear-only model pre-send: the front part is
 	// withheld for privacy (§III.B.2).
 	Partial bool `json:"partial,omitempty"`
+	// Hints advertises the extension versions the sender understands.
+	Hints int `json:"hints,omitempty"`
 }
 
 // AckHeader is the JSON header of MsgAck.
 type AckHeader struct {
 	AppID     string `json:"appId"`
 	ModelName string `json:"modelName"`
+	// Load is the server's scheduling load; present only when the request
+	// advertised HintLoadV1.
+	Load *LoadHint `json:"load,omitempty"`
 }
 
 // SnapshotHeader is the JSON header of MsgSnapshot, MsgResultSnapshot,
@@ -120,12 +171,36 @@ type SnapshotHeader struct {
 	Seq uint64 `json:"seq"`
 	// Encoding is the body encoding (EncodingRaw or EncodingFlate).
 	Encoding string `json:"encoding,omitempty"`
+	// Hints advertises the extension versions the sender understands
+	// (request direction only).
+	Hints int `json:"hints,omitempty"`
+	// Load is the server's scheduling load (response direction only;
+	// present only when the request advertised HintLoadV1).
+	Load *LoadHint `json:"load,omitempty"`
 }
 
 // ErrorHeader is the JSON header of MsgError.
 type ErrorHeader struct {
 	Message string `json:"message"`
 	Seq     uint64 `json:"seq,omitempty"`
+	// Overloaded marks an error caused by admission-queue rejection
+	// rather than a failure: the request was well-formed but the server
+	// is saturated, so the client should execute locally instead.
+	Overloaded bool `json:"overloaded,omitempty"`
+	// Load carries the server's scheduling load alongside an overload
+	// rejection (when the request advertised HintLoadV1).
+	Load *LoadHint `json:"load,omitempty"`
+}
+
+// PingHeader is the JSON header of MsgPing.
+type PingHeader struct {
+	Hints int `json:"hints,omitempty"`
+}
+
+// PongHeader is the JSON header of MsgPong.
+type PongHeader struct {
+	Installed bool      `json:"installed"`
+	Load      *LoadHint `json:"load,omitempty"`
 }
 
 // InstallOverlayHeader is the JSON header of MsgInstallOverlay; the
@@ -194,7 +269,7 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	msg := Message{Type: MsgType(hdr[5])}
-	if msg.Type < MsgModelPreSend || msg.Type > MsgResultDelta {
+	if msg.Type < MsgModelPreSend || msg.Type > MsgPong {
 		return Message{}, fmt.Errorf("%w: %d", ErrUnknownType, hdr[5])
 	}
 	hdrLen := binary.LittleEndian.Uint32(hdr[6:10])

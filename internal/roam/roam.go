@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"websnap/internal/client"
+	"websnap/internal/protocol"
 )
 
 // Errors reported by the roamer.
@@ -33,10 +34,32 @@ type ServerInfo struct {
 	Addr string
 	// RTT is the last measured probe round-trip time.
 	RTT time.Duration
+	// Load is the server's scheduling load from the last ping probe; nil
+	// for servers that predate the load-hint extension (selection then
+	// falls back to RTT alone).
+	Load *protocol.LoadHint
+	// Score is the effective cost used for selection: RTT plus the
+	// server's estimated queueing delay. A nearby but overloaded server
+	// scores worse than a slightly farther idle one.
+	Score time.Duration
 	// Healthy reports whether the last probe succeeded.
 	Healthy bool
 	// LastProbe is when the server was last probed.
 	LastProbe time.Time
+}
+
+// Saturated reports whether the server advertised a full admission queue.
+func (i ServerInfo) Saturated() bool {
+	return i.Load != nil && i.Load.Saturated
+}
+
+// better orders candidates for selection: non-saturated before saturated,
+// then by score.
+func (i ServerInfo) better(j ServerInfo) bool {
+	if i.Saturated() != j.Saturated() {
+		return !i.Saturated()
+	}
+	return i.Score < j.Score
 }
 
 // Config parametrizes a Roamer.
@@ -49,8 +72,13 @@ type Config struct {
 	// flapping between near-equal servers.
 	SwitchMargin float64
 	// Probe measures one server's reachability and latency. Nil selects
-	// a TCP connect probe.
+	// PingProbe, which also collects the server's load hint. Custom
+	// probes report RTT only (no load).
 	Probe func(addr string) (time.Duration, error)
+	// ProbeLoad measures reachability, latency, and scheduling load. When
+	// set it takes precedence over Probe. Nil with a nil Probe selects
+	// PingProbe.
+	ProbeLoad func(addr string) (time.Duration, *protocol.LoadHint, error)
 	// Dial opens an offloading connection. Nil selects client.Dial.
 	Dial func(addr string) (*client.Conn, error)
 	// Now is the clock; nil selects time.Now.
@@ -77,8 +105,16 @@ func New(cfg Config) (*Roamer, error) {
 	if cfg.SwitchMargin <= 0 {
 		cfg.SwitchMargin = 0.3
 	}
-	if cfg.Probe == nil {
-		cfg.Probe = tcpProbe
+	if cfg.ProbeLoad == nil {
+		if cfg.Probe != nil {
+			probe := cfg.Probe
+			cfg.ProbeLoad = func(addr string) (time.Duration, *protocol.LoadHint, error) {
+				rtt, err := probe(addr)
+				return rtt, nil, err
+			}
+		} else {
+			cfg.ProbeLoad = PingProbe
+		}
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = client.Dial
@@ -100,15 +136,24 @@ func New(cfg Config) (*Roamer, error) {
 	return r, nil
 }
 
-// tcpProbe measures a TCP connect round trip.
-func tcpProbe(addr string) (time.Duration, error) {
+// PingProbe measures a TCP connect round trip, then pings the server for
+// its scheduling load. Servers that predate MsgPing fail the ping and are
+// scored by connect RTT alone — a reachable old server is still a valid
+// roaming target.
+func PingProbe(addr string) (time.Duration, *protocol.LoadHint, error) {
 	start := time.Now()
 	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	defer conn.Close()
-	return time.Since(start), nil
+	rtt := time.Since(start)
+	c := client.NewConn(conn)
+	defer c.Close()
+	c.SetRequestTimeout(2 * time.Second)
+	if _, load, err := c.Ping(); err == nil {
+		return rtt, load, nil
+	}
+	return rtt, nil, nil
 }
 
 // ProbeAll probes every candidate and returns their states sorted by
@@ -120,6 +165,7 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 	type result struct {
 		addr string
 		rtt  time.Duration
+		load *protocol.LoadHint
 		err  error
 	}
 	results := make([]result, len(addrs))
@@ -128,8 +174,8 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			rtt, err := r.cfg.Probe(addr)
-			results[i] = result{addr: addr, rtt: rtt, err: err}
+			rtt, load, err := r.cfg.ProbeLoad(addr)
+			results[i] = result{addr: addr, rtt: rtt, load: load, err: err}
 		}(i, addr)
 	}
 	wg.Wait()
@@ -141,6 +187,11 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 		info.Healthy = res.err == nil
 		if res.err == nil {
 			info.RTT = res.rtt
+			info.Load = res.load
+			info.Score = res.rtt
+			if res.load != nil {
+				info.Score += res.load.QueueingDelay()
+			}
 		}
 	}
 	out := make([]ServerInfo, 0, len(r.order))
@@ -152,13 +203,14 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 		if out[i].Healthy != out[j].Healthy {
 			return out[i].Healthy
 		}
-		return out[i].RTT < out[j].RTT
+		return out[i].better(out[j])
 	})
 	return out
 }
 
-// Best returns the healthiest, lowest-latency candidate from the most
-// recent probes.
+// Best returns the healthiest candidate with the lowest effective cost
+// (RTT plus advertised queueing delay) from the most recent probes; lightly
+// loaded servers beat equally near saturated ones.
 func (r *Roamer) Best() (ServerInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -168,7 +220,7 @@ func (r *Roamer) Best() (ServerInfo, error) {
 		if !info.Healthy {
 			continue
 		}
-		if best == nil || info.RTT < best.RTT {
+		if best == nil || info.better(*best) {
 			best = info
 		}
 	}
@@ -250,7 +302,10 @@ func (r *Roamer) Evaluate() (*client.Conn, bool, error) {
 		// No current server or it died: take the best.
 	case best.Addr == curAddr:
 		return nil, false, nil
-	case float64(best.RTT) < float64(cur.RTT)*(1-margin):
+	case cur.Saturated() && !best.Saturated():
+		// Current server is shedding load and an unsaturated candidate
+		// exists: move immediately, regardless of margin.
+	case float64(best.Score) < float64(cur.Score)*(1-margin):
 		// Candidate clearly better: switch.
 	default:
 		return nil, false, nil

@@ -11,6 +11,7 @@ import (
 	"websnap/internal/core"
 	"websnap/internal/mlapp"
 	"websnap/internal/models"
+	"websnap/internal/protocol"
 	"websnap/internal/webapp"
 )
 
@@ -272,5 +273,136 @@ func TestRoamingOffload(t *testing.T) {
 	st := off.Stats()
 	if st.Offloads != 3 {
 		t.Errorf("offloads = %d, want 3", st.Offloads)
+	}
+}
+
+// fakeLoadProbe scripts RTT and load hints per address.
+type fakeLoadProbe struct {
+	mu    sync.Mutex
+	rtts  map[string]time.Duration
+	loads map[string]*protocol.LoadHint
+}
+
+func (f *fakeLoadProbe) set(addr string, rtt time.Duration, load *protocol.LoadHint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rtts[addr] = rtt
+	f.loads[addr] = load
+}
+
+func (f *fakeLoadProbe) probe(addr string) (time.Duration, *protocol.LoadHint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rtt, ok := f.rtts[addr]
+	if !ok || rtt < 0 {
+		return 0, nil, errors.New("unreachable")
+	}
+	return rtt, f.loads[addr], nil
+}
+
+func newLoadProbe() *fakeLoadProbe {
+	return &fakeLoadProbe{
+		rtts:  make(map[string]time.Duration),
+		loads: make(map[string]*protocol.LoadHint),
+	}
+}
+
+func TestBestPrefersLightlyLoaded(t *testing.T) {
+	// "near" is closer but queues work for 100 ms; "far" is 10 ms away
+	// and idle. Load-aware scoring must pick "far".
+	probe := newLoadProbe()
+	probe.set("near", 2*time.Millisecond, &protocol.LoadHint{QueueingMillis: 100})
+	probe.set("far", 10*time.Millisecond, &protocol.LoadHint{})
+	r, err := New(Config{Servers: []string{"near", "far"}, ProbeLoad: probe.probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeAll()
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Addr != "far" {
+		t.Errorf("best = %q (score %v), want far", best.Addr, best.Score)
+	}
+}
+
+func TestSaturatedServerDeprioritized(t *testing.T) {
+	probe := newLoadProbe()
+	probe.set("sat", time.Millisecond, &protocol.LoadHint{Saturated: true})
+	probe.set("ok", 30*time.Millisecond, &protocol.LoadHint{QueueingMillis: 1})
+	r, err := New(Config{Servers: []string{"sat", "ok"}, ProbeLoad: probe.probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeAll()
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Addr != "ok" {
+		t.Errorf("best = %q, want the unsaturated server", best.Addr)
+	}
+	// Only the saturated server left: still usable (better than nothing).
+	probe.set("ok", -1, nil)
+	r.ProbeAll()
+	best, err = r.Best()
+	if err != nil || best.Addr != "sat" {
+		t.Errorf("best = %q, %v; want sat", best.Addr, err)
+	}
+}
+
+func TestEvaluateLeavesSaturatedServer(t *testing.T) {
+	probe := newLoadProbe()
+	probe.set("a", time.Millisecond, nil)
+	probe.set("b", 2*time.Millisecond, nil)
+	r, err := New(Config{Servers: []string{"a", "b"}, ProbeLoad: probe.probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := r.Current(); addr != "a" {
+		t.Fatalf("connected to %q, want a", addr)
+	}
+	// "a" saturates; "b" is barely slower but idle. The margin rule would
+	// keep "a", but saturation forces the switch.
+	probe.set("a", time.Millisecond, &protocol.LoadHint{Saturated: true})
+	_, switched, err := r.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !switched {
+		t.Fatal("expected switch away from saturated server")
+	}
+	if addr, _ := r.Current(); addr != "b" {
+		t.Errorf("current = %q, want b", addr)
+	}
+}
+
+func TestPingProbeAgainstRealServer(t *testing.T) {
+	srv, err := core.NewEdgeServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	rtt, load, err := PingProbe(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+	if load == nil {
+		t.Fatal("no load hint from real server")
+	}
+	if load.Workers <= 0 {
+		t.Errorf("load = %+v, want positive worker count", load)
 	}
 }

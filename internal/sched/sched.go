@@ -1,0 +1,493 @@
+// Package sched is the edge server's inference scheduler: the layer
+// between the connection listener and the snapshot runtime that turns "one
+// goroutine per connection executes immediately" into a managed system —
+// a bounded admission queue with a configurable overload policy, a worker
+// pool executing sessions concurrently, and per-model micro-batching that
+// coalesces rear-inference offloads sharing the same pre-sent model into a
+// single batched forward pass.
+//
+// The paper's server (§III) executes one offloaded snapshot per connection;
+// that collapses under many concurrent clients. Related work shows the
+// production levers are server-side queue management (DEFER's pipelined
+// batched edge inference) and offload decisions that account for server
+// queueing delay, not just compute ratio. The scheduler provides both: it
+// bounds and batches work, and it exports a load signal (queue depth, EWMA
+// service time, estimated queueing delay) that the protocol layer carries
+// back to clients as a load hint.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors reported by Submit.
+var (
+	// ErrQueueFull is returned when the admission queue is at capacity
+	// (immediately under PolicyReject, after QueueWait under PolicyBlock).
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrClosed is returned for submissions to a closed scheduler, and
+	// delivered to tasks cancelled while still queued at Close.
+	ErrClosed = errors.New("sched: scheduler closed")
+)
+
+// Policy selects what Submit does when the admission queue is full.
+type Policy int
+
+const (
+	// PolicyReject turns the request away immediately with ErrQueueFull.
+	// The caller answers the client with an overload error plus a load
+	// hint, letting it fall back to local execution at once instead of
+	// timing out — the default, because a saturated edge server must shed
+	// load, not accumulate latency.
+	PolicyReject Policy = iota
+	// PolicyBlock waits up to QueueWait for space, then fails with
+	// ErrQueueFull. Useful when clients have no local fallback.
+	PolicyBlock
+)
+
+// Task is one scheduled unit of work (one offloaded snapshot session).
+type Task struct {
+	// BatchKey groups tasks that may be coalesced into one batched
+	// execution: tasks are only ever batched together when their keys are
+	// equal and non-empty. The edge server derives the key from the app's
+	// code hash, the pending event, and the fingerprints of the pre-sent
+	// models, so only requests provably running the same handler against
+	// byte-identical weights coalesce.
+	BatchKey string
+	// Payload is the executor's working data (e.g. a decoded snapshot).
+	Payload any
+
+	done chan taskResult
+}
+
+type taskResult struct {
+	value any
+	err   error
+}
+
+// NewTask wraps a payload for submission.
+func NewTask(batchKey string, payload any) *Task {
+	return &Task{BatchKey: batchKey, Payload: payload, done: make(chan taskResult, 1)}
+}
+
+// Wait blocks until the task has been executed (or cancelled) and returns
+// the executor's result. Every task accepted by Submit is eventually
+// finished: executed by a worker, or failed with ErrClosed during Close.
+func (t *Task) Wait() (any, error) {
+	r := <-t.done
+	return r.value, r.err
+}
+
+func (t *Task) finish(v any, err error) {
+	t.done <- taskResult{value: v, err: err}
+}
+
+// Result is one task's outcome, produced by the executor.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// ExecFunc executes a batch of tasks. The slice has at least one element;
+// elements beyond the first are present only when their BatchKeys all equal
+// the first's. It must return exactly one Result per task, in order.
+type ExecFunc func(batch []*Task) []Result
+
+// Config parametrizes a Scheduler.
+type Config struct {
+	// Workers is the worker-pool size. Zero or negative selects 1.
+	Workers int
+	// QueueDepth bounds the admission queue. Zero or negative selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// Policy selects the overload behavior (reject vs block).
+	Policy Policy
+	// QueueWait bounds how long PolicyBlock waits for queue space. Zero
+	// selects DefaultQueueWait.
+	QueueWait time.Duration
+	// MaxBatch caps how many same-key tasks one worker coalesces into a
+	// single execution. Zero or one disables batching.
+	MaxBatch int
+	// BatchWindow is how long a worker holds an under-filled batch open
+	// for same-key arrivals. Zero means batch only the backlog already
+	// queued at dequeue time — batching then costs no latency when the
+	// server is idle and kicks in exactly when a queue has formed.
+	BatchWindow time.Duration
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultQueueDepth = 64
+	DefaultQueueWait  = 2 * time.Second
+)
+
+// Stats is a snapshot of the scheduler's state and counters.
+type Stats struct {
+	// Workers is the pool size; Busy is how many are executing now.
+	Workers int `json:"workers"`
+	Busy    int `json:"busy"`
+	// QueueDepth is the current number of queued tasks; QueueCap its
+	// bound.
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+	// Submitted counts accepted tasks; Rejected counts tasks turned away
+	// at admission; Cancelled counts tasks failed while queued at Close.
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
+	// Executed counts completed tasks; Batches counts executor
+	// invocations (so Executed/Batches is the mean batch size);
+	// BatchedTasks counts tasks that ran in a batch of 2 or more.
+	Executed     int64 `json:"executed"`
+	Batches      int64 `json:"batches"`
+	BatchedTasks int64 `json:"batchedTasks"`
+	// EWMAService is the smoothed per-task service time.
+	EWMAService time.Duration `json:"ewmaServiceNanos"`
+}
+
+// QueueingDelay estimates how long a task submitted now would wait for a
+// worker: the backlog ahead of it, served at the smoothed service rate by
+// the whole pool.
+func (s Stats) QueueingDelay() time.Duration {
+	if s.Workers <= 0 {
+		return 0
+	}
+	waiting := float64(s.QueueDepth)
+	if s.Busy >= s.Workers {
+		// All workers occupied: a new task also waits for a fraction of
+		// the in-flight work to drain.
+		waiting += float64(s.Busy) / 2
+	}
+	return time.Duration(waiting * float64(s.EWMAService) / float64(s.Workers))
+}
+
+// Saturated reports whether the admission queue is full.
+func (s Stats) Saturated() bool {
+	return s.QueueCap > 0 && s.QueueDepth >= s.QueueCap
+}
+
+// Scheduler admits, queues, batches, and executes tasks on a worker pool.
+type Scheduler struct {
+	cfg  Config
+	exec ExecFunc
+	logf func(string, ...any)
+
+	mu     sync.Mutex
+	queue  []*Task // FIFO admission queue, bounded by cfg.QueueDepth
+	closed bool
+	// space is signalled when queue slots free up (PolicyBlock waiters).
+	space chan struct{}
+	// wake is signalled on every enqueue (idle workers).
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	busy                atomic.Int64
+	submitted, rejected atomic.Int64
+	cancelled           atomic.Int64
+	executed, batches   atomic.Int64
+	batchedTasks        atomic.Int64
+	ewmaServiceNanos    atomic.Int64
+
+	ewmaMu                sync.Mutex
+	ewmaInitialized       bool
+	ewmaServiceNanosFloat float64
+}
+
+// ewmaAlpha weights the most recent batch's per-task service time; ~0.2
+// tracks load shifts within a few batches without jittering on one outlier.
+const ewmaAlpha = 0.2
+
+// New creates a scheduler and starts its workers. exec must be non-nil.
+func New(cfg Config, exec ExecFunc) (*Scheduler, error) {
+	if exec == nil {
+		return nil, errors.New("sched: nil executor")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = DefaultQueueWait
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Scheduler{
+		cfg:   cfg,
+		exec:  exec,
+		logf:  logf,
+		queue: make([]*Task, 0, cfg.QueueDepth),
+		space: make(chan struct{}, 1),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits a task for execution. On success the caller should Wait on
+// the task. A full queue rejects (PolicyReject) or blocks up to QueueWait
+// (PolicyBlock); a closed scheduler returns ErrClosed.
+func (s *Scheduler) Submit(t *Task) error {
+	if t.done == nil {
+		t.done = make(chan taskResult, 1)
+	}
+	var deadline *time.Timer
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			s.rejected.Add(1)
+			return ErrClosed
+		}
+		if len(s.queue) < s.cfg.QueueDepth {
+			s.queue = append(s.queue, t)
+			spare := len(s.queue) < s.cfg.QueueDepth
+			s.mu.Unlock()
+			s.submitted.Add(1)
+			signal(s.wake)
+			if spare {
+				// space has capacity 1: cascade the signal so other
+				// blocked submitters see the remaining slots.
+				signal(s.space)
+			}
+			return nil
+		}
+		s.mu.Unlock()
+		if s.cfg.Policy == PolicyReject {
+			s.rejected.Add(1)
+			return ErrQueueFull
+		}
+		if deadline == nil {
+			deadline = time.NewTimer(s.cfg.QueueWait)
+			defer deadline.Stop()
+		}
+		select {
+		case <-s.space:
+		case <-deadline.C:
+			s.rejected.Add(1)
+			return fmt.Errorf("%w after %v", ErrQueueFull, s.cfg.QueueWait)
+		case <-s.quit:
+			s.rejected.Add(1)
+			return ErrClosed
+		}
+	}
+}
+
+// signal performs a non-blocking send on a capacity-1 notification channel.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// worker pulls tasks, coalesces same-key backlog into batches, executes,
+// and delivers results.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		batch, ok := s.nextBatch()
+		if !ok {
+			return
+		}
+		s.runBatch(batch)
+	}
+}
+
+// nextBatch blocks for the next task, then greedily coalesces queued tasks
+// sharing its BatchKey (holding the batch open up to BatchWindow when one
+// is configured). ok=false means the scheduler is closing.
+func (s *Scheduler) nextBatch() ([]*Task, bool) {
+	var first *Task
+	for {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			first = s.queue[0]
+			s.queue = s.queue[1:]
+			backlog := len(s.queue) > 0
+			s.mu.Unlock()
+			signal(s.space)
+			if backlog {
+				// wake has capacity 1: re-signal so sleeping sibling
+				// workers see the remaining backlog.
+				signal(s.wake)
+			}
+			break
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-s.wake:
+		case <-s.quit:
+			// Drain check: Close cancels queued tasks itself, so an
+			// empty queue here means this worker is done.
+			s.mu.Lock()
+			empty := len(s.queue) == 0
+			s.mu.Unlock()
+			if empty {
+				return nil, false
+			}
+		}
+	}
+	batch := []*Task{first}
+	if s.cfg.MaxBatch <= 1 || first.BatchKey == "" {
+		return batch, true
+	}
+	var window *time.Timer
+	for len(batch) < s.cfg.MaxBatch {
+		s.mu.Lock()
+		// Coalesce every same-key task currently queued, preserving the
+		// FIFO order of the rest.
+		kept := s.queue[:0]
+		for _, t := range s.queue {
+			if len(batch) < s.cfg.MaxBatch && t.BatchKey == first.BatchKey {
+				batch = append(batch, t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = kept
+		closed := s.closed
+		s.mu.Unlock()
+		signal(s.space)
+		if len(batch) >= s.cfg.MaxBatch || s.cfg.BatchWindow <= 0 || closed {
+			break
+		}
+		if window == nil {
+			window = time.NewTimer(s.cfg.BatchWindow)
+			defer window.Stop()
+		}
+		select {
+		case <-s.wake:
+			// New arrivals: loop to collect matching ones. Re-signal so
+			// sibling workers also wake for the non-matching tasks.
+			signal(s.wake)
+		case <-window.C:
+			return batch, true
+		case <-s.quit:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// runBatch executes one batch and delivers per-task results.
+func (s *Scheduler) runBatch(batch []*Task) {
+	s.busy.Add(1)
+	start := time.Now()
+	results := s.safeExec(batch)
+	dur := time.Since(start)
+	s.busy.Add(-1)
+	s.observeService(dur, len(batch))
+	s.batches.Add(1)
+	s.executed.Add(int64(len(batch)))
+	if len(batch) > 1 {
+		s.batchedTasks.Add(int64(len(batch)))
+	}
+	for i, t := range batch {
+		if i < len(results) {
+			t.finish(results[i].Value, results[i].Err)
+		} else {
+			t.finish(nil, errors.New("sched: executor returned too few results"))
+		}
+	}
+}
+
+// safeExec invokes the executor, converting a panic into per-task errors so
+// one poisoned snapshot cannot take down the worker pool.
+func (s *Scheduler) safeExec(batch []*Task) (results []Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("sched: executor panic: %v", r)
+			results = make([]Result, len(batch))
+			for i := range results {
+				results[i] = Result{Err: fmt.Errorf("sched: executor panic: %v", r)}
+			}
+		}
+	}()
+	return s.exec(batch)
+}
+
+// observeService folds one batch's per-task service time into the EWMA.
+func (s *Scheduler) observeService(dur time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	perTask := float64(dur) / float64(n)
+	s.ewmaMu.Lock()
+	if !s.ewmaInitialized {
+		s.ewmaServiceNanosFloat = perTask
+		s.ewmaInitialized = true
+	} else {
+		s.ewmaServiceNanosFloat = ewmaAlpha*perTask + (1-ewmaAlpha)*s.ewmaServiceNanosFloat
+	}
+	v := s.ewmaServiceNanosFloat
+	s.ewmaMu.Unlock()
+	s.ewmaServiceNanos.Store(int64(math.Round(v)))
+}
+
+// Stats returns a consistent-enough snapshot of the scheduler's state.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Workers:      s.cfg.Workers,
+		Busy:         int(s.busy.Load()),
+		QueueDepth:   depth,
+		QueueCap:     s.cfg.QueueDepth,
+		Submitted:    s.submitted.Load(),
+		Rejected:     s.rejected.Load(),
+		Cancelled:    s.cancelled.Load(),
+		Executed:     s.executed.Load(),
+		Batches:      s.batches.Load(),
+		BatchedTasks: s.batchedTasks.Load(),
+		EWMAService:  time.Duration(s.ewmaServiceNanos.Load()),
+	}
+}
+
+// Close stops admission, cancels queued tasks with ErrClosed, and waits for
+// in-flight executions to drain. Every accepted task is guaranteed to have
+// been finished (executed or cancelled) when Close returns.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	cancelled := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	close(s.quit)
+	for _, t := range cancelled {
+		s.cancelled.Add(1)
+		t.finish(nil, ErrClosed)
+	}
+	s.wg.Wait()
+}

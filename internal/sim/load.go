@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LoadConfig parameterizes the load experiment's edge server: the same
+// knobs cmd/edged exposes (-workers, -queue, -batch).
+type LoadConfig struct {
+	// Workers is the number of concurrent executor workers.
+	Workers int
+	// QueueDepth is the admission queue capacity; arrivals beyond it are
+	// rejected and the client falls back to local rear execution.
+	QueueDepth int
+	// MaxBatch is the largest coalesced batch one worker executes.
+	MaxBatch int
+	// RequestsPerClient is how many closed-loop inferences each client
+	// performs.
+	RequestsPerClient int
+	// SplitLabel is the partial-inference offloading point (default
+	// PartialPointUsed, the Fig 6 choice).
+	SplitLabel string
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Workers <= 0 {
+		// Two workers put the saturation knee inside the default 1..64
+		// client sweep for the benchmark models, so both the batching
+		// win and the overload (fallback) regime are visible.
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1
+	}
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 20
+	}
+	if c.SplitLabel == "" {
+		c.SplitLabel = PartialPointUsed
+	}
+	return c
+}
+
+// LoadPoint is one concurrency setting's outcome: aggregate throughput and
+// the client-observed latency distribution.
+type LoadPoint struct {
+	Clients int
+	// Completed counts finished inferences (offloaded + local fallback).
+	Completed int
+	// Fallbacks counts inferences the server rejected (queue full) and the
+	// client finished locally.
+	Fallbacks int
+	// Throughput is completed inferences per simulated second, counting
+	// both offloaded and fallback completions.
+	Throughput float64
+	// OffloadedThroughput counts only server-executed inferences per
+	// second — the server's useful capacity, which local fallbacks would
+	// otherwise mask at saturation.
+	OffloadedThroughput float64
+	// P50 and P99 are latency percentiles over all completed inferences,
+	// measured from the user event to the result on screen.
+	P50, P99 time.Duration
+}
+
+// FallbackRate is the fraction of inferences that fell back to local
+// execution.
+func (p LoadPoint) FallbackRate() float64 {
+	if p.Completed == 0 {
+		return 0
+	}
+	return float64(p.Fallbacks) / float64(p.Completed)
+}
+
+// loadSim is the deterministic discrete-event model of N closed-loop
+// partial-offload clients sharing one edge server. Each client owns its
+// wireless link (links are not shared); the server is the contended
+// resource, exactly the regime the scheduler targets.
+type loadSim struct {
+	cfg LoadConfig
+	// Client-side segment before the request reaches the server: front
+	// execution + snapshot capture + upload transfer.
+	clientPrep time.Duration
+	// Server-side per-session costs paid inside the worker.
+	restoreS, captureS time.Duration
+	// serverRear is the batched rear forward-pass time.
+	serverRear func(batch int) time.Duration
+	// Client-side segment after the server responds: download + restore.
+	clientPost time.Duration
+	// localRear is the client's own rear execution, used on fallback.
+	localRear time.Duration
+}
+
+// newLoadSim derives all segment durations from the scenario's calibrated
+// cost models at the configured split point.
+func newLoadSim(sc *Scenario, cfg LoadConfig) (*loadSim, error) {
+	cfg = cfg.withDefaults()
+	infos, err := sc.Net.Describe()
+	if err != nil {
+		return nil, err
+	}
+	points, err := sc.Net.PartitionPoints()
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	var featBytes int64
+	for _, p := range points {
+		if p.Label == cfg.SplitLabel {
+			idx = p.Index
+			featBytes = sc.textBytes(int(p.FeatureBytes / 4))
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("sim: %s has no partition point %q", sc.ModelName, cfg.SplitLabel)
+	}
+	frontExec, err := sc.Client.RangeTime(infos, 0, idx+1)
+	if err != nil {
+		return nil, err
+	}
+	localRear, err := sc.Client.RangeTime(infos, idx+1, len(infos))
+	if err != nil {
+		return nil, err
+	}
+	upBytes := sc.StateBytes + featBytes
+	downBytes := sc.StateBytes + sc.ResultTextBytes
+	ls := &loadSim{
+		cfg:        cfg,
+		clientPrep: frontExec + sc.Client.SnapshotTime(upBytes) + sc.Network.TransferTime(upBytes),
+		restoreS:   sc.Server.SnapshotTime(upBytes),
+		captureS:   sc.Server.SnapshotTime(downBytes),
+		clientPost: sc.Network.TransferTime(downBytes) + sc.Client.SnapshotTime(downBytes),
+		localRear:  localRear,
+	}
+	ls.serverRear = func(batch int) time.Duration {
+		d, rerr := sc.Server.BatchRangeTime(infos, idx+1, len(infos), batch)
+		if rerr != nil {
+			// Bounds were validated above; batch >= 1 by construction.
+			panic(rerr)
+		}
+		return d
+	}
+	return ls, nil
+}
+
+// service is one worker's occupancy for a batch: per-session restore and
+// capture are serial, the rear forward pass is batched.
+func (ls *loadSim) service(batch int) time.Duration {
+	b := time.Duration(batch)
+	return b*ls.restoreS + ls.serverRear(batch) + b*ls.captureS
+}
+
+// Event kinds.
+const (
+	evArrive = iota // a client's snapshot reaches the server
+	evDone          // a worker finishes a batch
+)
+
+type pendingReq struct {
+	client int
+	start  time.Duration // when the user event fired
+}
+
+type simEvent struct {
+	at     time.Duration
+	seq    int // tie-break for deterministic ordering
+	kind   int
+	req    pendingReq   // evArrive
+	worker int          // evDone
+	batch  []pendingReq // evDone
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// run simulates clients concurrent closed-loop clients and returns the
+// resulting LoadPoint. Each client pauses for a deterministic
+// pseudo-random think time (0–250 ms) before every request; the event
+// interleaving is therefore reproducible without the degenerate lockstep
+// of perfectly symmetric clients.
+func (ls *loadSim) run(clients int) LoadPoint {
+	var (
+		events    eventHeap
+		seq       int
+		queue     []pendingReq
+		idle      = make([]int, 0, ls.cfg.Workers)
+		remaining = make([]int, clients)
+		rngs      = make([]xorshift, clients)
+		latencies []time.Duration
+		fallbacks int
+		makespan  time.Duration
+	)
+	for w := ls.cfg.Workers - 1; w >= 0; w-- {
+		idle = append(idle, w) // LIFO: lowest index dispatched first
+	}
+	push := func(ev *simEvent) {
+		ev.seq = seq
+		seq++
+		heap.Push(&events, ev)
+	}
+	// startRequest begins client c's next inference after time t: the
+	// user thinks briefly, the event fires, the front runs, the snapshot
+	// ships. Latency is measured from the user event.
+	startRequest := func(c int, t time.Duration) {
+		remaining[c]--
+		start := t + rngs[c].think()
+		push(&simEvent{at: start + ls.clientPrep, kind: evArrive, req: pendingReq{client: c, start: start}})
+	}
+	// finish records a completed inference and starts the client's next.
+	finish := func(req pendingReq, t time.Duration) {
+		latencies = append(latencies, t-req.start)
+		if t > makespan {
+			makespan = t
+		}
+		if remaining[req.client] > 0 {
+			startRequest(req.client, t)
+		}
+	}
+	dispatch := func(t time.Duration) {
+		for len(idle) > 0 && len(queue) > 0 {
+			w := idle[len(idle)-1]
+			idle = idle[:len(idle)-1]
+			take := ls.cfg.MaxBatch
+			if take > len(queue) {
+				take = len(queue)
+			}
+			batch := make([]pendingReq, take)
+			copy(batch, queue[:take])
+			queue = queue[take:]
+			push(&simEvent{at: t + ls.service(take), kind: evDone, worker: w, batch: batch})
+		}
+	}
+
+	for c := 0; c < clients; c++ {
+		remaining[c] = ls.cfg.RequestsPerClient
+		rngs[c] = xorshift{s: uint64(c)*2654435761 + 0x9e3779b97f4a7c15}
+		startRequest(c, 0)
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(*simEvent)
+		switch ev.kind {
+		case evArrive:
+			if len(idle) == 0 && len(queue) >= ls.cfg.QueueDepth {
+				// Queue full: the server rejects, the client runs the
+				// rear locally from its still-live app state.
+				fallbacks++
+				finish(ev.req, ev.at+ls.localRear)
+				break
+			}
+			queue = append(queue, ev.req)
+			dispatch(ev.at)
+		case evDone:
+			idle = append(idle, ev.worker)
+			for _, req := range ev.batch {
+				finish(req, ev.at+ls.clientPost)
+			}
+			dispatch(ev.at)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pt := LoadPoint{
+		Clients:   clients,
+		Completed: len(latencies),
+		Fallbacks: fallbacks,
+		P50:       percentile(latencies, 0.50),
+		P99:       percentile(latencies, 0.99),
+	}
+	if makespan > 0 {
+		pt.Throughput = float64(pt.Completed) / makespan.Seconds()
+		pt.OffloadedThroughput = float64(pt.Completed-pt.Fallbacks) / makespan.Seconds()
+	}
+	return pt
+}
+
+// xorshift is a tiny deterministic PRNG for per-client think-time jitter.
+// Without jitter, identical closed-loop clients phase-lock into permanent
+// cohorts and the results measure the lockstep artifact, not the server.
+type xorshift struct{ s uint64 }
+
+func (r *xorshift) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *xorshift) think() time.Duration {
+	return time.Duration(r.next() % uint64(250*time.Millisecond))
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// LoadSweep simulates the edge server under increasing numbers of
+// concurrent partial-offload clients of one model — the scheduler's target
+// workload: every session shares the same pre-sent rear model, so the
+// worker pool can coalesce them into batched forward passes.
+func LoadSweep(modelName string, clients []int, cfg LoadConfig) ([]LoadPoint, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("sim: empty client list")
+	}
+	sc, err := NewScenario(modelName)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := newLoadSim(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]LoadPoint, 0, len(clients))
+	for _, n := range clients {
+		if n <= 0 {
+			return nil, fmt.Errorf("sim: non-positive client count %d", n)
+		}
+		points = append(points, ls.run(n))
+	}
+	return points, nil
+}

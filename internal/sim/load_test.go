@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func loadPoints(t *testing.T, batch int, clients []int) []LoadPoint {
+	t.Helper()
+	pts, err := LoadSweep("googlenet", clients, LoadConfig{MaxBatch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestLoadSweepValidation(t *testing.T) {
+	if _, err := LoadSweep("googlenet", nil, LoadConfig{}); err == nil {
+		t.Error("empty client list should fail")
+	}
+	if _, err := LoadSweep("googlenet", []int{0}, LoadConfig{}); err == nil {
+		t.Error("zero clients should fail")
+	}
+	if _, err := LoadSweep("no-such-model", []int{1}, LoadConfig{}); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if _, err := LoadSweep("googlenet", []int{1}, LoadConfig{SplitLabel: "nope"}); err == nil {
+		t.Error("unknown split label should fail")
+	}
+}
+
+func TestLoadSweepDeterministic(t *testing.T) {
+	a := loadPoints(t, 8, []int{8})
+	b := loadPoints(t, 8, []int{8})
+	if a[0] != b[0] {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestLoadAllRequestsComplete(t *testing.T) {
+	cfg := LoadConfig{MaxBatch: 4, RequestsPerClient: 5}
+	pts, err := LoadSweep("googlenet", []int{16}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pts[0].Completed, 16*5; got != want {
+		t.Errorf("completed = %d, want %d (no inference may be lost)", got, want)
+	}
+}
+
+// TestLoadBatchingImprovesThroughput checks the headline scheduler claim:
+// with >= 8 concurrent partial-offload clients of one model, coalescing
+// rear passes into batches yields more server-executed inferences per
+// second than serving each session alone.
+func TestLoadBatchingImprovesThroughput(t *testing.T) {
+	clients := []int{8, 16, 32, 64}
+	batched := loadPoints(t, 8, clients)
+	solo := loadPoints(t, 1, clients)
+	for i, n := range clients {
+		if batched[i].OffloadedThroughput <= solo[i].OffloadedThroughput {
+			t.Errorf("clients=%d: batched offloaded throughput %.3f <= solo %.3f",
+				n, batched[i].OffloadedThroughput, solo[i].OffloadedThroughput)
+		}
+	}
+	// The win must be substantial once the pool is saturated, not a
+	// rounding artifact.
+	if batched[1].OffloadedThroughput < 1.2*solo[1].OffloadedThroughput {
+		t.Errorf("clients=16: batched %.3f < 1.2x solo %.3f",
+			batched[1].OffloadedThroughput, solo[1].OffloadedThroughput)
+	}
+}
+
+// TestLoadTailLatencyMonotone checks that p99 latency does not decrease as
+// concurrency grows — queueing can only get worse with more load.
+func TestLoadTailLatencyMonotone(t *testing.T) {
+	clients := []int{1, 2, 4, 8, 16, 32, 64}
+	for _, batch := range []int{1, 8} {
+		pts := loadPoints(t, batch, clients)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].P99 < pts[i-1].P99 {
+				t.Errorf("batch=%d: p99 fell from %v (n=%d) to %v (n=%d)",
+					batch, pts[i-1].P99, pts[i-1].Clients, pts[i].P99, pts[i].Clients)
+			}
+		}
+		if pts[len(pts)-1].P99 <= pts[0].P99 {
+			t.Errorf("batch=%d: p99 never grew (%v at n=1, %v at n=64)",
+				batch, pts[0].P99, pts[len(pts)-1].P99)
+		}
+	}
+}
+
+// TestLoadFallbackUnderOverload checks the admission-control story: with
+// the queue saturated, rejected inferences complete locally rather than
+// being lost, and lightly loaded sweeps see no fallback at all.
+func TestLoadFallbackUnderOverload(t *testing.T) {
+	pts := loadPoints(t, 8, []int{1, 64})
+	if pts[0].Fallbacks != 0 {
+		t.Errorf("single client saw %d fallbacks", pts[0].Fallbacks)
+	}
+	if pts[1].Fallbacks == 0 {
+		t.Error("64 clients against a 2-worker server should overflow the queue")
+	}
+	if rate := pts[1].FallbackRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("fallback rate = %v, want within (0, 1)", rate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lat, 0.50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(lat, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
