@@ -273,6 +273,31 @@ func load(w io.Writer, lc sim.LoadConfig) error {
 			p.Clients, p.OffloadedThroughput, basePts[i].OffloadedThroughput,
 			p.Throughput, secs(p.P50), secs(p.P99), 100*p.FallbackRate())
 	}
+	fmt.Fprintln(w)
+	return stageBreakdown(w, pts)
+}
+
+// stageBreakdown prints the per-stage latency percentiles of the offload
+// pipeline at the lightest and heaviest points of the sweep. Percentiles —
+// not means — are the point: the queue stage's p99 explodes at saturation
+// long before its mean moves, and the fixed stages confirm they stay flat.
+func stageBreakdown(w io.Writer, pts []sim.LoadPoint) error {
+	lo, hi := pts[0], pts[len(pts)-1]
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(w, "Per-stage latency (ms): %d clients vs %d clients\n", lo.Clients, hi.Clients)
+	fmt.Fprintf(w, "Stage\tp50 (c=%d)\tp95 (c=%d)\tp99 (c=%d)\tp50 (c=%d)\tp95 (c=%d)\tp99 (c=%d)\n",
+		lo.Clients, lo.Clients, lo.Clients, hi.Clients, hi.Clients, hi.Clients)
+	hiStages := make(map[string][3]time.Duration, len(hi.Stages))
+	for _, s := range hi.Stages {
+		hiStages[string(s.Stage)] = [3]time.Duration{s.P50, s.P95, s.P99}
+	}
+	for _, s := range lo.Stages {
+		h := hiStages[string(s.Stage)]
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.Stage, ms(s.P50), ms(s.P95), ms(s.P99), ms(h[0]), ms(h[1]), ms(h[2]))
+	}
 	return nil
 }
 

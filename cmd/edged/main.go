@@ -36,7 +36,11 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve GET /metrics (JSON counters) on this address (empty = disabled)")
-		idle  = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
+		idle     = flag.Duration("idle-timeout", 0, "close connections idle longer than this (0 = never)")
+		transfer = flag.Duration("transfer-timeout", 0,
+			"max gap between reads within one frame once it started arriving (0 = same as -idle-timeout)")
+		traceLog = flag.String("trace-log", "",
+			"append one JSON line per offload request with its server-side span breakdown ('-' = stderr)")
 		quiet = flag.Bool("quiet", false, "suppress per-request logging")
 
 		workers = flag.Int("workers", edge.DefaultWorkers,
@@ -57,7 +61,7 @@ func main() {
 		workers: *workers, queue: *queue, batch: *batch,
 		batchWindow: *batchWindow, block: *block, queueWait: *queueWait,
 	}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *maxConns, *idle, *quiet, sc); err != nil {
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -70,14 +74,14 @@ type schedConfig struct {
 	block                  bool
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, maxConns int, idle time.Duration, quiet bool, sc schedConfig) error {
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet bool, sc schedConfig) error {
 	catalog, err := core.DefaultCatalog()
 	if err != nil {
 		return err
 	}
 	cfg := edge.Config{
 		Catalog: catalog, Installed: !onDemand, ModelDir: modelDir,
-		MaxConns: maxConns, IdleTimeout: idle,
+		MaxConns: maxConns, IdleTimeout: idle, TransferTimeout: transfer,
 		Workers: sc.workers, QueueDepth: sc.queue,
 		MaxBatch: sc.batch, BatchWindow: sc.batchWindow,
 		QueueWait: sc.queueWait,
@@ -87,6 +91,18 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr string, 
 	}
 	if !quiet {
 		cfg.Logf = log.Printf
+	}
+	switch traceLog {
+	case "":
+	case "-":
+		cfg.TraceLog = os.Stderr
+	default:
+		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace log: %w", err)
+		}
+		defer f.Close()
+		cfg.TraceLog = f
 	}
 	if onDemand {
 		cfg.Synthesizer = vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: baseImage, Bytes: 8 << 30})

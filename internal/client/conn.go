@@ -15,6 +15,7 @@ import (
 
 	"websnap/internal/nn"
 	"websnap/internal/protocol"
+	"websnap/internal/trace"
 )
 
 // ErrServerError wraps a MsgError response from the edge server.
@@ -25,6 +26,15 @@ var ErrServerError = errors.New("client: edge server error")
 // The client should execute locally (or pick another server) instead of
 // retrying. ErrOverloaded errors also match ErrServerError.
 var ErrOverloaded = errors.New("client: edge server overloaded")
+
+// ErrConnBroken marks a connection whose frame stream is no longer
+// trustworthy: a previous request failed mid-I/O (deadline expiry while a
+// frame was in flight, a short write, a torn read), so the next bytes on
+// the wire may belong to a stale response. Reusing such a connection would
+// decode garbage as a frame header; every subsequent request fails fast
+// with this error instead. Callers should Redial (or dial a fresh Conn) and
+// may fall back to local execution meanwhile.
+var ErrConnBroken = errors.New("client: connection broken mid-frame")
 
 // Conn is a synchronous request/response channel to an edge server's
 // offloading program. It serializes requests with a mutex, so one Conn may
@@ -38,6 +48,11 @@ type Conn struct {
 	rw      net.Conn
 	seq     uint64
 	timeout time.Duration
+	// addr is the dialed address; empty for Conns wrapped around an
+	// existing net.Conn, which cannot Redial.
+	addr string
+	// broken marks a desynced frame stream (see ErrConnBroken).
+	broken bool
 
 	loadMu   sync.Mutex
 	lastLoad *protocol.LoadHint
@@ -82,13 +97,16 @@ func NewConn(rw net.Conn) *Conn {
 	return &Conn{rw: rw}
 }
 
-// Dial connects to an edge server at addr over TCP.
+// Dial connects to an edge server at addr over TCP. The Conn remembers the
+// address, so a broken connection can be re-established with Redial.
 func Dial(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
-	return NewConn(c), nil
+	conn := NewConn(c)
+	conn.addr = addr
+	return conn, nil
 }
 
 // Close closes the underlying connection.
@@ -98,10 +116,48 @@ func (c *Conn) Close() error {
 	return c.rw.Close()
 }
 
+// Broken reports whether the connection has been marked desynced; all
+// further requests fail with ErrConnBroken until Redial succeeds.
+func (c *Conn) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Redial re-establishes a dialed connection in place: the old socket is
+// closed, a fresh one replaces it, and the broken mark is cleared. Conns
+// wrapped around an existing net.Conn (NewConn) cannot redial. The server's
+// per-app state (pre-sent models, delta bases) is keyed by app ID, not by
+// connection, so it survives the reconnect.
+func (c *Conn) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.addr == "" {
+		return fmt.Errorf("client: cannot redial a wrapped connection: %w", ErrConnBroken)
+	}
+	fresh, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	c.rw.Close() //nolint:errcheck // the old socket is already suspect
+	c.rw = fresh
+	c.broken = false
+	return nil
+}
+
 // roundTrip sends one request and reads one response.
+//
+// Any I/O failure — notably a deadline expiring while a frame is mid-wire —
+// leaves the stream position unknown, so the Conn is marked broken: the
+// next read could otherwise interpret the stale response's leftover bytes
+// as a frame header and decode garbage. A clean MsgError response is a
+// complete frame and does NOT break the connection.
 func (c *Conn) roundTrip(req protocol.Message) (protocol.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return protocol.Message{}, ErrConnBroken
+	}
 	if c.timeout > 0 {
 		if err := c.rw.SetDeadline(time.Now().Add(c.timeout)); err != nil {
 			return protocol.Message{}, fmt.Errorf("client: set deadline: %w", err)
@@ -109,11 +165,13 @@ func (c *Conn) roundTrip(req protocol.Message) (protocol.Message, error) {
 		defer c.rw.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
 	}
 	if err := protocol.Write(c.rw, req); err != nil {
-		return protocol.Message{}, err
+		c.broken = true
+		return protocol.Message{}, fmt.Errorf("%w: %w", ErrConnBroken, err)
 	}
 	resp, err := protocol.Read(c.rw)
 	if err != nil {
-		return protocol.Message{}, err
+		c.broken = true
+		return protocol.Message{}, fmt.Errorf("%w: %w", ErrConnBroken, err)
 	}
 	if resp.Type == protocol.MsgError {
 		var hdr protocol.ErrorHeader
@@ -194,53 +252,91 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 // are always the plain result text. WireBytes reports the on-the-wire size
 // of the shipped body.
 func (c *Conn) OffloadSnapshot(appID string, encoded []byte, compress bool) (result []byte, wireBytes int64, err error) {
-	return c.offloadBody(protocol.MsgSnapshot, protocol.MsgResultSnapshot, appID, encoded, compress)
+	reply, err := c.offloadBody(protocol.MsgSnapshot, protocol.MsgResultSnapshot, appID, encoded, compress)
+	return reply.Result, reply.WireBytes, err
 }
 
 // OffloadSnapshotDelta ships an encoded snapshot delta and returns the
 // encoded result delta. The server answers with an error when it no longer
 // holds the base state; callers fall back to a full snapshot then.
 func (c *Conn) OffloadSnapshotDelta(appID string, encoded []byte, compress bool) (result []byte, wireBytes int64, err error) {
-	return c.offloadBody(protocol.MsgSnapshotDelta, protocol.MsgResultDelta, appID, encoded, compress)
+	reply, err := c.offloadBody(protocol.MsgSnapshotDelta, protocol.MsgResultDelta, appID, encoded, compress)
+	return reply.Result, reply.WireBytes, err
 }
 
-func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, encoded []byte, compress bool) ([]byte, int64, error) {
+// offloadReply is one snapshot round trip's full outcome, including the
+// measurements the trace pipeline consumes.
+type offloadReply struct {
+	// Result is the plain (decompressed) result body.
+	Result []byte
+	// WireBytes is the on-the-wire size of the shipped request body;
+	// RespBytes the response frame's header+body size.
+	WireBytes, RespBytes int64
+	// Compress and Decompress are the client-side body codec times (zero
+	// without compression).
+	Compress, Decompress time.Duration
+	// RoundTrip spans request write start to response read completion.
+	RoundTrip time.Duration
+	// TraceID is the ID stamped on the request; ServerTrace is the
+	// server's span report (nil when the server predates the trace
+	// extension).
+	TraceID     string
+	ServerTrace *protocol.ServerTrace
+}
+
+func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, encoded []byte, compress bool) (offloadReply, error) {
 	c.mu.Lock()
 	c.seq++
 	seq := c.seq
 	c.mu.Unlock()
+	var reply offloadReply
+	reply.TraceID = trace.NewID()
 	body := encoded
 	encoding := protocol.EncodingRaw
 	if compress {
+		start := time.Now()
 		compressed, err := protocol.CompressBody(encoded)
 		if err != nil {
-			return nil, 0, err
+			return reply, err
 		}
+		reply.Compress = time.Since(start)
 		body = compressed
 		encoding = protocol.EncodingFlate
 	}
-	req, err := protocol.Encode(reqType,
-		protocol.SnapshotHeader{AppID: appID, Seq: seq, Encoding: encoding, Hints: protocol.HintLoadV1}, body)
+	req, err := protocol.Encode(reqType, protocol.SnapshotHeader{
+		AppID: appID, Seq: seq, Encoding: encoding,
+		Hints: protocol.HintTraceV1, TraceID: reply.TraceID,
+	}, body)
 	if err != nil {
-		return nil, 0, err
+		return reply, err
 	}
+	rtStart := time.Now()
 	resp, err := c.roundTrip(req)
+	reply.RoundTrip = time.Since(rtStart)
 	if err != nil {
-		return nil, 0, fmt.Errorf("client: %s: %w", reqType, err)
+		return reply, fmt.Errorf("client: %s: %w", reqType, err)
 	}
 	if resp.Type != respType {
-		return nil, 0, fmt.Errorf("client: %s: unexpected response %s", reqType, resp.Type)
+		return reply, fmt.Errorf("client: %s: unexpected response %s", reqType, resp.Type)
 	}
 	var hdr protocol.SnapshotHeader
 	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
-		return nil, 0, err
+		return reply, err
 	}
 	c.noteLoad(hdr.Load)
+	reply.ServerTrace = hdr.ServerTrace
+	reply.WireBytes = int64(len(body))
+	reply.RespBytes = int64(len(resp.Header) + len(resp.Body))
+	decStart := time.Now()
 	plain, err := protocol.DecodeBody(resp.Body, hdr.Encoding)
 	if err != nil {
-		return nil, 0, fmt.Errorf("client: %s result: %w", reqType, err)
+		return reply, fmt.Errorf("client: %s result: %w", reqType, err)
 	}
-	return plain, int64(len(body)), nil
+	if hdr.Encoding == protocol.EncodingFlate {
+		reply.Decompress = time.Since(decStart)
+	}
+	reply.Result = plain
+	return reply, nil
 }
 
 // InstallOverlay ships a compressed VM overlay for on-demand installation

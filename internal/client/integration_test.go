@@ -7,6 +7,7 @@ import (
 
 	"websnap/internal/edge"
 	"websnap/internal/mlapp"
+	"websnap/internal/trace"
 	"websnap/internal/vmsynth"
 	"websnap/internal/webapp"
 )
@@ -207,6 +208,82 @@ func TestCompressedDeltaOffload(t *testing.T) {
 	st := off.Stats()
 	if st.DeltaOffloads != 1 {
 		t.Errorf("stats = %+v, want 1 delta", st)
+	}
+}
+
+// TestTraceSpansCoverRoundTrip checks the tracing pipeline end to end
+// against a real server: every offload yields a merged client+server trace
+// whose stages are all present and whose spans sum to the independently
+// measured end-to-end offload time — nothing double-counted, nothing lost.
+func TestTraceSpansCoverRoundTrip(t *testing.T) {
+	addr := startEdge(t, edge.Config{Installed: true})
+	conn := dialEdge(t, addr)
+	off, app := newOffloadedApp(t, conn, Options{
+		Models: []ModelToSend{{Name: "tiny", Net: tinyModel(t)}},
+	})
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+	const offloads = 3
+	for i := 0; i < offloads; i++ {
+		classifyOnce(t, off, app, uint64(i+1))
+	}
+
+	st := off.Stats()
+	tr := st.LastTrace
+	if tr == nil {
+		t.Fatal("no trace recorded")
+	}
+	if len(tr.ID) != 16 {
+		t.Errorf("trace ID %q, want 16 hex digits", tr.ID)
+	}
+	for _, c := range tr.ID {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Errorf("trace ID %q contains non-hex digit %q", tr.ID, c)
+			break
+		}
+	}
+	for _, stage := range []trace.Stage{
+		trace.StageCapture, trace.StageEncode, trace.StageWire,
+		trace.StageQueue, trace.StageExecute, trace.StageResultWire,
+		trace.StageRestore,
+	} {
+		if _, ok := tr.Get(stage); !ok {
+			t.Errorf("trace missing stage %s", stage)
+		}
+	}
+	if _, ok := tr.Get(trace.StageCompress); ok {
+		t.Error("uncompressed offload recorded a compress span")
+	}
+	if tr.BatchSize < 1 {
+		t.Errorf("trace batch size = %d, want >= 1", tr.BatchSize)
+	}
+
+	// The spans must account for the observed end-to-end time: the wire
+	// stages are derived as round trip minus the server's report, so the
+	// trace total and the wall-clock Timing total measure the same interval
+	// two ways. Allow loose slack for clock-read jitter.
+	e2e := st.LastTiming.Total()
+	if total := tr.Total(); total < e2e/2 || total > 2*e2e {
+		t.Errorf("trace total %v not within [0.5x, 2x] of measured end-to-end %v", total, e2e)
+	}
+
+	// The recorder aggregated every offload.
+	rec := off.TraceRecorder()
+	for _, stage := range []trace.Stage{trace.StageCapture, trace.StageExecute, trace.StageRestore} {
+		if got := rec.Stage(stage).Count(); got != offloads {
+			t.Errorf("recorder %s count = %d, want %d", stage, got, offloads)
+		}
+	}
+	sums := rec.Summaries()
+	if len(sums) == 0 {
+		t.Fatal("recorder summaries empty")
+	}
+	for _, s := range sums {
+		if s.P50 > s.P95 || s.P95 > s.P99 {
+			t.Errorf("stage %s quantiles not ordered: %+v", s.Stage, s)
+		}
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"websnap/internal/nn"
+	"websnap/internal/protocol"
 	"websnap/internal/snapshot"
+	"websnap/internal/trace"
 	"websnap/internal/webapp"
 )
 
@@ -94,9 +96,15 @@ type Stats struct {
 	// LoadSheds counts events executed locally because the server's load
 	// hint predicted too much queueing delay (no offload was attempted).
 	LoadSheds int
+	// Redials counts successful in-place reconnects after the connection
+	// was marked broken (ErrConnBroken).
+	Redials int
 	// LastTiming is the wall-clock phase breakdown of the last offload —
 	// the real-path counterpart of the paper's Fig 7.
 	LastTiming Timing
+	// LastTrace is the merged client+server span trace of the last
+	// completed offload (nil before the first).
+	LastTrace *trace.Trace
 }
 
 // Timing is the measured wall-clock breakdown of one offload round trip.
@@ -130,6 +138,8 @@ type Offloader struct {
 
 	offloadTypes  map[string]bool
 	excludeModels map[string]bool
+	// rec aggregates per-stage latencies across this offloader's traces.
+	rec *trace.Recorder
 
 	mu      sync.Mutex
 	acked   map[string]bool
@@ -168,8 +178,13 @@ func NewOffloader(app *webapp.App, conn *Conn, opts Options) (*Offloader, error)
 		offloadTypes:  types,
 		excludeModels: excluded,
 		acked:         make(map[string]bool),
+		rec:           trace.NewRecorder(),
 	}, nil
 }
+
+// TraceRecorder exposes the per-stage latency histograms aggregated over
+// every offload this offloader has completed.
+func (o *Offloader) TraceRecorder() *trace.Recorder { return o.rec }
 
 // App returns the driven app.
 func (o *Offloader) App() *webapp.App { return o.app }
@@ -286,6 +301,11 @@ func (o *Offloader) Step() (bool, error) {
 		return true, nil
 	}
 	if err := o.Offload(ev); err != nil {
+		// A broken connection (mid-frame timeout, torn read) would desync
+		// every later request: re-establish it now so the next offload
+		// runs on a clean frame stream, regardless of how this event is
+		// finished.
+		o.maybeRedial(err)
 		if !o.opts.LocalFallback {
 			return true, err
 		}
@@ -298,6 +318,25 @@ func (o *Offloader) Step() (bool, error) {
 		}
 	}
 	return true, nil
+}
+
+// maybeRedial re-establishes the connection after an ErrConnBroken failure.
+// It reports whether a redial happened; failures are left for the next
+// attempt (the conn stays broken and keeps failing fast).
+func (o *Offloader) maybeRedial(err error) bool {
+	if !errors.Is(err, ErrConnBroken) {
+		return false
+	}
+	o.mu.Lock()
+	conn := o.conn
+	o.mu.Unlock()
+	if rerr := conn.Redial(); rerr != nil {
+		return false
+	}
+	o.mu.Lock()
+	o.stats.Redials++
+	o.mu.Unlock()
+	return true
 }
 
 // shouldShed reports whether the server's last load hint says to keep this
@@ -386,13 +425,14 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 	if err != nil {
 		return fmt.Errorf("client: capture: %w", err)
 	}
+	captureDur := time.Since(captureStart)
 
 	if o.opts.EnableDelta {
 		o.mu.Lock()
 		base := o.lastSync
 		o.mu.Unlock()
 		if base != nil {
-			done, err := o.offloadDelta(base, snap, modelIncluded, inlineBytes, timing, captureStart)
+			done, err := o.offloadDelta(base, snap, modelIncluded, inlineBytes, timing, captureDur)
 			if err == nil && done {
 				return nil
 			}
@@ -407,19 +447,20 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 		}
 	}
 
+	encodeStart := time.Now()
 	encoded, err := snap.Encode()
 	if err != nil {
 		return fmt.Errorf("client: encode: %w", err)
 	}
-	timing.CaptureEncode = time.Since(captureStart)
-	rtStart := time.Now()
-	resultWire, wireBytes, err := o.conn.OffloadSnapshot(o.app.ID(), encoded, o.opts.Compress)
+	encodeDur := time.Since(encodeStart)
+	timing.CaptureEncode = captureDur + encodeDur
+	reply, err := o.conn.offloadBody(protocol.MsgSnapshot, protocol.MsgResultSnapshot, o.app.ID(), encoded, o.opts.Compress)
 	if err != nil {
 		return err
 	}
-	timing.RoundTrip = time.Since(rtStart)
+	timing.RoundTrip = reply.RoundTrip
 	applyStart := time.Now()
-	result, err := snapshot.Decode(resultWire)
+	result, err := snapshot.Decode(reply.Result)
 	if err != nil {
 		return fmt.Errorf("client: decode result: %w", err)
 	}
@@ -427,23 +468,67 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 		return fmt.Errorf("client: apply result: %w", err)
 	}
 	timing.DecodeApply = time.Since(applyStart)
+	tr := assembleTrace(reply, captureDur, encodeDur, timing.DecodeApply)
+	o.rec.ObserveTrace(tr)
 	o.mu.Lock()
 	o.stats.Offloads++
-	o.stats.LastSnapshotBytes = wireBytes
-	o.stats.LastResultBytes = int64(len(resultWire))
+	o.stats.LastSnapshotBytes = reply.WireBytes
+	o.stats.LastResultBytes = int64(len(reply.Result))
 	o.stats.LastModelIncluded = modelIncluded
 	o.stats.LastInlineModelBytes = inlineBytes
 	o.stats.LastTiming = timing
+	o.stats.LastTrace = tr
 	o.lastSync = result
 	o.mu.Unlock()
 	return nil
+}
+
+// assembleTrace merges one round trip's client-side measurements with the
+// server's span report into a single per-offload trace.
+//
+// The two clocks are never compared directly: the server reports durations
+// only, and wire time is derived as the client-observed round trip minus the
+// server's total, split between the upload and download legs proportionally
+// to the bytes each moved. Server-side decode/execute/encode fold into the
+// execute stage; the queue span is the admission-queue wait.
+func assembleTrace(reply offloadReply, capture, encode, restore time.Duration) *trace.Trace {
+	tr := &trace.Trace{ID: reply.TraceID}
+	tr.Add(trace.StageCapture, capture)
+	tr.Add(trace.StageEncode, encode)
+	if c := reply.Compress + reply.Decompress; c > 0 {
+		tr.Add(trace.StageCompress, c)
+	}
+	wire := reply.RoundTrip
+	if st := reply.ServerTrace; st != nil {
+		if t := st.Total(); t < wire {
+			wire -= t
+		} else {
+			wire = 0
+		}
+	}
+	up, down := wire, time.Duration(0)
+	if total := reply.WireBytes + reply.RespBytes; total > 0 {
+		up = wire * time.Duration(reply.WireBytes) / time.Duration(total)
+		down = wire - up
+	}
+	tr.Add(trace.StageWire, up)
+	if st := reply.ServerTrace; st != nil {
+		tr.Add(trace.StageQueue, time.Duration(st.QueueMicros)*time.Microsecond)
+		exec := st.DecodeMicros + st.ExecuteMicros + st.EncodeMicros
+		tr.Add(trace.StageExecute, time.Duration(exec)*time.Microsecond)
+		tr.BatchSize = st.BatchSize
+	}
+	tr.Add(trace.StageResultWire, down)
+	tr.Add(trace.StageRestore, restore)
+	return tr
 }
 
 // offloadDelta ships the offload as a delta against base (the server's
 // previous result). It reports done=true on success; a (nil, false) return
 // cannot occur — errors signal the caller to fall back to a full snapshot.
 func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bool,
-	inlineBytes int64, timing Timing, captureStart time.Time) (bool, error) {
+	inlineBytes int64, timing Timing, captureDur time.Duration) (bool, error) {
+	encodeStart := time.Now()
 	delta, err := snapshot.Diff(base, snap)
 	if err != nil {
 		return false, err
@@ -452,15 +537,15 @@ func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bo
 	if err != nil {
 		return false, err
 	}
-	timing.CaptureEncode = time.Since(captureStart)
-	rtStart := time.Now()
-	resultWire, wireBytes, err := o.conn.OffloadSnapshotDelta(o.app.ID(), encoded, o.opts.Compress)
+	encodeDur := time.Since(encodeStart)
+	timing.CaptureEncode = captureDur + encodeDur
+	reply, err := o.conn.offloadBody(protocol.MsgSnapshotDelta, protocol.MsgResultDelta, o.app.ID(), encoded, o.opts.Compress)
 	if err != nil {
 		return false, err
 	}
-	timing.RoundTrip = time.Since(rtStart)
+	timing.RoundTrip = reply.RoundTrip
 	applyStart := time.Now()
-	resultDelta, err := snapshot.DecodeDelta(resultWire)
+	resultDelta, err := snapshot.DecodeDelta(reply.Result)
 	if err != nil {
 		return false, err
 	}
@@ -474,14 +559,17 @@ func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bo
 		return false, fmt.Errorf("client: apply delta result: %w", err)
 	}
 	timing.DecodeApply = time.Since(applyStart)
+	tr := assembleTrace(reply, captureDur, encodeDur, timing.DecodeApply)
+	o.rec.ObserveTrace(tr)
 	o.mu.Lock()
 	o.stats.Offloads++
 	o.stats.DeltaOffloads++
-	o.stats.LastSnapshotBytes = wireBytes
-	o.stats.LastResultBytes = int64(len(resultWire))
+	o.stats.LastSnapshotBytes = reply.WireBytes
+	o.stats.LastResultBytes = int64(len(reply.Result))
 	o.stats.LastModelIncluded = modelIncluded
 	o.stats.LastInlineModelBytes = inlineBytes
 	o.stats.LastTiming = timing
+	o.stats.LastTrace = tr
 	o.lastSync = result
 	o.mu.Unlock()
 	return true, nil

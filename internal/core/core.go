@@ -97,6 +97,11 @@ type SessionConfig struct {
 	// server's load hint predicts more queueing delay than this (or a
 	// saturated queue). Zero disables load shedding.
 	MaxQueueingDelay time.Duration
+	// LoadHintTTL bounds how long a received load hint influences the
+	// partition decision and shedding; older hints are ignored rather
+	// than letting a long-stale queue report steer the session. Zero
+	// selects client.DefaultLoadHintTTL.
+	LoadHintTTL time.Duration
 
 	// SplitLabel pins the partial-inference point (e.g. "1st_pool");
 	// empty selects it dynamically via the cost model.
@@ -203,11 +208,19 @@ func (s *Session) resolveMode() error {
 func (s *Session) analyze() (partition.Plan, error) {
 	// Fold the server's advertised queueing delay (if a load hint has
 	// already arrived on this connection) into the decision: a loaded
-	// server pushes the optimum toward keeping layers on the client.
+	// server pushes the optimum toward keeping layers on the client. A
+	// hint older than the TTL is ignored — the queue it described has
+	// long since drained (or grown) and would skew the split decision.
 	var queueDelay time.Duration
 	if s.cfg.Conn != nil {
-		if hint, _, ok := s.cfg.Conn.LastLoad(); ok {
-			queueDelay = hint.QueueingDelay()
+		if hint, at, ok := s.cfg.Conn.LastLoad(); ok {
+			ttl := s.cfg.LoadHintTTL
+			if ttl <= 0 {
+				ttl = client.DefaultLoadHintTTL
+			}
+			if time.Since(at) <= ttl {
+				queueDelay = hint.QueueingDelay()
+			}
 		}
 	}
 	return partition.Analyze(s.cfg.Model, partition.Config{
@@ -243,6 +256,7 @@ func (s *Session) buildOffloader() error {
 		EnableDelta:      s.cfg.EnableDelta,
 		Compress:         s.cfg.Compress,
 		MaxQueueingDelay: s.cfg.MaxQueueingDelay,
+		LoadHintTTL:      s.cfg.LoadHintTTL,
 	}
 	switch s.mode {
 	case ModeFull:

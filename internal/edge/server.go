@@ -24,6 +24,7 @@ import (
 	"websnap/internal/protocol"
 	"websnap/internal/sched"
 	"websnap/internal/snapshot"
+	"websnap/internal/trace"
 	"websnap/internal/vmsynth"
 	"websnap/internal/webapp"
 )
@@ -186,8 +187,16 @@ type Config struct {
 	// unlimited.
 	MaxConns int
 	// IdleTimeout closes a connection when no request arrives for this
-	// long. Zero means no timeout.
+	// long: it bounds the wait for the FIRST byte of the next frame. Zero
+	// means no timeout.
 	IdleTimeout time.Duration
+	// TransferTimeout bounds the gap between successive reads WITHIN a
+	// frame once its first byte has arrived. A multi-MB snapshot upload on
+	// a slow link stays alive as long as bytes keep trickling in at least
+	// this often; a stalled peer is still cut off. Zero selects
+	// IdleTimeout (so a bare IdleTimeout config keeps its old meaning per
+	// chunk rather than per frame).
+	TransferTimeout time.Duration
 	// Workers sizes the scheduler's worker pool. Zero selects
 	// DefaultWorkers.
 	Workers int
@@ -210,6 +219,10 @@ type Config struct {
 	BatchWindow time.Duration
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
+	// TraceLog, when non-nil, receives one JSON line per completed
+	// offload request with the server-side span breakdown (decode, queue,
+	// execute, encode) — the structured feed behind `edged -trace-log`.
+	TraceLog io.Writer
 }
 
 // DefaultWorkers is the worker-pool size when Config.Workers is zero.
@@ -247,6 +260,12 @@ type Server struct {
 	// can terminate them instead of waiting forever on idle readers.
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
+
+	// rec aggregates server-side stage latencies (queue, execute) across
+	// every offload request, for /metrics export.
+	rec *trace.Recorder
+	// traceLogMu serializes JSON lines onto Config.TraceLog.
+	traceLogMu sync.Mutex
 
 	metrics metrics
 }
@@ -318,6 +337,7 @@ func NewServer(cfg Config) (*Server, error) {
 		quit:      make(chan struct{}),
 		installed: cfg.Installed,
 		conns:     make(map[net.Conn]struct{}),
+		rec:       trace.NewRecorder(),
 	}
 	if cfg.MaxConns > 0 {
 		srv.connSlots = make(chan struct{}, cfg.MaxConns)
@@ -353,7 +373,7 @@ func (s *Server) loadHint() *protocol.LoadHint {
 		QueueCap:          st.QueueCap,
 		Workers:           st.Workers,
 		Busy:              st.Busy,
-		EWMAServiceMillis: float64(st.EWMAService) / float64(time.Millisecond),
+		EWMAServiceMillis: float64(st.Service.Mean) / float64(time.Millisecond),
 		QueueingMillis:    float64(st.QueueingDelay()) / float64(time.Millisecond),
 		Saturated:         st.Saturated(),
 	}
@@ -479,17 +499,52 @@ func (s *Server) trackConn(conn net.Conn, add bool) {
 	}
 }
 
+// deadlineReader reads from a net.Conn under two timeout regimes: waiting
+// for a frame's first byte is bounded by idle, while each subsequent read —
+// once the frame has started arriving — is bounded by transfer. Setting the
+// deadline per read (not once per frame) is what keeps a legitimate multi-MB
+// upload on a slow link alive: the old single up-front deadline killed any
+// transfer whose total time exceeded the idle timeout, no matter how
+// steadily bytes were flowing.
+type deadlineReader struct {
+	conn           net.Conn
+	idle, transfer time.Duration
+	// inFrame marks that the current frame's first byte has been read, so
+	// reads are on the transfer clock until frameDone resets it.
+	inFrame bool
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	d := r.idle
+	if r.inFrame {
+		d = r.transfer
+	}
+	if d > 0 {
+		if err := r.conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.inFrame = true
+	}
+	return n, err
+}
+
+// frameDone returns the reader to the idle clock for the next frame.
+func (r *deadlineReader) frameDone() { r.inFrame = false }
+
 // handleConn serves one client connection: a sequence of framed requests,
 // each answered with exactly one response.
 func (s *Server) handleConn(conn net.Conn) {
+	transfer := s.cfg.TransferTimeout
+	if transfer <= 0 {
+		transfer = s.cfg.IdleTimeout
+	}
+	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout, transfer: transfer}
 	for {
-		if s.cfg.IdleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
-				s.logf("edge: set deadline: %v", err)
-				return
-			}
-		}
-		msg, err := protocol.Read(conn)
+		dr.frameDone()
+		msg, err := protocol.Read(dr)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				s.logf("edge: read: %v", err)
@@ -818,11 +873,24 @@ func batchableSnapshotEvent(snap *snapshot.Snapshot) (webapp.Event, string, bool
 	return ev, handler, true
 }
 
+// svcTiming accumulates one request's server-side stage durations as it
+// moves through decode, the admission queue, execution, and result encode.
+type svcTiming struct {
+	decode time.Duration
+	queue  time.Duration
+	exec   time.Duration
+	batch  int
+	// encodeStart is stamped by the handler just before result encoding;
+	// snapshotResponse closes the span after any compression.
+	encodeStart time.Time
+}
+
 // scheduleSnapshot submits one decoded snapshot session to the scheduler
 // and waits for its result. Admission failures are wrapped as overload
 // errors so the connection handler can answer with the overload marker and
-// load hint that redirect the client to local execution.
-func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.SnapshotHeader) (*snapshot.Snapshot, error) {
+// load hint that redirect the client to local execution. On success tm (when
+// non-nil) receives the task's queue wait, execution time, and batch size.
+func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.SnapshotHeader, tm *svcTiming) (*snapshot.Snapshot, error) {
 	task := sched.NewTask(s.batchKey(snap), snap)
 	if err := s.sched.Submit(task); err != nil {
 		return nil, &overloadError{
@@ -839,6 +907,11 @@ func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.Snapshot
 		}
 		return nil, err
 	}
+	if tm != nil {
+		tm.queue = task.QueueWait()
+		tm.exec = task.ExecTime()
+		tm.batch = task.BatchSize()
+	}
 	return v.(*snapshot.Snapshot), nil
 }
 
@@ -849,6 +922,7 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
+	decodeStart := time.Now()
 	plain, err := protocol.DecodeBody(msg.Body, hdr.Encoding)
 	if err != nil {
 		return protocol.Message{}, err
@@ -857,20 +931,25 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	result, err := s.scheduleSnapshot(snap, hdr)
+	tm := &svcTiming{decode: time.Since(decodeStart)}
+	result, err := s.scheduleSnapshot(snap, hdr, tm)
 	if err != nil {
 		return protocol.Message{}, err
 	}
 	s.metrics.snapshotsExecuted.Add(1)
+	tm.encodeStart = time.Now()
 	body, err := result.Encode()
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	return s.snapshotResponse(protocol.MsgResultSnapshot, snap.AppID, hdr, body)
+	return s.snapshotResponse(protocol.MsgResultSnapshot, snap.AppID, hdr, body, tm)
 }
 
 // snapshotResponse frames a result body, mirroring the request's encoding.
-func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol.SnapshotHeader, body []byte) (protocol.Message, error) {
+// With tm set it also closes out the request's server-side trace: the spans
+// feed the server recorder and trace log unconditionally, and ride back to
+// the client in the response header when the request negotiated HintTraceV1.
+func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol.SnapshotHeader, body []byte, tm *svcTiming) (protocol.Message, error) {
 	encoding := protocol.EncodingRaw
 	if req.Encoding == protocol.EncodingFlate {
 		compressed, err := protocol.CompressBody(body)
@@ -880,11 +959,56 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 		body = compressed
 		encoding = protocol.EncodingFlate
 	}
-	return protocol.Encode(t, protocol.SnapshotHeader{
+	hdr := protocol.SnapshotHeader{
 		AppID: appID, Seq: req.Seq, Encoding: encoding,
 		Load: s.hintFor(req.Hints),
-	}, body)
+	}
+	if tm != nil {
+		encode := time.Since(tm.encodeStart)
+		st := &protocol.ServerTrace{
+			TraceID:       req.TraceID,
+			DecodeMicros:  tm.decode.Microseconds(),
+			QueueMicros:   tm.queue.Microseconds(),
+			ExecuteMicros: tm.exec.Microseconds(),
+			EncodeMicros:  encode.Microseconds(),
+			BatchSize:     tm.batch,
+		}
+		s.observeTrace(appID, req.Seq, tm, encode, st)
+		if req.Hints >= protocol.HintTraceV1 {
+			hdr.ServerTrace = st
+		}
+	}
+	return protocol.Encode(t, hdr, body)
 }
+
+// observeTrace folds one completed request's spans into the server's stage
+// histograms and, when configured, appends a JSON line to the trace log.
+// Decode and encode fold into the execute stage, mirroring how the client
+// merges the server report; the full split survives in the trace log.
+func (s *Server) observeTrace(appID string, seq uint64, tm *svcTiming, encode time.Duration, st *protocol.ServerTrace) {
+	s.rec.Observe(trace.StageQueue, tm.queue)
+	s.rec.Observe(trace.StageExecute, tm.decode+tm.exec+encode)
+	if s.cfg.TraceLog == nil {
+		return
+	}
+	line, err := json.Marshal(struct {
+		TraceID string `json:"traceId,omitempty"`
+		AppID   string `json:"appId"`
+		Seq     uint64 `json:"seq"`
+		*protocol.ServerTrace
+	}{TraceID: st.TraceID, AppID: appID, Seq: seq, ServerTrace: st})
+	if err != nil {
+		return
+	}
+	s.traceLogMu.Lock()
+	defer s.traceLogMu.Unlock()
+	if _, err := s.cfg.TraceLog.Write(append(line, '\n')); err != nil {
+		s.logf("edge: trace log: %v", err)
+	}
+}
+
+// TraceRecorder exposes the server's aggregated stage histograms.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 
 // handleSnapshotDelta runs an offload shipped as a delta against the state
 // left at the server by the previous offload (§VI), and answers with a
@@ -894,6 +1018,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
+	decodeStart := time.Now()
 	plain, err := protocol.DecodeBody(msg.Body, hdr.Encoding)
 	if err != nil {
 		return protocol.Message{}, err
@@ -911,11 +1036,13 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	result, err := s.scheduleSnapshot(preExec, hdr)
+	tm := &svcTiming{decode: time.Since(decodeStart)}
+	result, err := s.scheduleSnapshot(preExec, hdr, tm)
 	if err != nil {
 		return protocol.Message{}, err
 	}
 	s.metrics.deltasExecuted.Add(1)
+	tm.encodeStart = time.Now()
 	resultDelta, err := snapshot.Diff(preExec, result)
 	if err != nil {
 		return protocol.Message{}, err
@@ -924,7 +1051,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	return s.snapshotResponse(protocol.MsgResultDelta, delta.AppID, hdr, body)
+	return s.snapshotResponse(protocol.MsgResultDelta, delta.AppID, hdr, body, tm)
 }
 
 // handleInstall performs on-demand installation by VM synthesis: the client

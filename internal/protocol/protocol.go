@@ -104,13 +104,22 @@ var (
 	ErrUnknownType = errors.New("protocol: unknown message type")
 )
 
-// HintLoadV1 is the load-hint extension version. Requests advertise the
-// extensions they understand in their header's Hints field; servers attach
-// a LoadHint to responses only when the request advertised at least this
-// version. The negotiation rides inside the JSON headers, so peers that
-// predate the extension interoperate unchanged: old servers ignore the
-// unknown Hints field, old clients never advertise and never receive hints.
-const HintLoadV1 = 1
+// Extension versions. Requests advertise the highest version they
+// understand in their header's Hints field; each version implies all lower
+// ones. Servers attach version-gated response fields only when the request
+// advertised at least the matching version. The negotiation rides inside
+// the JSON headers, so peers that predate an extension interoperate
+// unchanged: old servers ignore the unknown Hints field, old clients never
+// advertise and never receive the gated fields.
+const (
+	// HintLoadV1 gates the LoadHint attached to responses.
+	HintLoadV1 = 1
+	// HintTraceV1 gates the trace extension: the client stamps snapshot
+	// requests with a TraceID and the server answers with a ServerTrace
+	// carrying its per-stage span durations, letting the client merge
+	// server-side spans into the offload's end-to-end trace.
+	HintTraceV1 = 2
+)
 
 // LoadHint is the edge server's advertised scheduling load, attached to
 // responses for clients that negotiated the extension. Clients fold the
@@ -138,6 +147,33 @@ type LoadHint struct {
 // QueueingDelay returns the advertised queueing estimate as a duration.
 func (h LoadHint) QueueingDelay() time.Duration {
 	return time.Duration(h.QueueingMillis * float64(time.Millisecond))
+}
+
+// ServerTrace carries the server-side span durations of one offload back to
+// the client on the result frame, keyed by the request's TraceID. Attached
+// only when the request advertised HintTraceV1; durations are microseconds
+// to keep the header compact.
+type ServerTrace struct {
+	// TraceID echoes the request's trace identifier.
+	TraceID string `json:"traceId"`
+	// DecodeMicros covers request body decompression + snapshot decoding.
+	DecodeMicros int64 `json:"decodeMicros"`
+	// QueueMicros is the time the session waited in the admission queue
+	// for a scheduler worker.
+	QueueMicros int64 `json:"queueMicros"`
+	// ExecuteMicros covers restore + handler execution + result capture
+	// inside the worker.
+	ExecuteMicros int64 `json:"executeMicros"`
+	// EncodeMicros covers result encoding + compression.
+	EncodeMicros int64 `json:"encodeMicros"`
+	// BatchSize is how many coalesced sessions shared the worker's batched
+	// forward pass (1 = solo execution).
+	BatchSize int `json:"batchSize,omitempty"`
+}
+
+// Total returns the server-side time accounted to this offload.
+func (t ServerTrace) Total() time.Duration {
+	return time.Duration(t.DecodeMicros+t.QueueMicros+t.ExecuteMicros+t.EncodeMicros) * time.Microsecond
 }
 
 // ModelPreSendHeader is the JSON header of MsgModelPreSend. The weight blob
@@ -174,9 +210,17 @@ type SnapshotHeader struct {
 	// Hints advertises the extension versions the sender understands
 	// (request direction only).
 	Hints int `json:"hints,omitempty"`
+	// TraceID identifies this offload's trace (request direction only;
+	// stamped when the client advertises HintTraceV1). Servers that
+	// predate the extension ignore it.
+	TraceID string `json:"traceId,omitempty"`
 	// Load is the server's scheduling load (response direction only;
 	// present only when the request advertised HintLoadV1).
 	Load *LoadHint `json:"load,omitempty"`
+	// ServerTrace carries the server-side spans of this offload (response
+	// direction only; present only when the request advertised
+	// HintTraceV1).
+	ServerTrace *ServerTrace `json:"serverTrace,omitempty"`
 }
 
 // ErrorHeader is the JSON header of MsgError.

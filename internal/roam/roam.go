@@ -21,7 +21,12 @@ import (
 
 	"websnap/internal/client"
 	"websnap/internal/protocol"
+	"websnap/internal/trace"
 )
+
+// DefaultHintStaleness is how long a probed load hint keeps influencing
+// server scoring when Config.HintStaleness is zero.
+const DefaultHintStaleness = 10 * time.Second
 
 // Errors reported by the roamer.
 var (
@@ -83,11 +88,22 @@ type Config struct {
 	Dial func(addr string) (*client.Conn, error)
 	// Now is the clock; nil selects time.Now.
 	Now func() time.Time
+	// HintStaleness bounds how long a probed load hint keeps counting
+	// toward a server's score and saturation state. A selection made long
+	// after the last probe falls back to RTT alone instead of trusting a
+	// queue report from a server whose load has long since changed. Zero
+	// selects DefaultHintStaleness.
+	HintStaleness time.Duration
 }
 
 // Roamer tracks candidate edge servers and the current connection.
 type Roamer struct {
 	cfg Config
+
+	// rec records successful probe round trips into the probe-stage
+	// histogram, so roaming overhead shows up in the same latency export
+	// as the offload pipeline.
+	rec *trace.Recorder
 
 	mu          sync.Mutex
 	servers     map[string]*ServerInfo
@@ -96,6 +112,9 @@ type Roamer struct {
 	currentConn *client.Conn
 	switches    int
 }
+
+// TraceRecorder exposes the roamer's probe-latency histograms.
+func (r *Roamer) TraceRecorder() *trace.Recorder { return r.rec }
 
 // New creates a roamer over the configured candidate servers.
 func New(cfg Config) (*Roamer, error) {
@@ -122,7 +141,14 @@ func New(cfg Config) (*Roamer, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	r := &Roamer{cfg: cfg, servers: make(map[string]*ServerInfo, len(cfg.Servers))}
+	if cfg.HintStaleness <= 0 {
+		cfg.HintStaleness = DefaultHintStaleness
+	}
+	r := &Roamer{
+		cfg:     cfg,
+		servers: make(map[string]*ServerInfo, len(cfg.Servers)),
+		rec:     trace.NewRecorder(),
+	}
 	for _, addr := range cfg.Servers {
 		if addr == "" {
 			return nil, errors.New("roam: empty server address")
@@ -179,6 +205,11 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 		}(i, addr)
 	}
 	wg.Wait()
+	for _, res := range results {
+		if res.err == nil {
+			r.rec.Observe(trace.StageProbe, res.rtt)
+		}
+	}
 	r.mu.Lock()
 	now := r.cfg.Now()
 	for _, res := range results {
@@ -208,26 +239,42 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 	return out
 }
 
+// freshView returns info with a stale load hint stripped: once the hint is
+// older than the staleness window, the score falls back to RTT alone and
+// the saturation flag no longer repels selection — the queue that hint
+// described has long since drained or grown.
+func (r *Roamer) freshView(info ServerInfo, now time.Time) ServerInfo {
+	if info.Load != nil && now.Sub(info.LastProbe) > r.cfg.HintStaleness {
+		info.Load = nil
+		info.Score = info.RTT
+	}
+	return info
+}
+
 // Best returns the healthiest candidate with the lowest effective cost
 // (RTT plus advertised queueing delay) from the most recent probes; lightly
-// loaded servers beat equally near saturated ones.
+// loaded servers beat equally near saturated ones. Load hints older than
+// the staleness window are ignored and those servers compete on RTT alone.
 func (r *Roamer) Best() (ServerInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var best *ServerInfo
+	now := r.cfg.Now()
+	found := false
+	var best ServerInfo
 	for _, addr := range r.order {
 		info := r.servers[addr]
 		if !info.Healthy {
 			continue
 		}
-		if best == nil || info.better(*best) {
-			best = info
+		v := r.freshView(*info, now)
+		if !found || v.better(best) {
+			best, found = v, true
 		}
 	}
-	if best == nil {
+	if !found {
 		return ServerInfo{}, ErrNoReachable
 	}
-	return *best, nil
+	return best, nil
 }
 
 // Current returns the current server address and connection ("" and nil
@@ -292,8 +339,12 @@ func (r *Roamer) Evaluate() (*client.Conn, bool, error) {
 	r.mu.Lock()
 	curAddr := r.currentAddr
 	var cur *ServerInfo
+	var curView ServerInfo
 	if curAddr != "" {
 		cur = r.servers[curAddr]
+		if cur != nil {
+			curView = r.freshView(*cur, r.cfg.Now())
+		}
 	}
 	margin := r.cfg.SwitchMargin
 	r.mu.Unlock()
@@ -302,10 +353,10 @@ func (r *Roamer) Evaluate() (*client.Conn, bool, error) {
 		// No current server or it died: take the best.
 	case best.Addr == curAddr:
 		return nil, false, nil
-	case cur.Saturated() && !best.Saturated():
+	case curView.Saturated() && !best.Saturated():
 		// Current server is shedding load and an unsaturated candidate
 		// exists: move immediately, regardless of margin.
-	case float64(best.Score) < float64(cur.Score)*(1-margin):
+	case float64(best.Score) < float64(curView.Score)*(1-margin):
 		// Candidate clearly better: switch.
 	default:
 		return nil, false, nil

@@ -11,18 +11,19 @@
 // production levers are server-side queue management (DEFER's pipelined
 // batched edge inference) and offload decisions that account for server
 // queueing delay, not just compute ratio. The scheduler provides both: it
-// bounds and batches work, and it exports a load signal (queue depth, EWMA
-// service time, estimated queueing delay) that the protocol layer carries
-// back to clients as a load hint.
+// bounds and batches work, and it exports a load signal (queue depth,
+// histogram-derived service time, estimated queueing delay) that the
+// protocol layer carries back to clients as a load hint.
 package sched
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"websnap/internal/trace"
 )
 
 // Errors reported by Submit.
@@ -63,6 +64,13 @@ type Task struct {
 	Payload any
 
 	done chan taskResult
+
+	// Timing, written by the scheduler and published to the caller by the
+	// done channel (Wait provides the happens-before edge).
+	queuedAt  time.Time
+	startedAt time.Time
+	execDur   time.Duration
+	batchSize int
 }
 
 type taskResult struct {
@@ -86,6 +94,25 @@ func (t *Task) Wait() (any, error) {
 func (t *Task) finish(v any, err error) {
 	t.done <- taskResult{value: v, err: err}
 }
+
+// QueueWait returns how long the task sat in the admission queue before a
+// worker picked it up (0 for tasks cancelled while queued). Valid after
+// Wait returns.
+func (t *Task) QueueWait() time.Duration {
+	if t.startedAt.IsZero() || t.queuedAt.IsZero() {
+		return 0
+	}
+	return t.startedAt.Sub(t.queuedAt)
+}
+
+// ExecTime returns the wall-clock duration of the execution batch the task
+// rode in — the time the session spent inside a worker. Valid after Wait
+// returns.
+func (t *Task) ExecTime() time.Duration { return t.execDur }
+
+// BatchSize returns how many coalesced tasks shared the execution batch
+// (1 = solo, 0 = never executed). Valid after Wait returns.
+func (t *Task) BatchSize() int { return t.batchSize }
 
 // Result is one task's outcome, produced by the executor.
 type Result struct {
@@ -148,13 +175,18 @@ type Stats struct {
 	Executed     int64 `json:"executed"`
 	Batches      int64 `json:"batches"`
 	BatchedTasks int64 `json:"batchedTasks"`
-	// EWMAService is the smoothed per-task service time.
-	EWMAService time.Duration `json:"ewmaServiceNanos"`
+	// Service summarizes the per-task service time distribution (batch
+	// wall time divided by batch size), from the scheduler's log-bucketed
+	// histogram. Service.Mean replaces the earlier EWMA as the smoothed
+	// load signal; the histogram additionally yields tail percentiles.
+	Service trace.Quantiles `json:"service"`
+	// QueueWait summarizes how long admitted tasks waited for a worker.
+	QueueWait trace.Quantiles `json:"queueWait"`
 }
 
 // QueueingDelay estimates how long a task submitted now would wait for a
-// worker: the backlog ahead of it, served at the smoothed service rate by
-// the whole pool.
+// worker: the backlog ahead of it, served at the mean service rate by the
+// whole pool.
 func (s Stats) QueueingDelay() time.Duration {
 	if s.Workers <= 0 {
 		return 0
@@ -165,7 +197,7 @@ func (s Stats) QueueingDelay() time.Duration {
 		// the in-flight work to drain.
 		waiting += float64(s.Busy) / 2
 	}
-	return time.Duration(waiting * float64(s.EWMAService) / float64(s.Workers))
+	return time.Duration(waiting * float64(s.Service.Mean) / float64(s.Workers))
 }
 
 // Saturated reports whether the admission queue is full.
@@ -194,16 +226,15 @@ type Scheduler struct {
 	cancelled           atomic.Int64
 	executed, batches   atomic.Int64
 	batchedTasks        atomic.Int64
-	ewmaServiceNanos    atomic.Int64
 
-	ewmaMu                sync.Mutex
-	ewmaInitialized       bool
-	ewmaServiceNanosFloat float64
+	// service and queueWait are the lock-free stage-latency histograms
+	// behind the load signal: per-task service time (batch wall time /
+	// batch size) and admission-queue wait. They replace the earlier
+	// EWMA-only signal — the mean falls out of the histogram, and the
+	// tails (p95/p99) come with it.
+	service   trace.Histogram
+	queueWait trace.Histogram
 }
-
-// ewmaAlpha weights the most recent batch's per-task service time; ~0.2
-// tracks load shifts within a few batches without jittering on one outlier.
-const ewmaAlpha = 0.2
 
 // New creates a scheduler and starts its workers. exec must be non-nil.
 func New(cfg Config, exec ExecFunc) (*Scheduler, error) {
@@ -258,6 +289,7 @@ func (s *Scheduler) Submit(t *Task) error {
 			return ErrClosed
 		}
 		if len(s.queue) < s.cfg.QueueDepth {
+			t.queuedAt = time.Now()
 			s.queue = append(s.queue, t)
 			spare := len(s.queue) < s.cfg.QueueDepth
 			s.mu.Unlock()
@@ -399,10 +431,21 @@ func (s *Scheduler) nextBatch() ([]*Task, bool) {
 func (s *Scheduler) runBatch(batch []*Task) {
 	s.busy.Add(1)
 	start := time.Now()
+	for _, t := range batch {
+		t.startedAt = start
+		t.batchSize = len(batch)
+		if !t.queuedAt.IsZero() {
+			s.queueWait.Observe(start.Sub(t.queuedAt))
+		}
+	}
 	results := s.safeExec(batch)
 	dur := time.Since(start)
 	s.busy.Add(-1)
-	s.observeService(dur, len(batch))
+	perTask := dur / time.Duration(len(batch))
+	for _, t := range batch {
+		t.execDur = dur
+		s.service.Observe(perTask)
+	}
 	s.batches.Add(1)
 	s.executed.Add(int64(len(batch)))
 	if len(batch) > 1 {
@@ -432,23 +475,11 @@ func (s *Scheduler) safeExec(batch []*Task) (results []Result) {
 	return s.exec(batch)
 }
 
-// observeService folds one batch's per-task service time into the EWMA.
-func (s *Scheduler) observeService(dur time.Duration, n int) {
-	if n <= 0 {
-		return
-	}
-	perTask := float64(dur) / float64(n)
-	s.ewmaMu.Lock()
-	if !s.ewmaInitialized {
-		s.ewmaServiceNanosFloat = perTask
-		s.ewmaInitialized = true
-	} else {
-		s.ewmaServiceNanosFloat = ewmaAlpha*perTask + (1-ewmaAlpha)*s.ewmaServiceNanosFloat
-	}
-	v := s.ewmaServiceNanosFloat
-	s.ewmaMu.Unlock()
-	s.ewmaServiceNanos.Store(int64(math.Round(v)))
-}
+// ServiceHist returns the scheduler's per-task service-time histogram.
+func (s *Scheduler) ServiceHist() *trace.Histogram { return &s.service }
+
+// QueueWaitHist returns the scheduler's admission-queue wait histogram.
+func (s *Scheduler) QueueWaitHist() *trace.Histogram { return &s.queueWait }
 
 // Stats returns a consistent-enough snapshot of the scheduler's state.
 func (s *Scheduler) Stats() Stats {
@@ -466,7 +497,8 @@ func (s *Scheduler) Stats() Stats {
 		Executed:     s.executed.Load(),
 		Batches:      s.batches.Load(),
 		BatchedTasks: s.batchedTasks.Load(),
-		EWMAService:  time.Duration(s.ewmaServiceNanos.Load()),
+		Service:      s.service.Summary(),
+		QueueWait:    s.queueWait.Summary(),
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"websnap/internal/trace"
 )
 
 // echoExec returns each task's payload as its result.
@@ -332,9 +334,10 @@ func TestExecutorPanicIsContained(t *testing.T) {
 	}
 }
 
-// TestEWMAServiceTracksExecution: the smoothed service time is non-zero
-// after work and feeds a plausible queueing estimate.
-func TestEWMAServiceTracksExecution(t *testing.T) {
+// TestServiceHistogramTracksExecution: the histogram-derived service time
+// is non-zero after work, per-task timing is published on the Task, and the
+// mean feeds a plausible queueing estimate.
+func TestServiceHistogramTracksExecution(t *testing.T) {
 	exec := func(batch []*Task) []Result {
 		time.Sleep(5 * time.Millisecond)
 		return echoExec(batch)
@@ -352,11 +355,28 @@ func TestEWMAServiceTracksExecution(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.Stats()
-	if st.EWMAService < time.Millisecond {
-		t.Errorf("EWMAService = %v, want >= 1ms after a 5ms execution", st.EWMAService)
+	if st.Service.Mean < time.Millisecond {
+		t.Errorf("Service.Mean = %v, want >= 1ms after a 5ms execution", st.Service.Mean)
 	}
-	if d := (Stats{Workers: 2, QueueDepth: 4, EWMAService: 100 * time.Millisecond}).QueueingDelay(); d != 200*time.Millisecond {
-		t.Errorf("QueueingDelay = %v, want 200ms (4 waiting / 2 workers * 100ms)", d)
+	if st.Service.Count != 1 || st.Service.P99 < time.Millisecond {
+		t.Errorf("Service summary = %+v, want count 1 and p99 >= 1ms", st.Service)
+	}
+	if st.QueueWait.Count != 1 {
+		t.Errorf("QueueWait.Count = %d, want 1", st.QueueWait.Count)
+	}
+	if task.ExecTime() < time.Millisecond {
+		t.Errorf("task ExecTime = %v, want >= 1ms", task.ExecTime())
+	}
+	if task.BatchSize() != 1 {
+		t.Errorf("task BatchSize = %d, want 1", task.BatchSize())
+	}
+	if task.QueueWait() < 0 {
+		t.Errorf("task QueueWait = %v, want >= 0", task.QueueWait())
+	}
+	qd := Stats{Workers: 2, QueueDepth: 4,
+		Service: trace.Quantiles{Mean: 100 * time.Millisecond}}.QueueingDelay()
+	if qd != 200*time.Millisecond {
+		t.Errorf("QueueingDelay = %v, want 200ms (4 waiting / 2 workers * 100ms)", qd)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"websnap/internal/trace"
 )
 
 // LoadConfig parameterizes the load experiment's edge server: the same
@@ -66,6 +68,12 @@ type LoadPoint struct {
 	// P50 and P99 are latency percentiles over all completed inferences,
 	// measured from the user event to the result on screen.
 	P50, P99 time.Duration
+	// Stages breaks offloaded-request latency down per pipeline stage
+	// (capture, wire, queue, execute, result wire, restore), each summarized
+	// as count/mean/p50/p95/p99. The queue and execute stages are where
+	// load contention shows; the rest are the deterministic per-request
+	// costs.
+	Stages []trace.StageSummary
 }
 
 // FallbackRate is the fraction of inferences that fell back to local
@@ -86,12 +94,17 @@ type loadSim struct {
 	// Client-side segment before the request reaches the server: front
 	// execution + snapshot capture + upload transfer.
 	clientPrep time.Duration
+	// clientPrep's components, kept separate for the per-stage breakdown:
+	// front DNN execution, snapshot capture, and upload transfer.
+	frontExec, captureC, upload time.Duration
 	// Server-side per-session costs paid inside the worker.
 	restoreS, captureS time.Duration
 	// serverRear is the batched rear forward-pass time.
 	serverRear func(batch int) time.Duration
 	// Client-side segment after the server responds: download + restore.
 	clientPost time.Duration
+	// clientPost's components: download transfer and result restore.
+	download, restoreC time.Duration
 	// localRear is the client's own rear execution, used on fallback.
 	localRear time.Duration
 }
@@ -131,13 +144,18 @@ func newLoadSim(sc *Scenario, cfg LoadConfig) (*loadSim, error) {
 	upBytes := sc.StateBytes + featBytes
 	downBytes := sc.StateBytes + sc.ResultTextBytes
 	ls := &loadSim{
-		cfg:        cfg,
-		clientPrep: frontExec + sc.Client.SnapshotTime(upBytes) + sc.Network.TransferTime(upBytes),
-		restoreS:   sc.Server.SnapshotTime(upBytes),
-		captureS:   sc.Server.SnapshotTime(downBytes),
-		clientPost: sc.Network.TransferTime(downBytes) + sc.Client.SnapshotTime(downBytes),
-		localRear:  localRear,
+		cfg:       cfg,
+		frontExec: frontExec,
+		captureC:  sc.Client.SnapshotTime(upBytes),
+		upload:    sc.Network.TransferTime(upBytes),
+		restoreS:  sc.Server.SnapshotTime(upBytes),
+		captureS:  sc.Server.SnapshotTime(downBytes),
+		download:  sc.Network.TransferTime(downBytes),
+		restoreC:  sc.Client.SnapshotTime(downBytes),
+		localRear: localRear,
 	}
+	ls.clientPrep = ls.frontExec + ls.captureC + ls.upload
+	ls.clientPost = ls.download + ls.restoreC
 	ls.serverRear = func(batch int) time.Duration {
 		d, rerr := sc.Server.BatchRangeTime(infos, idx+1, len(infos), batch)
 		if rerr != nil {
@@ -165,6 +183,7 @@ const (
 type pendingReq struct {
 	client int
 	start  time.Duration // when the user event fired
+	arrive time.Duration // when the snapshot reached the server
 }
 
 type simEvent struct {
@@ -185,8 +204,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*simEvent)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -211,6 +230,7 @@ func (ls *loadSim) run(clients int) LoadPoint {
 		latencies []time.Duration
 		fallbacks int
 		makespan  time.Duration
+		rec       = trace.NewRecorder()
 	)
 	for w := ls.cfg.Workers - 1; w >= 0; w-- {
 		idle = append(idle, w) // LIFO: lowest index dispatched first
@@ -249,7 +269,12 @@ func (ls *loadSim) run(clients int) LoadPoint {
 			batch := make([]pendingReq, take)
 			copy(batch, queue[:take])
 			queue = queue[take:]
-			push(&simEvent{at: t + ls.service(take), kind: evDone, worker: w, batch: batch})
+			svc := ls.service(take)
+			for _, req := range batch {
+				rec.Observe(trace.StageQueue, t-req.arrive)
+				rec.Observe(trace.StageExecute, svc)
+			}
+			push(&simEvent{at: t + svc, kind: evDone, worker: w, batch: batch})
 		}
 	}
 
@@ -269,11 +294,17 @@ func (ls *loadSim) run(clients int) LoadPoint {
 				finish(ev.req, ev.at+ls.localRear)
 				break
 			}
+			ev.req.arrive = ev.at
 			queue = append(queue, ev.req)
 			dispatch(ev.at)
 		case evDone:
 			idle = append(idle, ev.worker)
 			for _, req := range ev.batch {
+				// The fixed client-side stages of each offloaded request.
+				rec.Observe(trace.StageCapture, ls.captureC)
+				rec.Observe(trace.StageWire, ls.upload)
+				rec.Observe(trace.StageResultWire, ls.download)
+				rec.Observe(trace.StageRestore, ls.restoreC)
 				finish(req, ev.at+ls.clientPost)
 			}
 			dispatch(ev.at)
@@ -287,6 +318,7 @@ func (ls *loadSim) run(clients int) LoadPoint {
 		Fallbacks: fallbacks,
 		P50:       percentile(latencies, 0.50),
 		P99:       percentile(latencies, 0.99),
+		Stages:    rec.Summaries(),
 	}
 	if makespan > 0 {
 		pt.Throughput = float64(pt.Completed) / makespan.Seconds()

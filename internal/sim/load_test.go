@@ -32,8 +32,22 @@ func TestLoadSweepValidation(t *testing.T) {
 func TestLoadSweepDeterministic(t *testing.T) {
 	a := loadPoints(t, 8, []int{8})
 	b := loadPoints(t, 8, []int{8})
-	if a[0] != b[0] {
-		t.Errorf("simulation not deterministic: %+v vs %+v", a[0], b[0])
+	// LoadPoint holds a slice (Stages), so compare piecewise.
+	sa, sb := a[0], b[0]
+	if sa.Clients != sb.Clients || sa.Completed != sb.Completed ||
+		sa.Fallbacks != sb.Fallbacks || sa.Throughput != sb.Throughput ||
+		sa.OffloadedThroughput != sb.OffloadedThroughput ||
+		sa.P50 != sb.P50 || sa.P99 != sb.P99 {
+		t.Errorf("simulation not deterministic: %+v vs %+v", sa, sb)
+	}
+	if len(sa.Stages) != len(sb.Stages) {
+		t.Fatalf("stage summaries differ in length: %d vs %d", len(sa.Stages), len(sb.Stages))
+	}
+	for i := range sa.Stages {
+		if sa.Stages[i] != sb.Stages[i] {
+			t.Errorf("stage %s not deterministic: %+v vs %+v",
+				sa.Stages[i].Stage, sa.Stages[i], sb.Stages[i])
+		}
 	}
 }
 
