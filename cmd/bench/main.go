@@ -24,6 +24,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"websnap/internal/obs"
 	"websnap/internal/sim"
 )
 
@@ -274,7 +275,35 @@ func load(w io.Writer, lc sim.LoadConfig) error {
 			p.Throughput, secs(p.P50), secs(p.P99), 100*p.FallbackRate())
 	}
 	fmt.Fprintln(w)
-	return stageBreakdown(w, pts)
+	if err := stageBreakdown(w, pts); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return decisionMix(w, pts)
+}
+
+// decisionMix prints the audit view of the sweep: how the offload decision
+// split between served-at-the-edge and overload fallback at each load, and
+// how far the cost model's unloaded prediction drifted from the simulated
+// latency (signed relative error; positive = slower than predicted).
+func decisionMix(w io.Writer, pts []sim.LoadPoint) error {
+	fmt.Fprintln(w, "Decision mix and cost-model prediction error per load")
+	fmt.Fprintln(w, "Clients\tPartial\tFallback\tFallback %\tPred err p50\tPred err p95\t|Pred err| p50\t|Pred err| p95")
+	for _, p := range pts {
+		var partial, fallback int64
+		for _, pc := range p.Mix {
+			switch pc.Path {
+			case obs.PathPartial:
+				partial = pc.Count
+			case obs.PathFallback:
+				fallback = pc.Count
+			}
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%+.2f\t%+.2f\t%.2f\t%.2f\n",
+			p.Clients, partial, fallback, 100*p.FallbackRate(),
+			p.PredErr.P50, p.PredErr.P95, p.PredErr.AbsP50, p.PredErr.AbsP95)
+	}
+	return nil
 }
 
 // stageBreakdown prints the per-stage latency percentiles of the offload

@@ -4,6 +4,8 @@
 //
 //	edged -listen :7080
 //	edged -listen :7080 -on-demand        # require VM-synthesis installation first
+//	edged -listen :7080 -metrics-addr :7081 -pprof -log-json
+//	                                      # metrics + health probes + profiler, JSON logs
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,6 +23,7 @@ import (
 
 	"websnap/internal/core"
 	"websnap/internal/edge"
+	"websnap/internal/obs"
 	"websnap/internal/sched"
 	"websnap/internal/vmsynth"
 )
@@ -41,7 +45,11 @@ func main() {
 			"max gap between reads within one frame once it started arriving (0 = same as -idle-timeout)")
 		traceLog = flag.String("trace-log", "",
 			"append one JSON line per offload request with its server-side span breakdown ('-' = stderr)")
-		quiet = flag.Bool("quiet", false, "suppress per-request logging")
+		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+		logJSON = flag.Bool("log-json", false,
+			"emit structured JSON-line logs on stderr instead of plain text")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof under /debug/pprof/ on -metrics-addr")
 
 		workers = flag.Int("workers", edge.DefaultWorkers,
 			"scheduler worker-pool size (concurrent snapshot executions)")
@@ -61,7 +69,7 @@ func main() {
 		workers: *workers, queue: *queue, batch: *batch,
 		batchWindow: *batchWindow, block: *block, queueWait: *queueWait,
 	}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, sc); err != nil {
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -74,7 +82,7 @@ type schedConfig struct {
 	block                  bool
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet bool, sc schedConfig) error {
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig) error {
 	catalog, err := core.DefaultCatalog()
 	if err != nil {
 		return err
@@ -90,7 +98,11 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		cfg.QueuePolicy = sched.PolicyBlock
 	}
 	if !quiet {
-		cfg.Logf = log.Printf
+		if logJSON {
+			cfg.Logger = obs.NewLogger(os.Stderr, obs.LevelDebug)
+		} else {
+			cfg.Logf = log.Printf
+		}
 	}
 	switch traceLog {
 	case "":
@@ -121,13 +133,25 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.Handle("/healthz", srv.HealthzHandler())
+		mux.Handle("/readyz", srv.ReadyzHandler())
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		metricsSrv = &http.Server{Addr: metricsAddr, Handler: mux}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("edged: metrics server: %v", err)
 			}
 		}()
-		log.Printf("edged: metrics on http://%s/metrics", metricsAddr)
+		log.Printf("edged: metrics on http://%s/metrics (healthz, readyz%s)",
+			metricsAddr, map[bool]string{true: ", pprof", false: ""}[pprofOn])
+	} else if pprofOn {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 	defer func() {
 		if metricsSrv != nil {

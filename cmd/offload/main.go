@@ -8,9 +8,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 	"websnap/internal/models"
 	"websnap/internal/netem"
 	"websnap/internal/nn"
+	"websnap/internal/obs"
 	"websnap/internal/tensor"
 )
 
@@ -38,11 +43,83 @@ func main() {
 		compress  = flag.Bool("compress", false, "DEFLATE-compress snapshot bodies on the wire")
 		imagePath = flag.String("image", "", "classify this PNG/JPEG file (empty = synthetic pixels)")
 		runs      = flag.Int("runs", 1, "number of inference runs")
+		metrics   = flag.String("metrics-addr", "",
+			"serve client-side metrics on this address (e.g. 127.0.0.1:7081) while running")
+		auditLog = flag.String("audit-log", "",
+			"append one JSON line per offload decision to this file (- = stderr)")
 	)
 	flag.Parse()
-	if err := run(*server, *modelName, *mode, *split, *bandwidth, *preSend, *delta, *compress, *imagePath, *runs); err != nil {
+	if err := run(*server, *modelName, *mode, *split, *bandwidth, *preSend, *delta, *compress, *imagePath, *runs, *metrics, *auditLog); err != nil {
 		fmt.Fprintln(os.Stderr, "offload:", err)
 		os.Exit(1)
+	}
+}
+
+// newAuditor builds the session's decision auditor: counters in reg,
+// optionally teeing each decision as a JSON line to auditLog.
+func newAuditor(reg *obs.Registry, auditLog string) (*obs.Auditor, func(), error) {
+	opts := obs.AuditorOptions{Registry: reg, Keep: 64}
+	cleanup := func() {}
+	switch auditLog {
+	case "":
+	case "-":
+		opts.Sink = os.Stderr
+	default:
+		f, err := os.OpenFile(auditLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Sink = f
+		cleanup = func() { f.Close() }
+	}
+	return obs.NewAuditor(opts), cleanup, nil
+}
+
+// serveMetrics exposes the client-side registry and audit summary on addr:
+// Prometheus text or a JSON summary, negotiated like the edge server's
+// /metrics.
+func serveMetrics(addr string, reg *obs.Registry, audit *obs.Auditor) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if obs.WantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(audit.Summary()); err != nil {
+			http.Error(w, "metrics encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		buf.WriteTo(w)
+	})
+	fmt.Printf("client metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
+}
+
+// printAudit dumps the decision mix and prediction-error quantiles
+// accumulated over the run.
+func printAudit(w io.Writer, audit *obs.Auditor) {
+	sum := audit.Summary()
+	if sum.Total == 0 {
+		return
+	}
+	fmt.Fprintf(w, "decisions: total=%d", sum.Total)
+	for _, pc := range sum.Mix {
+		fmt.Fprintf(w, " %s=%d", pc.Path, pc.Count)
+	}
+	fmt.Fprintln(w)
+	if pe := sum.PredErr; pe.Count > 0 {
+		fmt.Fprintf(w, "prediction error (relative): n=%d p50=%+.2f p95=%+.2f |p50|=%.2f |p95|=%.2f\n",
+			pe.Count, pe.P50, pe.P95, pe.AbsP50, pe.AbsP95)
 	}
 }
 
@@ -81,7 +158,7 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSend, delta, compress bool, imagePath string, runs int) error {
+func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSend, delta, compress bool, imagePath string, runs int, metricsAddr, auditLog string) error {
 	model, labels, err := buildModel(modelName)
 	if err != nil {
 		return err
@@ -89,6 +166,17 @@ func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSen
 	mode, err := parseMode(modeStr)
 	if err != nil {
 		return err
+	}
+	reg := obs.NewRegistry()
+	audit, closeAudit, err := newAuditor(reg, auditLog)
+	if err != nil {
+		return err
+	}
+	defer closeAudit()
+	if metricsAddr != "" {
+		if err := serveMetrics(metricsAddr, reg, audit); err != nil {
+			return err
+		}
 	}
 	cfg := core.SessionConfig{
 		AppID:       fmt.Sprintf("offload-cli-%d", os.Getpid()),
@@ -100,6 +188,7 @@ func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSen
 		SplitLabel:  split,
 		EnableDelta: delta,
 		Compress:    compress,
+		Audit:       audit,
 	}
 	if mode != core.ModeLocal {
 		raw, err := net.Dial("tcp", server)
@@ -158,5 +247,6 @@ func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSen
 	fmt.Printf("stats: offloads=%d deltas=%d fallbacks=%d lastSnapshot=%dB lastResult=%dB inlineModel=%dB\n",
 		st.Offloads, st.DeltaOffloads, st.LocalFallbacks, st.LastSnapshotBytes,
 		st.LastResultBytes, st.LastInlineModelBytes)
+	printAudit(os.Stdout, audit)
 	return nil
 }

@@ -375,7 +375,7 @@ func TestStaleLoadHintIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if off.shouldShed() {
+	if shed, _ := off.shouldShed(); shed {
 		t.Error("stale hint should not shed")
 	}
 }

@@ -109,6 +109,11 @@ func Dial(addr string) (*Conn, error) {
 	return conn, nil
 }
 
+// Addr returns the dialed server address — the server identity recorded on
+// offload decisions. Empty for Conns wrapped around an established
+// connection.
+func (c *Conn) Addr() string { return c.addr }
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error {
 	c.mu.Lock()

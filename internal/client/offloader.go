@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"websnap/internal/nn"
+	"websnap/internal/obs"
 	"websnap/internal/protocol"
 	"websnap/internal/snapshot"
 	"websnap/internal/trace"
@@ -62,6 +63,22 @@ type Options struct {
 	// LoadHintTTL bounds how long a received load hint influences
 	// shedding; stale hints are ignored. Zero selects DefaultLoadHintTTL.
 	LoadHintTTL time.Duration
+	// Audit, when non-nil, receives exactly one structured decision event
+	// per offload-eligible event the offloader processes: offloaded, shed
+	// to local, fallen back after an error, or surfaced as an error.
+	Audit *obs.Auditor
+	// AuditPath is the decision path recorded for successful offloads:
+	// obs.PathFull (the default) or obs.PathPartial for split-DNN
+	// sessions.
+	AuditPath obs.DecisionPath
+	// SplitLabel names the partition point, recorded on partial-offload
+	// decisions.
+	SplitLabel string
+	// PredictedOffload is the cost model's end-to-end latency prediction
+	// for the configured offload path; recorded on successful offload
+	// decisions so the audit can quantify prediction error. Zero means no
+	// prediction available.
+	PredictedOffload time.Duration
 }
 
 // DefaultLoadHintTTL is how long a load hint stays fresh for shedding
@@ -290,34 +307,118 @@ func (o *Offloader) Step() (bool, error) {
 		return true, nil
 	}
 	o.app.PopEvent()
-	if o.shouldShed() {
+	if shed, reason := o.shouldShed(); shed {
 		o.mu.Lock()
 		o.stats.LoadSheds++
 		o.mu.Unlock()
+		start := time.Now()
 		o.app.DispatchEvent(ev)
-		if err := o.app.Step(); err != nil {
-			return true, err
-		}
-		return true, nil
+		err := o.app.Step()
+		o.decide(obs.Decision{Path: obs.PathShed, Reason: reason, Measured: time.Since(start)})
+		return true, err
 	}
-	if err := o.Offload(ev); err != nil {
+	out, err := o.offload(ev)
+	if err != nil {
 		// A broken connection (mid-frame timeout, torn read) would desync
 		// every later request: re-establish it now so the next offload
 		// runs on a clean frame stream, regardless of how this event is
 		// finished.
 		o.maybeRedial(err)
 		if !o.opts.LocalFallback {
+			o.decide(obs.Decision{Path: obs.PathError, Reason: errKind(err), TraceID: out.traceID})
 			return true, err
 		}
 		o.mu.Lock()
 		o.stats.LocalFallbacks++
 		o.mu.Unlock()
+		start := time.Now()
 		o.app.DispatchEvent(ev)
-		if err := o.app.Step(); err != nil {
-			return true, err
-		}
+		stepErr := o.app.Step()
+		o.decide(obs.Decision{Path: obs.PathFallback, Reason: errKind(err),
+			TraceID: out.traceID, Measured: time.Since(start)})
+		return true, stepErr
 	}
+	o.decideSuccess(out)
 	return true, nil
+}
+
+// offloadOutcome carries the audit-relevant facts of one offload attempt.
+type offloadOutcome struct {
+	// traceID identifies the request, joining the decision to the span
+	// pipeline; set even for attempts that failed after the request was
+	// stamped.
+	traceID string
+	// delta marks an offload shipped as a delta snapshot.
+	delta bool
+	// batch is the server-side batch the request was executed in.
+	batch int
+	// measured is the end-to-end wall time of the offload round trip.
+	measured time.Duration
+}
+
+// errKind classifies an offload error for decision attribution.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrConnBroken):
+		return "conn-broken"
+	case errors.Is(err, ErrServerError):
+		return "server-error"
+	default:
+		return "other"
+	}
+}
+
+// decide fills one decision event's shared context (app, server, hint age)
+// and records it. A no-op when no auditor is configured.
+func (o *Offloader) decide(d obs.Decision) {
+	if o.opts.Audit == nil {
+		return
+	}
+	d.AppID = o.app.ID()
+	if d.Server == "" {
+		d.Server = o.serverAddr()
+	}
+	d.HintAge = o.hintAge()
+	o.opts.Audit.Record(d)
+}
+
+// decideSuccess records the decision for a completed offload, carrying the
+// cost model's prediction so the audit can measure prediction error.
+func (o *Offloader) decideSuccess(out offloadOutcome) {
+	path := o.opts.AuditPath
+	if path == "" {
+		path = obs.PathFull
+	}
+	o.decide(obs.Decision{
+		Path:       path,
+		SplitLabel: o.opts.SplitLabel,
+		Predicted:  o.opts.PredictedOffload,
+		Measured:   out.measured,
+		TraceID:    out.traceID,
+		Delta:      out.delta,
+		BatchSize:  out.batch,
+	})
+}
+
+// serverAddr identifies the edge server the offloader currently targets.
+func (o *Offloader) serverAddr() string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.conn.Addr()
+}
+
+// hintAge reports how stale the current server load hint is; negative when
+// no hint has arrived.
+func (o *Offloader) hintAge() time.Duration {
+	o.mu.Lock()
+	conn := o.conn
+	o.mu.Unlock()
+	if _, at, ok := conn.LastLoad(); ok {
+		return time.Since(at)
+	}
+	return -1
 }
 
 // maybeRedial re-establishes the connection after an ErrConnBroken failure.
@@ -341,26 +442,33 @@ func (o *Offloader) maybeRedial(err error) bool {
 
 // shouldShed reports whether the server's last load hint says to keep this
 // event local: the hint is fresh and predicts a queueing delay beyond the
-// configured bound (or a saturated queue).
-func (o *Offloader) shouldShed() bool {
+// configured bound (or a saturated queue). The reason names the trigger
+// for decision attribution.
+func (o *Offloader) shouldShed() (bool, string) {
 	if o.opts.MaxQueueingDelay <= 0 {
-		return false
+		return false, ""
 	}
 	o.mu.Lock()
 	conn := o.conn
 	o.mu.Unlock()
 	hint, at, ok := conn.LastLoad()
 	if !ok {
-		return false
+		return false, ""
 	}
 	ttl := o.opts.LoadHintTTL
 	if ttl <= 0 {
 		ttl = DefaultLoadHintTTL
 	}
 	if time.Since(at) > ttl {
-		return false
+		return false, ""
 	}
-	return hint.Saturated || hint.QueueingDelay() > o.opts.MaxQueueingDelay
+	if hint.Saturated {
+		return true, "hint-saturated"
+	}
+	if hint.QueueingDelay() > o.opts.MaxQueueingDelay {
+		return true, "hint-delay"
+	}
+	return false, ""
 }
 
 // Run drives the app until its event queue drains or maxSteps events have
@@ -384,12 +492,27 @@ func (o *Offloader) Run(maxSteps int) (int, error) {
 }
 
 // Offload executes ev's handler at the edge server via a snapshot round
-// trip, then applies the result snapshot to the local app (Fig 3).
+// trip, then applies the result snapshot to the local app (Fig 3). When an
+// auditor is configured the call emits one decision event; callers driving
+// the app through Step must not call Offload for the same event, or the
+// event would be audited twice.
+func (o *Offloader) Offload(ev webapp.Event) error {
+	out, err := o.offload(ev)
+	if err != nil {
+		o.decide(obs.Decision{Path: obs.PathError, Reason: errKind(err), TraceID: out.traceID})
+		return err
+	}
+	o.decideSuccess(out)
+	return nil
+}
+
+// offload executes one offload round trip without emitting a decision —
+// Step and Offload wrap it and attribute the outcome exactly once.
 //
 // If a model's ACK has not arrived yet, the client "sends both the snapshot
 // and the NN model, albeit it is slower" (§III.B.1): the model files go
 // first as an inline pre-send, then the snapshot ships spec-only.
-func (o *Offloader) Offload(ev webapp.Event) error {
+func (o *Offloader) offload(ev webapp.Event) (offloadOutcome, error) {
 	var timing Timing
 	modelIncluded := false
 	var inlineBytes int64
@@ -405,7 +528,7 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 		}
 		model, _ := o.app.Model(name)
 		if err := o.conn.PreSendModel(o.app.ID(), name, model, false); err != nil {
-			return fmt.Errorf("client: inline model send %q: %w", name, err)
+			return offloadOutcome{}, fmt.Errorf("client: inline model send %q: %w", name, err)
 		}
 		modelIncluded = true
 		inlineBytes += model.ModelBytes()
@@ -423,7 +546,7 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 		PendingEvent:       &ev,
 	})
 	if err != nil {
-		return fmt.Errorf("client: capture: %w", err)
+		return offloadOutcome{}, fmt.Errorf("client: capture: %w", err)
 	}
 	captureDur := time.Since(captureStart)
 
@@ -432,9 +555,9 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 		base := o.lastSync
 		o.mu.Unlock()
 		if base != nil {
-			done, err := o.offloadDelta(base, snap, modelIncluded, inlineBytes, timing, captureDur)
+			out, done, err := o.offloadDelta(base, snap, modelIncluded, inlineBytes, timing, captureDur)
 			if err == nil && done {
-				return nil
+				return out, nil
 			}
 			if err != nil {
 				// The server may have lost the base state (restart,
@@ -450,22 +573,22 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 	encodeStart := time.Now()
 	encoded, err := snap.Encode()
 	if err != nil {
-		return fmt.Errorf("client: encode: %w", err)
+		return offloadOutcome{}, fmt.Errorf("client: encode: %w", err)
 	}
 	encodeDur := time.Since(encodeStart)
 	timing.CaptureEncode = captureDur + encodeDur
 	reply, err := o.conn.offloadBody(protocol.MsgSnapshot, protocol.MsgResultSnapshot, o.app.ID(), encoded, o.opts.Compress)
 	if err != nil {
-		return err
+		return offloadOutcome{traceID: reply.TraceID}, err
 	}
 	timing.RoundTrip = reply.RoundTrip
 	applyStart := time.Now()
 	result, err := snapshot.Decode(reply.Result)
 	if err != nil {
-		return fmt.Errorf("client: decode result: %w", err)
+		return offloadOutcome{traceID: reply.TraceID}, fmt.Errorf("client: decode result: %w", err)
 	}
 	if err := result.ApplyTo(o.app, snapshot.RestoreOptions{}); err != nil {
-		return fmt.Errorf("client: apply result: %w", err)
+		return offloadOutcome{traceID: reply.TraceID}, fmt.Errorf("client: apply result: %w", err)
 	}
 	timing.DecodeApply = time.Since(applyStart)
 	tr := assembleTrace(reply, captureDur, encodeDur, timing.DecodeApply)
@@ -480,7 +603,7 @@ func (o *Offloader) Offload(ev webapp.Event) error {
 	o.stats.LastTrace = tr
 	o.lastSync = result
 	o.mu.Unlock()
-	return nil
+	return offloadOutcome{traceID: tr.ID, batch: tr.BatchSize, measured: timing.Total()}, nil
 }
 
 // assembleTrace merges one round trip's client-side measurements with the
@@ -524,39 +647,39 @@ func assembleTrace(reply offloadReply, capture, encode, restore time.Duration) *
 }
 
 // offloadDelta ships the offload as a delta against base (the server's
-// previous result). It reports done=true on success; a (nil, false) return
-// cannot occur — errors signal the caller to fall back to a full snapshot.
+// previous result). It reports done=true on success; errors signal the
+// caller to fall back to a full snapshot.
 func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bool,
-	inlineBytes int64, timing Timing, captureDur time.Duration) (bool, error) {
+	inlineBytes int64, timing Timing, captureDur time.Duration) (offloadOutcome, bool, error) {
 	encodeStart := time.Now()
 	delta, err := snapshot.Diff(base, snap)
 	if err != nil {
-		return false, err
+		return offloadOutcome{}, false, err
 	}
 	encoded, err := delta.Encode()
 	if err != nil {
-		return false, err
+		return offloadOutcome{}, false, err
 	}
 	encodeDur := time.Since(encodeStart)
 	timing.CaptureEncode = captureDur + encodeDur
 	reply, err := o.conn.offloadBody(protocol.MsgSnapshotDelta, protocol.MsgResultDelta, o.app.ID(), encoded, o.opts.Compress)
 	if err != nil {
-		return false, err
+		return offloadOutcome{traceID: reply.TraceID}, false, err
 	}
 	timing.RoundTrip = reply.RoundTrip
 	applyStart := time.Now()
 	resultDelta, err := snapshot.DecodeDelta(reply.Result)
 	if err != nil {
-		return false, err
+		return offloadOutcome{traceID: reply.TraceID}, false, err
 	}
 	// The result delta is relative to the pre-execution state, which is
 	// exactly the snapshot we just diffed from.
 	result, err := resultDelta.Apply(snap)
 	if err != nil {
-		return false, err
+		return offloadOutcome{traceID: reply.TraceID}, false, err
 	}
 	if err := result.ApplyTo(o.app, snapshot.RestoreOptions{}); err != nil {
-		return false, fmt.Errorf("client: apply delta result: %w", err)
+		return offloadOutcome{traceID: reply.TraceID}, false, fmt.Errorf("client: apply delta result: %w", err)
 	}
 	timing.DecodeApply = time.Since(applyStart)
 	tr := assembleTrace(reply, captureDur, encodeDur, timing.DecodeApply)
@@ -572,5 +695,6 @@ func (o *Offloader) offloadDelta(base, snap *snapshot.Snapshot, modelIncluded bo
 	o.stats.LastTrace = tr
 	o.lastSync = result
 	o.mu.Unlock()
-	return true, nil
+	return offloadOutcome{traceID: tr.ID, delta: true, batch: tr.BatchSize,
+		measured: timing.Total()}, true, nil
 }

@@ -17,6 +17,7 @@ import (
 	"websnap/internal/mlapp"
 	"websnap/internal/netem"
 	"websnap/internal/nn"
+	"websnap/internal/obs"
 	"websnap/internal/partition"
 	"websnap/internal/webapp"
 )
@@ -117,6 +118,12 @@ type SessionConfig struct {
 	// profiles and 30 Mbps Wi-Fi.
 	ClientDevice, ServerDevice costmodel.Device
 	Network                    netem.Profile
+
+	// Audit, when non-nil, receives one structured decision event per
+	// inference request: the chosen path (local/full/partial/shed/
+	// fallback), the cost model's latency prediction for that path, and
+	// the measured outcome.
+	Audit *obs.Auditor
 }
 
 func (cfg *SessionConfig) applyDefaults() {
@@ -257,11 +264,21 @@ func (s *Session) buildOffloader() error {
 		Compress:         s.cfg.Compress,
 		MaxQueueingDelay: s.cfg.MaxQueueingDelay,
 		LoadHintTTL:      s.cfg.LoadHintTTL,
+		Audit:            s.cfg.Audit,
 	}
 	switch s.mode {
 	case ModeFull:
 		opts.OffloadEventTypes = []string{mlapp.EventClick}
 		opts.Models = []client.ModelToSend{{Name: s.cfg.ModelName, Net: s.cfg.Model}}
+		opts.AuditPath = obs.PathFull
+		if s.cfg.Audit != nil {
+			// Cost-model prediction for the full-offload path, so the
+			// audit can compare it against measured latency. Candidate 0
+			// is the Input split: every layer on the server.
+			if plan, err := s.analyze(); err == nil && len(plan.Candidates) > 0 {
+				opts.PredictedOffload = plan.Candidates[0].Total
+			}
+		}
 	case ModePartial:
 		rearName := s.cfg.ModelName + mlapp.RearSuffix
 		rear, ok := s.app.Model(rearName)
@@ -271,6 +288,11 @@ func (s *Session) buildOffloader() error {
 		opts.OffloadEventTypes = []string{mlapp.EventFrontComplete}
 		opts.Models = []client.ModelToSend{{Name: rearName, Net: rear, Partial: true}}
 		opts.ExcludeModels = []string{s.cfg.ModelName + mlapp.FrontSuffix}
+		opts.AuditPath = obs.PathPartial
+		if s.split != nil {
+			opts.SplitLabel = s.split.Point.Label
+			opts.PredictedOffload = s.split.Total
+		}
 	}
 	off, err := client.NewOffloader(s.app, s.cfg.Conn, opts)
 	if err != nil {
@@ -322,7 +344,21 @@ func (s *Session) Classify(img webapp.Float32Array) (string, error) {
 	if s.off != nil {
 		_, err = s.off.Run(16)
 	} else {
+		start := time.Now()
 		_, err = s.app.Run(16)
+		if s.cfg.Audit != nil {
+			// ModeLocal sessions have no offloader; the session itself
+			// records the local decision so the audit covers every path.
+			pred, _ := s.cfg.ClientDevice.NetworkTime(s.cfg.Model)
+			s.cfg.Audit.Record(obs.Decision{
+				AppID:     s.cfg.AppID,
+				Path:      obs.PathLocal,
+				Reason:    "mode-local",
+				Predicted: pred,
+				Measured:  time.Since(start),
+				HintAge:   -1,
+			})
+		}
 	}
 	if err != nil {
 		return "", err

@@ -1,0 +1,205 @@
+package edge
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"websnap/internal/obs"
+	"websnap/internal/trace"
+	"websnap/internal/vmsynth"
+)
+
+// goldenServer mirrors the configuration the golden files were captured
+// with (pre-registry code, fresh server, 4 workers).
+func goldenServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(Config{Catalog: testCatalog(t), Installed: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func fetchMetrics(t *testing.T, srv *Server, url string) []byte {
+	t.Helper()
+	ts := httptest.NewServer(srv.MetricsHandler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestMetricsGoldenPrometheus pins the Prometheus exposition of a fresh
+// server byte-for-byte to the output of the pre-registry handler. Series
+// names, ordering, HELP text, and value formatting are scrape contract:
+// dashboards and recording rules depend on them.
+func TestMetricsGoldenPrometheus(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fetchMetrics(t, goldenServer(t), "/metrics?format=prometheus")
+	if string(got) != string(want) {
+		t.Errorf("prometheus exposition diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsGoldenJSON pins the JSON payload of a fresh server
+// byte-for-byte: field names, order, and zero-value shapes must survive the
+// registry refactor.
+func TestMetricsGoldenJSON(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "metrics.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fetchMetrics(t, goldenServer(t), "/metrics")
+	if string(got) != string(want) {
+		t.Errorf("JSON payload diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestMetricsExpositionLint structurally validates the exposition of an
+// exercised server (counters bumped, histograms populated): HELP/TYPE
+// before samples, no duplicate series, cumulative monotone buckets,
+// escaped labels.
+func TestMetricsExpositionLint(t *testing.T) {
+	srv := goldenServer(t)
+	// Populate counters and histograms so the lint sees non-trivial series.
+	srv.connsServed.Add(3)
+	srv.errorsAnswered.Inc()
+	for i, stage := range []trace.Stage{trace.StageQueue, trace.StageExecute} {
+		h := srv.rec.Stage(stage)
+		for j := 0; j < 50; j++ {
+			h.Observe(time.Duration(i+1) * time.Duration(j+1) * time.Microsecond)
+		}
+	}
+	out := fetchMetrics(t, srv, "/metrics?format=prometheus")
+	if problems := obs.LintPrometheus(out); len(problems) != 0 {
+		t.Errorf("exposition lint problems:\n%s\nin:\n%s", problems, out)
+	}
+}
+
+// TestMetricsContentNegotiation drives the handler with the Accept header
+// a real Prometheus scraper sends and with a plain JSON client's header,
+// checking each gets its format without the ?format override.
+func TestMetricsContentNegotiation(t *testing.T) {
+	srv := goldenServer(t)
+	ts := httptest.NewServer(srv.MetricsHandler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set("Accept",
+		"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("scraper header got Content-Type %q, body:\n%s", ct, body)
+	}
+
+	req, _ = http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set("Accept", "*/*")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("wildcard Accept got Content-Type %q, want JSON default", ct)
+	}
+}
+
+// TestHealthReadyHandlers covers the probe endpoints: healthz is
+// unconditionally live; readyz tracks install state and scheduler
+// drain.
+func TestHealthReadyHandlers(t *testing.T) {
+	srv := goldenServer(t)
+	h := httptest.NewServer(srv.HealthzHandler())
+	defer h.Close()
+	resp, err := http.Get(h.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	rz := httptest.NewServer(srv.ReadyzHandler())
+	defer rz.Close()
+	resp, err = http.Get(rz.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz (installed) = %d, want 200", resp.StatusCode)
+	}
+	if !srv.Ready() {
+		t.Error("Ready() = false on an installed, accepting server")
+	}
+
+	// Draining: Close stops the scheduler; readyz must flip to 503 while
+	// healthz stays 200.
+	srv.Close()
+	resp, err = http.Get(rz.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz (draining) = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	if srv.Ready() {
+		t.Error("Ready() = true on a draining server")
+	}
+	resp, err = http.Get(h.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz (draining) = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReadyzNotInstalled covers the pre-install readiness gate.
+func TestReadyzNotInstalled(t *testing.T) {
+	srv, err := NewServer(Config{Catalog: testCatalog(t), Installed: false,
+		Synthesizer: vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: "ubuntu-12.04", Bytes: 1 << 20})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rz := httptest.NewServer(srv.ReadyzHandler())
+	defer rz.Close()
+	resp, err := http.Get(rz.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz (not installed) = %d, want 503 (%s)", resp.StatusCode, body)
+	}
+}

@@ -1,14 +1,11 @@
 package edge
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
-	"strconv"
-	"strings"
-	"time"
 
+	"websnap/internal/obs"
 	"websnap/internal/sched"
 	"websnap/internal/trace"
 )
@@ -18,7 +15,9 @@ import (
 // operators of edge-server fleets. Two formats are offered from the same
 // endpoint: the original JSON shape (the default, so existing consumers are
 // unaffected) and Prometheus text exposition, selected by
-// `?format=prometheus` or an Accept header naming text/plain.
+// `?format=prometheus` or content negotiation on the Accept header. Both
+// render from the same obs.Registry, so a metric added there appears in
+// every format.
 //
 //	mux := http.NewServeMux()
 //	mux.Handle("/metrics", srv.MetricsHandler())
@@ -29,15 +28,14 @@ func (s *Server) MetricsHandler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		if wantsPrometheus(r) {
+		if obs.WantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := s.writePrometheus(w); err != nil {
+			if err := s.reg.WritePrometheus(w); err != nil {
 				s.logf("edge: metrics handler: %v", err)
 			}
 			return
 		}
 		st := s.SchedStats()
-		w.Header().Set("Content-Type", "application/json")
 		payload := struct {
 			Installed bool        `json:"installed"`
 			Metrics   Metrics     `json:"metrics"`
@@ -56,92 +54,46 @@ func (s *Server) MetricsHandler() http.Handler {
 			QueueingMillis: float64(st.QueueingDelay().Microseconds()) / 1000,
 			Stages:         s.rec.Summaries(),
 		}
-		if err := json.NewEncoder(w).Encode(payload); err != nil {
+		// Encode into a buffer first: an encode failure must surface as a
+		// 500, not a torn 200 with half a JSON object.
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+			s.logf("edge: metrics handler: %v", err)
+			http.Error(w, "metrics encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(buf.Bytes()); err != nil {
 			s.logf("edge: metrics handler: %v", err)
 		}
 	})
 }
 
-// wantsPrometheus reports whether the request asked for text exposition:
-// an explicit ?format=prometheus, or an Accept header that prefers
-// text/plain (what a Prometheus scraper sends) without naming JSON.
-func wantsPrometheus(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prometheus":
-		return true
-	case "json":
-		return false
-	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
-}
-
-// writePrometheus renders every metric in Prometheus text exposition format
-// (version 0.0.4): operation counters, scheduler gauges, and one native
-// histogram series per pipeline stage with cumulative le buckets.
-func (s *Server) writePrometheus(w io.Writer) error {
-	m := s.Metrics()
-	st := s.SchedStats()
-	var b strings.Builder
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
-			name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
-	}
-	counter("websnap_conns_served_total", "Accepted client connections.", m.ConnsServed)
-	counter("websnap_conns_refused_total", "Connections refused at the MaxConns cap.", m.ConnsRefused)
-	counter("websnap_models_stored_total", "Model pre-send requests handled.", m.ModelsStored)
-	counter("websnap_snapshots_executed_total", "Full snapshot offloads executed.", m.SnapshotsExecuted)
-	counter("websnap_deltas_executed_total", "Delta offloads executed.", m.DeltasExecuted)
-	counter("websnap_installs_total", "Completed VM-synthesis installations.", m.Installs)
-	counter("websnap_errors_total", "Requests answered with an error frame.", m.Errors)
-	counter("websnap_sched_submitted_total", "Tasks admitted to the scheduler queue.", st.Submitted)
-	counter("websnap_sched_rejected_total", "Tasks rejected at admission.", st.Rejected)
-	counter("websnap_sched_executed_total", "Tasks completed.", st.Executed)
-	counter("websnap_sched_batches_total", "Executed batches.", st.Batches)
-
-	installed := 0.0
-	if s.Installed() {
-		installed = 1
-	}
-	gauge("websnap_installed", "Whether the offloading system is installed (1) or not (0).", installed)
-	gauge("websnap_queue_depth", "Tasks currently waiting in the admission queue.", float64(st.QueueDepth))
-	gauge("websnap_queue_capacity", "Admission queue capacity.", float64(st.QueueCap))
-	gauge("websnap_workers", "Worker pool size.", float64(st.Workers))
-	gauge("websnap_busy_workers", "Workers currently executing a batch.", float64(st.Busy))
-	gauge("websnap_queueing_delay_seconds", "Estimated queueing delay for a request submitted now.",
-		st.QueueingDelay().Seconds())
-
-	const histName = "websnap_stage_seconds"
-	fmt.Fprintf(&b, "# HELP %s Offload pipeline stage latency in seconds.\n# TYPE %s histogram\n",
-		histName, histName)
-	for _, stage := range trace.AllStages() {
-		h := s.rec.Stage(stage)
-		if h == nil {
-			continue
-		}
-		writePromHistogram(&b, histName, string(stage), h)
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-// writePromHistogram renders one stage histogram as a Prometheus histogram
-// series (the caller has already emitted the HELP/TYPE header). Only
-// occupied buckets are emitted (cumulatively), plus the mandatory +Inf
-// bucket — the log-bucketed histogram has hundreds of potential buckets and
-// a scrape needs only the populated ones.
-func writePromHistogram(b *strings.Builder, name, stage string, h *trace.Histogram) {
-	cum := uint64(0)
-	h.ForEachBucket(func(upper time.Duration, count uint64) {
-		cum += count
-		fmt.Fprintf(b, "%s_bucket{stage=%q,le=%q} %d\n",
-			name, stage, strconv.FormatFloat(upper.Seconds(), 'g', -1, 64), cum)
+// HealthzHandler reports process liveness: it answers 200 as long as the
+// process can serve HTTP at all. Orchestrators restart on liveness
+// failures, so this must not depend on installation or load state.
+func (s *Server) HealthzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck // best-effort probe reply
 	})
-	fmt.Fprintf(b, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, h.Count())
-	fmt.Fprintf(b, "%s_sum{stage=%q} %s\n", name, stage,
-		strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64))
-	fmt.Fprintf(b, "%s_count{stage=%q} %d\n", name, stage, h.Count())
+}
+
+// ReadyzHandler reports readiness to execute offloads: 200 when the
+// offloading system is installed and the scheduler is accepting work, 503
+// with the blocking condition otherwise. Load balancers route on this — a
+// live-but-not-ready server (mid-install, or draining on shutdown) drops
+// out of rotation without being restarted.
+func (s *Server) ReadyzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case !s.Installed():
+			http.Error(w, "offloading system not installed", http.StatusServiceUnavailable)
+		case !s.sched.Accepting():
+			http.Error(w, "scheduler draining", http.StatusServiceUnavailable)
+		default:
+			w.Write([]byte("ready\n")) //nolint:errcheck // best-effort probe reply
+		}
+	})
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"websnap/internal/nn"
+	"websnap/internal/obs"
 	"websnap/internal/protocol"
 	"websnap/internal/sched"
 	"websnap/internal/snapshot"
@@ -219,6 +220,10 @@ type Config struct {
 	BatchWindow time.Duration
 	// Logf receives diagnostic output; nil silences it.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured JSON-line logs. When Logf
+	// is nil the legacy printf diagnostics also route through it, so one
+	// stream carries everything.
+	Logger *obs.Logger
 	// TraceLog, when non-nil, receives one JSON line per completed
 	// offload request with the server-side span breakdown (decode, queue,
 	// execute, encode) — the structured feed behind `edged -trace-log`.
@@ -267,7 +272,19 @@ type Server struct {
 	// traceLogMu serializes JSON lines onto Config.TraceLog.
 	traceLogMu sync.Mutex
 
-	metrics metrics
+	// log is the structured logger (nil-safe); logf remains the printf
+	// bridge for legacy call sites.
+	log *obs.Logger
+
+	// reg is the server's metrics registry; every counter, gauge, and
+	// stage histogram below exposes through it.
+	reg *obs.Registry
+	// Operation counters, registered on reg (registration order defines
+	// exposition order and is part of the scrape contract).
+	connsServed, connsRefused         *obs.Counter
+	modelsStored                      *obs.Counter
+	snapshotsExecuted, deltasExecuted *obs.Counter
+	installs, errorsAnswered          *obs.Counter
 }
 
 // Metrics is a snapshot of the server's operation counters.
@@ -288,24 +305,64 @@ type Metrics struct {
 	Errors int64
 }
 
-// metrics is the live atomic counterpart of Metrics.
-type metrics struct {
-	connsServed, connsRefused         atomic.Int64
-	modelsStored                      atomic.Int64
-	snapshotsExecuted, deltasExecuted atomic.Int64
-	installs, errorsAnswered          atomic.Int64
-}
-
 // Metrics returns a consistent-enough snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
 	return Metrics{
-		ConnsServed:       s.metrics.connsServed.Load(),
-		ConnsRefused:      s.metrics.connsRefused.Load(),
-		ModelsStored:      s.metrics.modelsStored.Load(),
-		SnapshotsExecuted: s.metrics.snapshotsExecuted.Load(),
-		DeltasExecuted:    s.metrics.deltasExecuted.Load(),
-		Installs:          s.metrics.installs.Load(),
-		Errors:            s.metrics.errorsAnswered.Load(),
+		ConnsServed:       s.connsServed.Value(),
+		ConnsRefused:      s.connsRefused.Value(),
+		ModelsStored:      s.modelsStored.Value(),
+		SnapshotsExecuted: s.snapshotsExecuted.Value(),
+		DeltasExecuted:    s.deltasExecuted.Value(),
+		Installs:          s.installs.Value(),
+		Errors:            s.errorsAnswered.Value(),
+	}
+}
+
+// Registry exposes the server's metrics registry, so embedders can add
+// their own families to the same scrape.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// initMetrics builds the server's metric families. Registration order is
+// the exposition order of the pre-registry handler and must not change:
+// existing scrapes depend on it byte-for-byte.
+func (s *Server) initMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	s.connsServed = r.Counter("websnap_conns_served_total", "Accepted client connections.")
+	s.connsRefused = r.Counter("websnap_conns_refused_total", "Connections refused at the MaxConns cap.")
+	s.modelsStored = r.Counter("websnap_models_stored_total", "Model pre-send requests handled.")
+	s.snapshotsExecuted = r.Counter("websnap_snapshots_executed_total", "Full snapshot offloads executed.")
+	s.deltasExecuted = r.Counter("websnap_deltas_executed_total", "Delta offloads executed.")
+	s.installs = r.Counter("websnap_installs_total", "Completed VM-synthesis installations.")
+	s.errorsAnswered = r.Counter("websnap_errors_total", "Requests answered with an error frame.")
+	r.CounterFunc("websnap_sched_submitted_total", "Tasks admitted to the scheduler queue.",
+		func() int64 { return s.sched.Stats().Submitted })
+	r.CounterFunc("websnap_sched_rejected_total", "Tasks rejected at admission.",
+		func() int64 { return s.sched.Stats().Rejected })
+	r.CounterFunc("websnap_sched_executed_total", "Tasks completed.",
+		func() int64 { return s.sched.Stats().Executed })
+	r.CounterFunc("websnap_sched_batches_total", "Executed batches.",
+		func() int64 { return s.sched.Stats().Batches })
+	r.GaugeFunc("websnap_installed", "Whether the offloading system is installed (1) or not (0).",
+		func() float64 {
+			if s.Installed() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("websnap_queue_depth", "Tasks currently waiting in the admission queue.",
+		func() float64 { return float64(s.sched.Stats().QueueDepth) })
+	r.GaugeFunc("websnap_queue_capacity", "Admission queue capacity.",
+		func() float64 { return float64(s.sched.Stats().QueueCap) })
+	r.GaugeFunc("websnap_workers", "Worker pool size.",
+		func() float64 { return float64(s.sched.Stats().Workers) })
+	r.GaugeFunc("websnap_busy_workers", "Workers currently executing a batch.",
+		func() float64 { return float64(s.sched.Stats().Busy) })
+	r.GaugeFunc("websnap_queueing_delay_seconds", "Estimated queueing delay for a request submitted now.",
+		func() float64 { return s.sched.Stats().QueueingDelay().Seconds() })
+	stages := r.HistogramVec("websnap_stage_seconds", "Offload pipeline stage latency in seconds.", "stage")
+	for _, stage := range trace.AllStages() {
+		stages.Attach(s.rec.Stage(stage), string(stage))
 	}
 }
 
@@ -319,7 +376,11 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	logf := cfg.Logf
 	if logf == nil {
-		logf = func(string, ...any) {}
+		if cfg.Logger != nil {
+			logf = cfg.Logger.Logf
+		} else {
+			logf = func(string, ...any) {}
+		}
 	}
 	store := NewModelStore()
 	if cfg.ModelDir != "" {
@@ -334,6 +395,7 @@ func NewServer(cfg Config) (*Server, error) {
 		store:     store,
 		states:    newStateStore(),
 		logf:      logf,
+		log:       cfg.Logger,
 		quit:      make(chan struct{}),
 		installed: cfg.Installed,
 		conns:     make(map[net.Conn]struct{}),
@@ -359,6 +421,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	srv.initMetrics()
 	return srv, nil
 }
 
@@ -399,6 +462,14 @@ func (s *Server) Installed() bool {
 	return s.installed
 }
 
+// Ready reports whether the server can execute an offload submitted now:
+// the offloading system is installed and the scheduler is accepting work.
+// It is the /readyz signal — a live process that is not Ready should be
+// taken out of rotation, not restarted.
+func (s *Server) Ready() bool {
+	return s.Installed() && s.sched.Accepting()
+}
+
 // Serve accepts connections on ln until Close is called. It blocks; run it
 // in a goroutine and call Close to stop.
 func (s *Server) Serve(ln net.Listener) error {
@@ -424,7 +495,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			case s.connSlots <- struct{}{}:
 			default:
 				// At capacity: refuse politely and move on.
-				s.metrics.connsRefused.Add(1)
+				s.connsRefused.Inc()
 				s.wg.Add(1)
 				go func() {
 					defer s.wg.Done()
@@ -441,7 +512,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 		}
 		s.trackConn(conn, true)
-		s.metrics.connsServed.Add(1)
+		s.connsServed.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -566,7 +637,7 @@ func (s *Server) serveRequest(conn net.Conn, msg protocol.Message) error {
 	resp, err := s.dispatch(msg)
 	if err != nil {
 		s.logf("edge: %s: %v", msg.Type, err)
-		s.metrics.errorsAnswered.Add(1)
+		s.errorsAnswered.Inc()
 		hdr := protocol.ErrorHeader{Message: err.Error()}
 		var oe *overloadError
 		if errors.As(err, &oe) {
@@ -656,7 +727,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 		// affects restarts. Log and keep serving.
 		s.logf("edge: persist model %q: %v", hdr.ModelName, err)
 	}
-	s.metrics.modelsStored.Add(1)
+	s.modelsStored.Inc()
 	s.logf("edge: stored model %q for app %q (%d params, partial=%v)",
 		hdr.ModelName, hdr.AppID, net.TotalParams(), hdr.Partial)
 	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
@@ -936,7 +1007,7 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	s.metrics.snapshotsExecuted.Add(1)
+	s.snapshotsExecuted.Inc()
 	tm.encodeStart = time.Now()
 	body, err := result.Encode()
 	if err != nil {
@@ -988,6 +1059,16 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 func (s *Server) observeTrace(appID string, seq uint64, tm *svcTiming, encode time.Duration, st *protocol.ServerTrace) {
 	s.rec.Observe(trace.StageQueue, tm.queue)
 	s.rec.Observe(trace.StageExecute, tm.decode+tm.exec+encode)
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("offload served",
+			obs.TraceID(st.TraceID),
+			obs.F("appId", appID),
+			obs.F("seq", seq),
+			obs.F("queueMicros", tm.queue.Microseconds()),
+			obs.F("executeMicros", tm.exec.Microseconds()),
+			obs.F("batchSize", tm.batch),
+		)
+	}
 	if s.cfg.TraceLog == nil {
 		return
 	}
@@ -1041,7 +1122,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	s.metrics.deltasExecuted.Add(1)
+	s.deltasExecuted.Inc()
 	tm.encodeStart = time.Now()
 	resultDelta, err := snapshot.Diff(preExec, result)
 	if err != nil {
@@ -1076,7 +1157,7 @@ func (s *Server) handleInstall(msg protocol.Message) (protocol.Message, error) {
 	s.installedMu.Lock()
 	s.installed = true
 	s.installedMu.Unlock()
-	s.metrics.installs.Add(1)
+	s.installs.Inc()
 	s.logf("edge: installed offloading system via VM synthesis (%v)", res.SynthesisTime)
 	return protocol.Encode(protocol.MsgInstallDone, protocol.InstallDoneHeader{
 		BaseImage:       hdr.BaseImage,

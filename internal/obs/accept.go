@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// MediaRange is one parsed element of an Accept header: a (possibly
+// wildcarded) media type with its quality weight.
+type MediaRange struct {
+	// Type and Subtype are lowercased; "*" denotes a wildcard.
+	Type, Subtype string
+	// Q is the quality weight in [0, 1]; absent q defaults to 1.
+	Q float64
+	// Specificity orders ties: 2 = concrete type/subtype, 1 = type/*,
+	// 0 = */*.
+	Specificity int
+}
+
+// ParseAccept parses an HTTP Accept header into its media ranges per RFC
+// 9110 §12.5.1: comma-separated media ranges, each with optional
+// ;-separated parameters of which q is the quality weight. Malformed
+// elements are skipped rather than failing the whole header — a scrape
+// must not 400 on a sloppy client. An empty header yields nil (meaning
+// "anything").
+func ParseAccept(header string) []MediaRange {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return nil
+	}
+	var out []MediaRange
+	for _, elem := range strings.Split(header, ",") {
+		parts := strings.Split(elem, ";")
+		mt := strings.ToLower(strings.TrimSpace(parts[0]))
+		slash := strings.IndexByte(mt, '/')
+		if slash <= 0 || slash == len(mt)-1 {
+			continue
+		}
+		mr := MediaRange{Type: mt[:slash], Subtype: mt[slash+1:], Q: 1}
+		switch {
+		case mr.Type == "*" && mr.Subtype == "*":
+			mr.Specificity = 0
+		case mr.Subtype == "*":
+			mr.Specificity = 1
+		case mr.Type == "*":
+			// "*/json" is not a valid media range.
+			continue
+		default:
+			mr.Specificity = 2
+		}
+		for _, p := range parts[1:] {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+				// Non-q parameters (e.g. version=0.0.4, charset) don't
+				// affect negotiation here.
+				continue
+			}
+			q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil || q < 0 {
+				q = 0
+			}
+			if q > 1 {
+				q = 1
+			}
+			mr.Q = q
+		}
+		out = append(out, mr)
+	}
+	return out
+}
+
+// qFor returns the weight the parsed header assigns to the concrete media
+// type t/s: the q of the most specific matching range, 0 when nothing
+// matches.
+func qFor(ranges []MediaRange, t, s string) (q float64, matched bool) {
+	bestSpec := -1
+	for _, mr := range ranges {
+		if mr.Type != "*" && mr.Type != t {
+			continue
+		}
+		if mr.Subtype != "*" && mr.Subtype != s {
+			continue
+		}
+		if mr.Specificity > bestSpec {
+			bestSpec, q, matched = mr.Specificity, mr.Q, true
+		}
+	}
+	return q, matched
+}
+
+// WantsPrometheus decides whether a /metrics request asked for Prometheus
+// text exposition rather than JSON. The explicit ?format= query parameter
+// wins; otherwise the Accept header is content-negotiated: the text
+// exposition types a Prometheus scraper sends (text/plain and
+// application/openmetrics-text, with q-values) compete against
+// application/json, and the higher-weighted side wins. Ties — including no
+// Accept header and bare */* — keep the original JSON default so existing
+// consumers are unaffected.
+func WantsPrometheus(formatParam, acceptHeader string) bool {
+	switch formatParam {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	ranges := ParseAccept(acceptHeader)
+	if len(ranges) == 0 {
+		return false
+	}
+	promQ, promOK := qFor(ranges, "text", "plain")
+	if omQ, ok := qFor(ranges, "application", "openmetrics-text"); ok && omQ > promQ {
+		promQ, promOK = omQ, true
+	}
+	jsonQ, jsonOK := qFor(ranges, "application", "json")
+	if !promOK || promQ <= 0 {
+		return false
+	}
+	if !jsonOK {
+		// A wildcard-only match for text/plain (e.g. a bare */*) is not a
+		// request for text exposition.
+		if explicit := explicitTextMatch(ranges); !explicit {
+			return false
+		}
+		return true
+	}
+	return promQ > jsonQ
+}
+
+// explicitTextMatch reports whether any range names text/plain,
+// application/openmetrics-text, or text/* directly (not via */*).
+func explicitTextMatch(ranges []MediaRange) bool {
+	for _, mr := range ranges {
+		if mr.Type == "text" && (mr.Subtype == "plain" || mr.Subtype == "*") {
+			return true
+		}
+		if mr.Type == "application" && mr.Subtype == "openmetrics-text" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "testing"
+
+func TestParseAccept(t *testing.T) {
+	ranges := ParseAccept("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	if len(ranges) != 3 {
+		t.Fatalf("got %d ranges, want 3: %+v", len(ranges), ranges)
+	}
+	if ranges[0].Type != "application" || ranges[0].Subtype != "openmetrics-text" || ranges[0].Q != 0.75 {
+		t.Errorf("range 0 = %+v", ranges[0])
+	}
+	if ranges[1].Type != "text" || ranges[1].Subtype != "plain" || ranges[1].Q != 0.5 {
+		t.Errorf("range 1 = %+v", ranges[1])
+	}
+	if ranges[2].Type != "*" || ranges[2].Subtype != "*" || ranges[2].Q != 0.1 || ranges[2].Specificity != 0 {
+		t.Errorf("range 2 = %+v", ranges[2])
+	}
+}
+
+func TestParseAcceptMalformed(t *testing.T) {
+	// Malformed elements are skipped, valid ones kept; a scrape must not
+	// fail because one element is garbage.
+	ranges := ParseAccept("garbage, text/plain;q=banana, /json, text/, */plain, application/json")
+	want := map[string]bool{"text/plain": true, "application/json": true}
+	if len(ranges) != 2 {
+		t.Fatalf("got %d ranges, want 2: %+v", len(ranges), ranges)
+	}
+	for _, mr := range ranges {
+		if !want[mr.Type+"/"+mr.Subtype] {
+			t.Errorf("unexpected range %+v", mr)
+		}
+	}
+	// q=banana clamps to 0 rather than dropping the range.
+	if ranges[0].Q != 0 {
+		t.Errorf("text/plain q = %g, want 0", ranges[0].Q)
+	}
+	if ParseAccept("") != nil {
+		t.Error("empty header should parse to nil")
+	}
+}
+
+func TestWantsPrometheus(t *testing.T) {
+	cases := []struct {
+		name   string
+		format string
+		accept string
+		want   bool
+	}{
+		{"format param wins over accept", "prometheus", "application/json", true},
+		{"format json wins over accept", "json", "text/plain", false},
+		{"no header keeps JSON default", "", "", false},
+		{"bare wildcard keeps JSON default", "", "*/*", false},
+		{"plain text asks for exposition", "", "text/plain", true},
+		{"openmetrics asks for exposition", "", "application/openmetrics-text", true},
+		{"text wildcard asks for exposition", "", "text/*", true},
+		{"json beats lower-q text", "", "text/plain;q=0.5, application/json", false},
+		{"text beats lower-q json", "", "text/plain, application/json;q=0.5", true},
+		{"tie keeps JSON default", "", "text/plain, application/json", false},
+		{"zero-q text is a refusal", "", "text/plain;q=0", false},
+		// The header a real Prometheus scraper sends: openmetrics at 0.75
+		// outweighs the */* catchall at 0.1.
+		{
+			"real scraper header", "",
+			"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1",
+			true,
+		},
+		// A browser: html and xml explicit, everything else via */*;q=0.8 —
+		// no explicit text/JSON preference, keep JSON.
+		{
+			"browser header keeps JSON default", "",
+			"text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8",
+			false,
+		},
+		{"curl default wildcard keeps JSON", "", "*/*", false},
+		{"specific json beats text wildcard", "", "text/*;q=0.9, application/json;q=0.8", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := WantsPrometheus(tc.format, tc.accept); got != tc.want {
+				t.Errorf("WantsPrometheus(%q, %q) = %v, want %v", tc.format, tc.accept, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus structurally validates a Prometheus text-exposition
+// (version 0.0.4) payload and returns one message per violation (nil when
+// clean). It checks what a scraper actually trips over:
+//
+//   - every sample's family has HELP and TYPE lines, emitted before the
+//     first sample of that family;
+//   - no family's HELP/TYPE appear twice, and no two samples repeat the
+//     same series (identical name + label set);
+//   - histogram `le` buckets are parseable, monotonically increasing in
+//     upper bound, cumulative in count, and end with an le="+Inf" bucket
+//     matching the series' _count sample;
+//   - label values are properly quoted and escaped, and sample values
+//     parse as floats.
+//
+// Registry refactors that silently break scrapers fail these checks in
+// tests before any scraper sees them.
+func LintPrometheus(data []byte) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	sampleSeen := map[string]int{}
+	// hist tracks per-series histogram bucket state, keyed by the series'
+	// non-le labels.
+	type bucketState struct {
+		lastUpper float64
+		lastCum   uint64
+		infCount  uint64
+		hasInf    bool
+		buckets   int
+	}
+	hists := map[string]*bucketState{}
+	counts := map[string]uint64{}
+
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for ln, line := range lines {
+		n := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := firstToken(line[len("# HELP "):])
+			if helpSeen[name] {
+				addf("line %d: duplicate HELP for %s", n, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.Fields(line[len("# TYPE "):])
+			if len(rest) != 2 {
+				addf("line %d: malformed TYPE line %q", n, line)
+				continue
+			}
+			name := rest[0]
+			if _, ok := typeSeen[name]; ok {
+				addf("line %d: duplicate TYPE for %s", n, name)
+			}
+			typeSeen[name] = rest[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			addf("line %d: %v", n, err)
+			continue
+		}
+		family := histFamily(name, typeSeen)
+		if !helpSeen[family] {
+			addf("line %d: sample %s before (or without) HELP %s", n, name, family)
+			helpSeen[family] = true // report once
+		}
+		if _, ok := typeSeen[family]; !ok {
+			addf("line %d: sample %s before (or without) TYPE %s", n, name, family)
+			typeSeen[family] = "?"
+		}
+		seriesID := name + "{" + canonicalLabels(labels) + "}"
+		if prev, dup := sampleSeen[seriesID]; dup {
+			addf("line %d: duplicate series %s (first at line %d)", n, seriesID, prev)
+		}
+		sampleSeen[seriesID] = n
+
+		if typeSeen[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			le, ok := labels["le"]
+			if !ok {
+				addf("line %d: histogram bucket without le label", n)
+				continue
+			}
+			base := strings.TrimSuffix(name, "_bucket") + "{" + canonicalLabelsExcept(labels, "le") + "}"
+			st := hists[base]
+			if st == nil {
+				st = &bucketState{lastUpper: -1}
+				hists[base] = st
+			}
+			cum, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+			if err != nil {
+				addf("line %d: bucket count %q not an unsigned integer", n, value)
+				continue
+			}
+			if le == "+Inf" {
+				st.hasInf = true
+				st.infCount = cum
+				if cum < st.lastCum {
+					addf("line %d: +Inf bucket count %d below prior cumulative %d", n, cum, st.lastCum)
+				}
+				continue
+			}
+			upper, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				addf("line %d: unparseable le %q", n, le)
+				continue
+			}
+			if st.hasInf {
+				addf("line %d: bucket le=%q after +Inf bucket", n, le)
+			}
+			if upper <= st.lastUpper {
+				addf("line %d: bucket upper bounds not increasing (%g after %g)", n, upper, st.lastUpper)
+			}
+			if cum < st.lastCum {
+				addf("line %d: bucket counts not cumulative (%d after %d)", n, cum, st.lastCum)
+			}
+			st.lastUpper, st.lastCum = upper, cum
+			st.buckets++
+			continue
+		}
+		if typeSeen[family] == "histogram" && strings.HasSuffix(name, "_count") {
+			c, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+			if err != nil {
+				addf("line %d: histogram count %q not an unsigned integer", n, value)
+				continue
+			}
+			counts[strings.TrimSuffix(name, "_count")+"{"+canonicalLabels(labels)+"}"] = c
+			continue
+		}
+		if _, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err != nil {
+			addf("line %d: sample value %q not a float", n, value)
+		}
+	}
+	for series, st := range hists {
+		if !st.hasInf {
+			problems = append(problems, fmt.Sprintf("series %s: no le=\"+Inf\" bucket", series))
+			continue
+		}
+		if c, ok := counts[series]; ok && c != st.infCount {
+			problems = append(problems,
+				fmt.Sprintf("series %s: +Inf bucket %d != _count %d", series, st.infCount, c))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+func firstToken(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// histFamily maps a sample name to its family name: histogram samples
+// carry _bucket/_sum/_count suffixes on top of the family.
+func histFamily(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if t, ok := types[base]; ok && t == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, labels, and value,
+// validating label quoting and escaping.
+func parseSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:sp], labels, line[sp+1:], nil
+	}
+	name = line[:brace]
+	rest := line[brace+1:]
+	for {
+		rest = strings.TrimLeft(rest, " ,")
+		if strings.HasPrefix(rest, "}") {
+			rest = rest[1:]
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("label in %q missing '='", line)
+		}
+		lname := rest[:eq]
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return "", nil, "", fmt.Errorf("label %s in %q not quoted", lname, line)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return "", nil, "", fmt.Errorf("dangling escape in %q", line)
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", nil, "", fmt.Errorf("invalid escape \\%c in %q", rest[i], line)
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			if c == '\n' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		labels[lname] = val.String()
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, labels, value, nil
+}
+
+// canonicalLabels renders labels sorted by name for duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + strconv.Quote(labels[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintCleanPayload(t *testing.T) {
+	clean := `# HELP websnap_ops_total Operations.
+# TYPE websnap_ops_total counter
+websnap_ops_total 3
+# HELP websnap_depth Queue depth.
+# TYPE websnap_depth gauge
+websnap_depth 2.5
+# HELP websnap_lat_seconds Latency.
+# TYPE websnap_lat_seconds histogram
+websnap_lat_seconds_bucket{stage="encode",le="0.001"} 1
+websnap_lat_seconds_bucket{stage="encode",le="0.002"} 3
+websnap_lat_seconds_bucket{stage="encode",le="+Inf"} 4
+websnap_lat_seconds_sum{stage="encode"} 0.005
+websnap_lat_seconds_count{stage="encode"} 4
+`
+	if problems := LintPrometheus([]byte(clean)); len(problems) != 0 {
+		t.Errorf("clean payload flagged: %v", problems)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantSub string
+	}{
+		{
+			"sample before HELP/TYPE",
+			"websnap_x_total 1\n",
+			"without",
+		},
+		{
+			"duplicate series",
+			"# HELP websnap_x_total X.\n# TYPE websnap_x_total counter\nwebsnap_x_total 1\nwebsnap_x_total 2\n",
+			"duplicate series",
+		},
+		{
+			"duplicate TYPE",
+			"# HELP websnap_x_total X.\n# TYPE websnap_x_total counter\n# TYPE websnap_x_total counter\nwebsnap_x_total 1\n",
+			"duplicate TYPE",
+		},
+		{
+			"non-cumulative buckets",
+			"# HELP websnap_h H.\n# TYPE websnap_h histogram\n" +
+				`websnap_h_bucket{le="0.1"} 5` + "\n" +
+				`websnap_h_bucket{le="0.2"} 3` + "\n" +
+				`websnap_h_bucket{le="+Inf"} 5` + "\n" +
+				"websnap_h_sum 1\nwebsnap_h_count 5\n",
+			"not cumulative",
+		},
+		{
+			"non-monotone bucket bounds",
+			"# HELP websnap_h H.\n# TYPE websnap_h histogram\n" +
+				`websnap_h_bucket{le="0.2"} 1` + "\n" +
+				`websnap_h_bucket{le="0.1"} 2` + "\n" +
+				`websnap_h_bucket{le="+Inf"} 2` + "\n" +
+				"websnap_h_sum 1\nwebsnap_h_count 2\n",
+			"not increasing",
+		},
+		{
+			"missing +Inf bucket",
+			"# HELP websnap_h H.\n# TYPE websnap_h histogram\n" +
+				`websnap_h_bucket{le="0.1"} 1` + "\n" +
+				"websnap_h_sum 1\nwebsnap_h_count 1\n",
+			"+Inf",
+		},
+		{
+			"+Inf disagrees with count",
+			"# HELP websnap_h H.\n# TYPE websnap_h histogram\n" +
+				`websnap_h_bucket{le="+Inf"} 2` + "\n" +
+				"websnap_h_sum 1\nwebsnap_h_count 3\n",
+			"!= _count",
+		},
+		{
+			"unescaped label value",
+			"# HELP websnap_x_total X.\n# TYPE websnap_x_total counter\n" +
+				"websnap_x_total{v=\"a\"b\"} 1\n",
+			"line 3",
+		},
+		{
+			"bad sample value",
+			"# HELP websnap_x_total X.\n# TYPE websnap_x_total counter\nwebsnap_x_total banana\n",
+			"not a float",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintPrometheus([]byte(tc.payload))
+			if len(problems) == 0 {
+				t.Fatalf("no problems reported for %s", tc.name)
+			}
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("problems %v contain no %q", problems, tc.wantSub)
+			}
+		})
+	}
+}

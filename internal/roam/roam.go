@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"websnap/internal/client"
+	"websnap/internal/obs"
 	"websnap/internal/protocol"
 	"websnap/internal/trace"
 )
@@ -94,6 +95,10 @@ type Config struct {
 	// queue report from a server whose load has long since changed. Zero
 	// selects DefaultHintStaleness.
 	HintStaleness time.Duration
+	// Logger, when non-nil, records server-switch decisions as structured
+	// JSON lines (old/new server, switch count) — the mobility analogue
+	// of the offload decision audit.
+	Logger *obs.Logger
 }
 
 // Roamer tracks candidate edge servers and the current connection.
@@ -316,13 +321,17 @@ func (r *Roamer) SwitchTo(addr string) (*client.Conn, error) {
 	}
 	r.mu.Lock()
 	old := r.currentConn
+	oldAddr := r.currentAddr
 	r.currentConn = conn
 	r.currentAddr = addr
 	r.switches++
+	switches := r.switches
 	r.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
+	r.cfg.Logger.Info("roam: switched edge server",
+		obs.F("from", oldAddr), obs.F("to", addr), obs.F("switches", switches))
 	return conn, nil
 }
 

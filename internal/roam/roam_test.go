@@ -1,8 +1,10 @@
 package roam
 
 import (
+	"encoding/json"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"websnap/internal/core"
 	"websnap/internal/mlapp"
 	"websnap/internal/models"
+	"websnap/internal/obs"
 	"websnap/internal/protocol"
 	"websnap/internal/webapp"
 )
@@ -137,6 +140,39 @@ func TestEvaluateHysteresis(t *testing.T) {
 	}
 	if r.Switches() != 3 {
 		t.Errorf("switches = %d, want 3", r.Switches())
+	}
+}
+
+// TestSwitchLogsDecision checks that server switches are recorded as
+// structured JSON lines when a logger is configured.
+func TestSwitchLogsDecision(t *testing.T) {
+	var buf strings.Builder
+	r, err := New(Config{
+		Servers: []string{"a", "b"},
+		Probe:   (&fakeProbe{rtts: map[string]time.Duration{"a": 1, "b": 2}}).probe,
+		Dial:    fakeDial,
+		Logger:  obs.NewLogger(&buf, obs.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeAll()
+	if _, err := r.SwitchTo("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SwitchTo("b"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &entry); err != nil {
+		t.Fatalf("switch log is not JSON: %v\n%s", err, lines[1])
+	}
+	if entry["from"] != "a" || entry["to"] != "b" || entry["switches"] != float64(2) {
+		t.Errorf("switch log fields = %v", entry)
 	}
 }
 

@@ -481,6 +481,14 @@ func (s *Scheduler) ServiceHist() *trace.Histogram { return &s.service }
 // QueueWaitHist returns the scheduler's admission-queue wait histogram.
 func (s *Scheduler) QueueWaitHist() *trace.Histogram { return &s.queueWait }
 
+// Accepting reports whether the scheduler admits new submissions: true
+// until Close is called. It is the scheduler's readiness signal.
+func (s *Scheduler) Accepting() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
+}
+
 // Stats returns a consistent-enough snapshot of the scheduler's state.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"websnap/internal/obs"
 	"websnap/internal/trace"
 )
 
@@ -74,6 +75,15 @@ type LoadPoint struct {
 	// load contention shows; the rest are the deterministic per-request
 	// costs.
 	Stages []trace.StageSummary
+	// Mix is the offload decision mix at this load: partial offloads versus
+	// overload fallbacks, in the same vocabulary the client-side audit uses.
+	Mix []obs.PathCount
+	// PredErr summarizes the cost model's prediction error over offloaded
+	// requests: the unloaded single-request prediction versus the simulated
+	// end-to-end latency. At low load the error is queueing-free and small;
+	// as the server saturates, the signed error grows — exactly the gap a
+	// load-aware offload policy must absorb.
+	PredErr obs.ErrQuantiles
 }
 
 // FallbackRate is the fraction of inferences that fell back to local
@@ -231,6 +241,11 @@ func (ls *loadSim) run(clients int) LoadPoint {
 		fallbacks int
 		makespan  time.Duration
 		rec       = trace.NewRecorder()
+		audit     = obs.NewAuditor(obs.AuditorOptions{})
+		// predicted is the cost model's unloaded single-request latency: no
+		// queueing, batch of one. Decisions compare it against simulated
+		// end-to-end latency to quantify prediction error under load.
+		predicted = ls.clientPrep + ls.restoreS + ls.serverRear(1) + ls.captureS + ls.clientPost
 	)
 	for w := ls.cfg.Workers - 1; w >= 0; w-- {
 		idle = append(idle, w) // LIFO: lowest index dispatched first
@@ -291,7 +306,12 @@ func (ls *loadSim) run(clients int) LoadPoint {
 				// Queue full: the server rejects, the client runs the
 				// rear locally from its still-live app state.
 				fallbacks++
-				finish(ev.req, ev.at+ls.localRear)
+				done := ev.at + ls.localRear
+				audit.Record(obs.Decision{
+					Path: obs.PathFallback, Reason: "overloaded",
+					Measured: done - ev.req.start, HintAge: -1,
+				})
+				finish(ev.req, done)
 				break
 			}
 			ev.req.arrive = ev.at
@@ -305,13 +325,20 @@ func (ls *loadSim) run(clients int) LoadPoint {
 				rec.Observe(trace.StageWire, ls.upload)
 				rec.Observe(trace.StageResultWire, ls.download)
 				rec.Observe(trace.StageRestore, ls.restoreC)
-				finish(req, ev.at+ls.clientPost)
+				done := ev.at + ls.clientPost
+				audit.Record(obs.Decision{
+					Path: obs.PathPartial, SplitLabel: ls.cfg.SplitLabel,
+					Predicted: predicted, Measured: done - req.start,
+					BatchSize: len(ev.batch), HintAge: -1,
+				})
+				finish(req, done)
 			}
 			dispatch(ev.at)
 		}
 	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	sum := audit.Summary()
 	pt := LoadPoint{
 		Clients:   clients,
 		Completed: len(latencies),
@@ -319,6 +346,8 @@ func (ls *loadSim) run(clients int) LoadPoint {
 		P50:       percentile(latencies, 0.50),
 		P99:       percentile(latencies, 0.99),
 		Stages:    rec.Summaries(),
+		Mix:       sum.Mix,
+		PredErr:   sum.PredErr,
 	}
 	if makespan > 0 {
 		pt.Throughput = float64(pt.Completed) / makespan.Seconds()

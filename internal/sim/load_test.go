@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"websnap/internal/obs"
 )
 
 func loadPoints(t *testing.T, batch int, clients []int) []LoadPoint {
@@ -116,6 +118,52 @@ func TestLoadFallbackUnderOverload(t *testing.T) {
 	}
 	if rate := pts[1].FallbackRate(); rate <= 0 || rate >= 1 {
 		t.Errorf("fallback rate = %v, want within (0, 1)", rate)
+	}
+}
+
+// TestLoadDecisionMixAndPredictionError checks the audit view of the sweep:
+// the decision mix accounts for every completed inference, prediction-error
+// samples cover exactly the offloaded ones, and the cost model's unloaded
+// prediction is accurate at a single client but increasingly optimistic
+// (positive signed error: slower than predicted) as the server saturates.
+func TestLoadDecisionMixAndPredictionError(t *testing.T) {
+	pts := loadPoints(t, 8, []int{1, 64})
+	for _, pt := range pts {
+		var mixTotal int64
+		mix := map[obs.DecisionPath]int64{}
+		for _, pc := range pt.Mix {
+			mix[pc.Path] = pc.Count
+			mixTotal += pc.Count
+		}
+		if mixTotal != int64(pt.Completed) {
+			t.Errorf("clients=%d: mix sums to %d, want %d", pt.Clients, mixTotal, pt.Completed)
+		}
+		if got := mix[obs.PathFallback]; got != int64(pt.Fallbacks) {
+			t.Errorf("clients=%d: mix fallbacks = %d, want %d", pt.Clients, got, pt.Fallbacks)
+		}
+		if got := mix[obs.PathPartial]; got != int64(pt.Completed-pt.Fallbacks) {
+			t.Errorf("clients=%d: mix partial = %d, want %d", pt.Clients, got, pt.Completed-pt.Fallbacks)
+		}
+		if pt.PredErr.Count != pt.Completed-pt.Fallbacks {
+			t.Errorf("clients=%d: prediction samples = %d, want %d (offloaded only)",
+				pt.Clients, pt.PredErr.Count, pt.Completed-pt.Fallbacks)
+		}
+	}
+	// Unloaded: one client, one request in flight, batch of one — the
+	// prediction differs from the simulation only by think-time-free
+	// dispatch, so the relative error stays small.
+	if e := pts[0].PredErr.AbsP50; e > 0.05 {
+		t.Errorf("unloaded |relative error| p50 = %v, want <= 0.05", e)
+	}
+	// Saturated: queueing delay the unloaded prediction cannot see pushes
+	// the signed error well positive.
+	if pts[1].PredErr.P50 <= pts[0].PredErr.P50 {
+		t.Errorf("saturated signed error p50 %v should exceed unloaded %v",
+			pts[1].PredErr.P50, pts[0].PredErr.P50)
+	}
+	if pts[1].PredErr.P95 < pts[1].PredErr.P50 {
+		t.Errorf("quantiles out of order: p95 %v < p50 %v",
+			pts[1].PredErr.P95, pts[1].PredErr.P50)
 	}
 }
 
