@@ -286,6 +286,7 @@ func BenchmarkForward(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.SetBytes(fl) // throughput column ≈ FLOP/s
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := net.Forward(in); err != nil {

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"websnap/internal/costmodel"
+	"websnap/internal/models"
+	"websnap/internal/netem"
+	"websnap/internal/nn"
+	"websnap/internal/partition"
+	"websnap/internal/tensor"
+)
+
+// The engine experiment quantifies the planned-execution refactor: it runs
+// each model's forward pass twice — once chaining the standalone per-layer
+// Forward path (the shape of the pre-refactor engine: a fresh output
+// tensor per layer, per-call shape rederivation) and once through the
+// cached ExecPlan (pooled arena, in-place steps, shared GEMM) — and
+// reports ns/op, allocs/op and B/op for both, plus the derived speedup
+// and allocation reduction. Results also land in BENCH_engine.json next
+// to the working directory for tracking across commits.
+
+// engineJSONFile is where the machine-readable results are written
+// (a variable so tests can redirect it away from the working tree).
+var engineJSONFile = "BENCH_engine.json"
+
+type engineStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type engineRow struct {
+	Model  string      `json:"model"`
+	Before engineStats `json:"before"`
+	After  engineStats `json:"after"`
+	// Speedup is before/after wall time (>1 means the plan is faster).
+	Speedup float64 `json:"speedup"`
+	// AllocReduction is the fraction of per-inference allocations the
+	// planned engine eliminates (1 = all of them).
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// measureEngine times iters calls of f after one untimed warmup (which
+// absorbs plan compilation and pool priming), reading allocation counters
+// around the loop.
+func measureEngine(iters int, f func() error) (engineStats, error) {
+	if err := f(); err != nil {
+		return engineStats{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return engineStats{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return engineStats{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+func engine(w io.Writer) error {
+	cases := []struct {
+		name  string
+		iters int
+	}{
+		{"tinynet", 100},
+		{"agenet", 5},
+		{"googlenet", 5},
+	}
+	fmt.Fprintln(w, "Engine comparison: per-layer path vs planned execution (per inference)")
+	fmt.Fprintln(w, "Model\tPath\tms/op\tallocs/op\tKB/op\tSpeedup\tAlloc cut")
+	var rows []engineRow
+	for _, tc := range cases {
+		var (
+			net *nn.Network
+			err error
+		)
+		if tc.name == "tinynet" {
+			net, err = models.BuildTinyNet("tinynet", 3)
+		} else {
+			net, err = models.Build(tc.name)
+		}
+		if err != nil {
+			return err
+		}
+		in, err := tensor.New(net.InputShape()...)
+		if err != nil {
+			return err
+		}
+		for i := range in.Data() {
+			in.Data()[i] = float32(i%255)/255 - 0.5
+		}
+		before, err := measureEngine(tc.iters, func() error {
+			cur := in
+			for _, l := range net.Layers() {
+				out, err := l.Forward(cur)
+				if err != nil {
+					return err
+				}
+				cur = out
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("engine %s before: %w", tc.name, err)
+		}
+		after, err := measureEngine(tc.iters, func() error {
+			_, err := net.Forward(in)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("engine %s after: %w", tc.name, err)
+		}
+		row := engineRow{Model: tc.name, Before: before, After: after}
+		if after.NsPerOp > 0 {
+			row.Speedup = before.NsPerOp / after.NsPerOp
+		}
+		if before.AllocsPerOp > 0 {
+			row.AllocReduction = 1 - after.AllocsPerOp/before.AllocsPerOp
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%s\tper-layer\t%.2f\t%.0f\t%.0f\t\t\n",
+			tc.name, before.NsPerOp/1e6, before.AllocsPerOp, before.BytesPerOp/1024)
+		fmt.Fprintf(w, "%s\tplanned\t%.2f\t%.0f\t%.0f\t%.2fx\t%.0f%%\n",
+			tc.name, after.NsPerOp/1e6, after.AllocsPerOp, after.BytesPerOp/1024,
+			row.Speedup, row.AllocReduction*100)
+	}
+	data, err := json.MarshalIndent(struct {
+		Experiment string      `json:"experiment"`
+		Rows       []engineRow `json:"rows"`
+	}{"engine", rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(engineJSONFile, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("engine: write %s: %w", engineJSONFile, err)
+	}
+	fmt.Fprintf(w, "(raw numbers written to %s)\n", engineJSONFile)
+	return enginePartition(w)
+}
+
+// enginePartition recalibrates GoogLeNet's partition-point latencies on
+// this host: the client device is profiled through the planned engine
+// (costmodel.Profile times each plan step with the production kernels),
+// the server keeps the paper's ~10x client/server throughput ratio, and
+// the network stays at the calibrated 30 Mbps profile.
+func enginePartition(w io.Writer) error {
+	net, err := models.Build(models.GoogLeNet)
+	if err != nil {
+		return err
+	}
+	client, err := costmodel.Profile("this-host", net, 2)
+	if err != nil {
+		return err
+	}
+	server := client
+	server.Name = "this-host-server-10x"
+	server.FLOPSByType = make(map[nn.LayerType]float64, len(client.FLOPSByType))
+	for typ, fl := range client.FLOPSByType {
+		server.FLOPSByType[typ] = fl * 10
+	}
+	server.DefaultFLOPS = client.DefaultFLOPS * 10
+	server.LayerOverhead = costmodel.ServerX86.LayerOverhead
+	server.SnapshotFixed = costmodel.ServerX86.SnapshotFixed
+	server.SnapshotBytesPerSec = costmodel.ServerX86.SnapshotBytesPerSec
+
+	plan, err := partition.Analyze(net, partition.Config{
+		Client:  client,
+		Server:  server,
+		Network: netem.WiFi30Mbps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nGoogLeNet partition points, client profiled through plans on this host")
+	fmt.Fprintln(w, "Point\tClient\tTransfer\tServer\tTotal")
+	for _, c := range plan.Candidates {
+		fmt.Fprintf(w, "%s\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n",
+			c.Point.Label, c.ClientTime.Seconds(), c.TransferTime.Seconds(),
+			c.ServerTime.Seconds(), c.Total.Seconds())
+	}
+	return nil
+}

@@ -8,7 +8,11 @@
 //	bench -experiment fig1     GoogLeNet architecture walk-through (Fig 1)
 //	bench -experiment featsize feature data size per offloading point (§IV.B)
 //	bench -experiment load     edge scheduler under concurrent clients
+//	bench -experiment engine   planned execution engine vs per-layer path
 //	bench -experiment all      everything
+//
+// The engine experiment additionally writes BENCH_engine.json with the raw
+// before/after numbers (ns/op, allocs/op, B/op).
 //
 // The load experiment takes the scheduler knobs -workers, -queue and
 // -batch, mirroring cmd/edged's flags.
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, all")
 	format := flag.String("format", "table", "output format: table, csv")
 	var lc sim.LoadConfig
 	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
@@ -57,8 +61,9 @@ func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 		"featsize": featsize,
 		"sweep":    sweep,
 		"load":     func(w io.Writer) error { return load(w, lc) },
+		"engine":   engine,
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order

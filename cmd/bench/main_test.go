@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -66,11 +67,14 @@ func TestRunAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
+	old := engineJSONFile
+	engineJSONFile = filepath.Join(t.TempDir(), "BENCH_engine.json")
+	defer func() { engineJSONFile = old }()
 	var sb strings.Builder
 	if err := run("all", "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
-	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1"} {
+	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("missing %q", want)
 		}

@@ -9,17 +9,21 @@ import (
 )
 
 // Profile builds a Device by *measuring* a network on the current machine:
-// every layer is executed individually and its wall-clock time is
-// attributed to its layer type, yielding per-type effective throughputs —
-// exactly how Neurosurgeon constructs its per-layer prediction models from
-// profiling runs. Use it to replace the calibrated paper profiles with a
-// profile of real hardware:
+// a forward pass runs through the network's compiled execution plan with
+// per-step timing, and each step's wall-clock time is attributed to its
+// layer type, yielding per-type effective throughputs — exactly how
+// Neurosurgeon constructs its per-layer prediction models from profiling
+// runs. Measuring through the plan (not standalone per-layer Forward
+// calls) means predicted layer times reflect the production kernels:
+// pooled buffers, in-place activation steps, and the shared GEMM. Use it
+// to replace the calibrated paper profiles with a profile of real
+// hardware:
 //
 //	dev, _ := costmodel.Profile("my-laptop", net, 3)
 //	plan, _ := partition.Analyze(net, partition.Config{Client: dev, ...})
 //
-// runs is the number of timed passes per layer (the minimum is kept, which
-// rejects scheduler noise).
+// runs is the number of timed passes (the per-step minimum across passes
+// is kept, which rejects scheduler noise).
 func Profile(name string, net *nn.Network, runs int) (Device, error) {
 	if runs <= 0 {
 		return Device{}, fmt.Errorf("costmodel: profile %q: runs must be positive", name)
@@ -27,6 +31,10 @@ func Profile(name string, net *nn.Network, runs int) (Device, error) {
 	infos, err := net.Describe()
 	if err != nil {
 		return Device{}, err
+	}
+	plan, err := net.Plan(net.InputShape()...)
+	if err != nil {
+		return Device{}, fmt.Errorf("costmodel: profile %q: %w", name, err)
 	}
 	in, err := tensor.New(net.InputShape()...)
 	if err != nil {
@@ -40,27 +48,24 @@ func Profile(name string, net *nn.Network, runs int) (Device, error) {
 		in.Data()[i] = float32(seed%1000)/500 - 1
 	}
 
-	flopsByType := make(map[nn.LayerType]int64)
-	timeByType := make(map[nn.LayerType]time.Duration)
-	cur := in
-	for i, layer := range net.Layers() {
-		li := infos[i]
-		var best time.Duration
-		var out *tensor.Tensor
-		for r := 0; r < runs; r++ {
-			start := time.Now()
-			out, err = layer.Forward(cur)
-			elapsed := time.Since(start)
-			if err != nil {
-				return Device{}, fmt.Errorf("costmodel: profile layer %q: %w", layer.Name(), err)
-			}
-			if r == 0 || elapsed < best {
-				best = elapsed
+	best := make([]time.Duration, plan.NumSteps())
+	times := make([]time.Duration, plan.NumSteps())
+	for r := 0; r < runs; r++ {
+		if _, err := plan.ForwardTimed(in, times); err != nil {
+			return Device{}, fmt.Errorf("costmodel: profile %q: %w", name, err)
+		}
+		for i, t := range times {
+			if r == 0 || t < best[i] {
+				best[i] = t
 			}
 		}
+	}
+
+	flopsByType := make(map[nn.LayerType]int64)
+	timeByType := make(map[nn.LayerType]time.Duration)
+	for i, li := range infos {
 		flopsByType[li.Type] += li.FLOPs
-		timeByType[li.Type] += best
-		cur = out
+		timeByType[li.Type] += best[i]
 	}
 
 	dev := Device{

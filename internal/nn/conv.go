@@ -2,8 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"websnap/internal/tensor"
 )
@@ -76,54 +74,47 @@ func (c *Conv) OutputShape(in []int) ([]int, error) {
 // goroutine hand-off costs more than it saves.
 const parallelThreshold = 4 << 20
 
-// Forward implements Layer. Small layers use the direct convolution (no
-// setup cost); layers above parallelThreshold use im2col + GEMM (roughly 4x
-// faster thanks to sequential memory access — see BenchmarkConvAlgorithms)
-// with the GEMM fanned out across CPUs. Each worker writes a disjoint
-// output slice and the per-element accumulation order is identical in every
-// path, so results are deterministic and bit-identical regardless of
-// algorithm or parallelism.
+// Forward implements Layer via the standalone shim.
 func (c *Conv) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	outShape, err := c.OutputShape(in.Shape())
+	return forwardStandalone(c, in)
+}
+
+// Traits implements Layer. Small layers use the direct convolution (no
+// setup cost); layers above parallelThreshold use im2col + GEMM (roughly
+// 4x faster thanks to sequential memory access — see
+// BenchmarkConvAlgorithms), so the plan reserves scratch for the column
+// matrix.
+func (c *Conv) Traits(in []int) (StepTraits, error) {
+	out, err := c.OutputShape(in)
 	if err != nil {
-		return nil, err
+		return StepTraits{}, err
 	}
-	oh, ow := outShape[1], outShape[2]
-	out, err := tensor.New(outShape...)
-	if err != nil {
-		return nil, err
+	oh, ow := out[1], out[2]
+	flops := int64(2*c.k*c.k*c.inC) * int64(c.outC*oh*ow)
+	if flops <= parallelThreshold {
+		return StepTraits{Algo: "direct"}, nil
 	}
+	return StepTraits{Algo: "im2col", ScratchFloats: c.inC * c.k * c.k * oh * ow}, nil
+}
+
+// ForwardCtx implements Layer. The im2col path routes through the shared
+// tensor.Gemm kernel, which fans row blocks across CPUs for large layers.
+// The per-element accumulation order is identical in every path, so
+// results are deterministic and bit-identical regardless of algorithm or
+// parallelism.
+func (c *Conv) ForwardCtx(ctx *ExecContext, in, out *tensor.Tensor) error {
+	oh, ow := out.Dim(1), out.Dim(2)
 	flops := int64(2*c.k*c.k*c.inC) * int64(c.outC*oh*ow)
 	if flops <= parallelThreshold {
 		c.forwardChannels(in, out, 0, c.outC)
-		return out, nil
+		return nil
 	}
 	cols := oh * ow
 	rows := c.inC * c.k * c.k
-	col := c.buildColumns(in, oh, ow)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > c.outC {
-		workers = c.outC
-	}
-	if workers <= 1 {
-		c.gemmRows(col, out, rows, cols, 0, c.outC)
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := c.outC * wkr / workers
-		hi := c.outC * (wkr + 1) / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			c.gemmRows(col, out, rows, cols, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out, nil
+	col := ctx.Scratch(rows * cols)
+	c.buildColumns(in, oh, ow, col)
+	tensor.Gemm(out.Data(), c.weight.Data(), col, c.bias.Data(), c.outC, rows, cols)
+	return nil
 }
 
 // forwardChannels computes output channels [ocLo, ocHi).
@@ -252,18 +243,20 @@ func ceilDiv(a, b int) int {
 	return (a + b - 1) / b
 }
 
-// Forward implements Layer.
+// Forward implements Layer via the standalone shim.
 func (p *Pool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	outShape, err := p.OutputShape(in.Shape())
-	if err != nil {
-		return nil, err
-	}
+	return forwardStandalone(p, in)
+}
+
+// Traits implements Layer.
+func (p *Pool) Traits(in []int) (StepTraits, error) {
+	return StepTraits{Algo: string(p.kind)}, nil
+}
+
+// ForwardCtx implements Layer.
+func (p *Pool) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
-	oh, ow := outShape[1], outShape[2]
-	out, err := tensor.New(outShape...)
-	if err != nil {
-		return nil, err
-	}
+	oh, ow := out.Dim(1), out.Dim(2)
 	src := in.Data()
 	dst := out.Data()
 	for ch := 0; ch < c; ch++ {
@@ -303,7 +296,7 @@ func (p *Pool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FLOPs implements Layer: one comparison/add per window element.

@@ -1,0 +1,636 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"websnap/internal/tensor"
+)
+
+// This file is the golden equivalence suite for the planned execution
+// engine: every layer type is checked against an independent naive
+// reference implementation that reproduces the pre-refactor per-layer
+// math (float32 accumulation, channels-major kernel order), plus
+// concurrency and allocation pins for the plan cache.
+
+// refForward executes one layer with naive reference loops.
+func refForward(t *testing.T, l Layer, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	outShape, err := l.OutputShape(in.Shape())
+	if err != nil {
+		t.Fatalf("reference %q: %v", l.Name(), err)
+	}
+	out := tensor.MustNew(outShape...)
+	switch v := l.(type) {
+	case *Input, *Dropout:
+		copy(out.Data(), in.Data())
+	case *Conv:
+		refConv(v, in, out)
+	case *Pool:
+		refPool(v, in, out)
+	case *FC:
+		refFC(v, in, out)
+	case *ReLU:
+		for i, x := range in.Data() {
+			if x > 0 {
+				out.Data()[i] = x
+			}
+		}
+	case *LRN:
+		refLRN(v, in, out)
+	case *Softmax:
+		refSoftmax(in, out)
+	case *Inception:
+		refInception(t, v, in, out)
+	default:
+		t.Fatalf("reference: unhandled layer type %T", l)
+	}
+	return out
+}
+
+// refNetForward chains refForward over the whole network.
+func refNetForward(t *testing.T, net *Network, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	cur := in
+	for _, l := range net.Layers() {
+		cur = refForward(t, l, cur)
+	}
+	return cur
+}
+
+func refConv(c *Conv, in, out *tensor.Tensor) {
+	inC, outC, k, stride, pad := c.Geometry()
+	h, w := in.Dim(1), in.Dim(2)
+	oh, ow := out.Dim(1), out.Dim(2)
+	wt := c.weight.Data()
+	bias := c.bias.Data()
+	for oc := 0; oc < outC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias[oc]
+				for ic := 0; ic < inC; ic++ {
+					for ky := 0; ky < k; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							sum += in.Data()[(ic*h+iy)*w+ix] * wt[((oc*inC+ic)*k+ky)*k+kx]
+						}
+					}
+				}
+				out.Data()[(oc*oh+oy)*ow+ox] = sum
+			}
+		}
+	}
+}
+
+func refPool(p *Pool, in, out *tensor.Tensor) {
+	k, stride, pad := p.Geometry()
+	ch, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	oh, ow := out.Dim(1), out.Dim(2)
+	for c := 0; c < ch; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var acc float32
+				n := 0
+				first := true
+				for ky := 0; ky < k; ky++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < k; kx++ {
+						ix := ox*stride - pad + kx
+						if ix < 0 || ix >= w {
+							continue
+						}
+						v := in.Data()[(c*h+iy)*w+ix]
+						switch {
+						case p.Kind() == MaxPool && (first || v > acc):
+							acc = v
+						case p.Kind() == AvgPool:
+							acc += v
+						}
+						first = false
+						n++
+					}
+				}
+				if p.Kind() == AvgPool && n > 0 {
+					acc /= float32(n)
+				}
+				out.Data()[(c*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+}
+
+func refFC(l *FC, in, out *tensor.Tensor) {
+	nIn, nOut := l.Geometry()
+	wt := l.weight.Data()
+	bias := l.bias.Data()
+	for o := 0; o < nOut; o++ {
+		sum := bias[o]
+		for i := 0; i < nIn; i++ {
+			sum += in.Data()[i] * wt[o*nIn+i]
+		}
+		out.Data()[o] = sum
+	}
+}
+
+func refLRN(l *LRN, in, out *tensor.Tensor) {
+	size, alpha, beta := l.Settings()
+	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
+	half := size / 2
+	plane := h * w
+	for pos := 0; pos < plane; pos++ {
+		for ch := 0; ch < c; ch++ {
+			var sum float64
+			for j := ch - half; j <= ch+half; j++ {
+				if j < 0 || j >= c {
+					continue
+				}
+				v := float64(in.Data()[j*plane+pos])
+				sum += v * v
+			}
+			scale := math.Pow(1+alpha/float64(size)*sum, -beta)
+			out.Data()[ch*plane+pos] = float32(float64(in.Data()[ch*plane+pos]) * scale)
+		}
+	}
+}
+
+func refSoftmax(in, out *tensor.Tensor) {
+	src := in.Data()
+	maxV := src[0]
+	for _, v := range src[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := math.Exp(float64(v - maxV))
+		out.Data()[i] = float32(e)
+		sum += e
+	}
+	if sum > 0 {
+		inv := float32(1 / sum)
+		for i := range out.Data() {
+			out.Data()[i] *= inv
+		}
+	}
+}
+
+func refInception(t *testing.T, l *Inception, in, out *tensor.Tensor) {
+	t.Helper()
+	plane := out.Dim(1) * out.Dim(2)
+	chOff := 0
+	for _, branch := range l.Branches() {
+		cur := in
+		for _, lay := range branch {
+			cur = refForward(t, lay, cur)
+		}
+		bc := cur.Dim(0)
+		copy(out.Data()[chOff*plane:(chOff+bc)*plane], cur.Data())
+		chOff += bc
+	}
+}
+
+func maxAbsDiff(a, b *tensor.Tensor) float64 {
+	var worst float64
+	for i := range a.Data() {
+		if d := math.Abs(float64(a.Data()[i]) - float64(b.Data()[i])); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// engineCases builds one small network per layer type (plus both conv
+// kernel paths) so every ForwardCtx implementation is exercised through a
+// compiled plan.
+func engineCases(t *testing.T) map[string]*Network {
+	t.Helper()
+	mk := func(name string, c, h, w int, mid ...Layer) *Network {
+		in, err := NewInput("data", c, h, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := NewNetwork(name, append([]Layer{in}, mid...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.InitWeights(uint64(len(name)) + 17)
+		return net
+	}
+	convSmall, err := NewConv("c", 3, 5, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Large enough to clear parallelThreshold and take the im2col+GEMM
+	// path: 2·9·16·32·32·32 ≈ 9.4M FLOPs.
+	convBig, err := NewConv("c", 16, 32, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxP, err := NewPool("p", MaxPool, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgP, err := NewPool("p", AvgPool, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFC("f", 3*6*6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrn, err := NewLRN("n", 5, 0.0001, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcSm, err := NewFC("f", 4*6*6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Network{
+		"conv-direct":  mk("conv-direct", 3, 9, 9, convSmall),
+		"conv-im2col":  mk("conv-im2col", 16, 32, 32, convBig),
+		"pool-max":     mk("pool-max", 3, 7, 7, maxP),
+		"pool-avg":     mk("pool-avg", 3, 8, 8, avgP),
+		"fc":           mk("fc", 3, 6, 6, fc),
+		"relu":         mk("relu", 2, 5, 5, NewReLU("r")),
+		"lrn":          mk("lrn", 8, 6, 6, lrn),
+		"dropout":      mk("dropout", 2, 4, 4, NewDropout("d", 0.5)),
+		"softmax":      mk("softmax", 1, 1, 11, NewSoftmax("s")),
+		"mixed-tail":   mk("mixed-tail", 4, 6, 6, NewReLU("r"), NewDropout("d", 0.3), fcSm, NewSoftmax("s")),
+		"inplace-head": mk("inplace-head", 2, 5, 5, NewDropout("d", 0.2), NewReLU("r")),
+	}
+}
+
+func fillDeterministic(in *tensor.Tensor, seed uint64) {
+	rng := &archRNG{s: seed*977 + 11}
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.intn(2000))/1000 - 1
+	}
+}
+
+// TestEngineMatchesReferenceLayers checks every layer type through a
+// compiled plan against the naive reference within 1e-6, pins that the
+// input is never mutated, and that a second run through the cached plan
+// is bit-identical to the first.
+func TestEngineMatchesReferenceLayers(t *testing.T) {
+	for name, net := range engineCases(t) {
+		t.Run(name, func(t *testing.T) {
+			in := tensor.MustNew(net.InputShape()...)
+			fillDeterministic(in, uint64(len(name)))
+			pristine := in.Clone()
+
+			want := refNetForward(t, net, in)
+			got, err := net.Forward(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(want, got); d > 1e-6 {
+				t.Fatalf("planned engine diverges from reference by %g", d)
+			}
+			for i := range in.Data() {
+				if in.Data()[i] != pristine.Data()[i] {
+					t.Fatalf("input mutated at %d", i)
+				}
+			}
+			again, err := net.Forward(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got.Data() {
+				if got.Data()[i] != again.Data()[i] {
+					t.Fatalf("cached plan not deterministic at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// stackedInceptionNet is a GoogLeNet-style stem with two chained
+// inception modules, pooling, and a classifier head.
+func stackedInceptionNet(t testing.TB) *Network {
+	t.Helper()
+	mustConv := func(name string, inC, outC, k, s, p int) *Conv {
+		c, err := NewConv(name, inC, outC, k, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mustPool := func(name string, kind Pooling, k, s, p int) *Pool {
+		pl, err := NewPool(name, kind, k, s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	in, err := NewInput("data", 3, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrn, err := NewLRN("norm1", 5, 0.0001, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc1, err := NewInception("inc1",
+		[]Layer{mustConv("i1_1x1", 8, 4, 1, 1, 0), NewReLU("i1_r1")},
+		[]Layer{mustConv("i1_3x3r", 8, 3, 1, 1, 0), NewReLU("i1_r2"), mustConv("i1_3x3", 3, 6, 3, 1, 1)},
+		[]Layer{mustPool("i1_pool", MaxPool, 3, 1, 1), mustConv("i1_proj", 8, 2, 1, 1, 0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2, err := NewInception("inc2",
+		[]Layer{mustConv("i2_1x1", 12, 5, 1, 1, 0)},
+		[]Layer{mustConv("i2_5x5r", 12, 2, 1, 1, 0), mustConv("i2_5x5", 2, 4, 5, 1, 2), NewReLU("i2_r")},
+		[]Layer{mustPool("i2_pool", AvgPool, 3, 1, 1), mustConv("i2_proj", 12, 3, 1, 1, 0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFC("fc", 12*4*4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork("stacked-inception",
+		in,
+		mustConv("conv1", 3, 8, 3, 1, 1),
+		NewReLU("relu1"),
+		lrn,
+		mustPool("pool1", MaxPool, 2, 2, 0), // 8x8x8
+		inc1,                                // 12x8x8
+		inc2,                                // 12x8x8
+		NewDropout("drop", 0.4),
+		mustPool("pool2", MaxPool, 2, 2, 0), // 12x4x4
+		fc,
+		NewSoftmax("prob"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(42)
+	return net
+}
+
+// TestEngineMatchesReferenceInceptionStack is the whole-network golden
+// check for a GoogLeNet-style inception stack, including split points
+// (the partial-inference path also rides on plans).
+func TestEngineMatchesReferenceInceptionStack(t *testing.T) {
+	net := stackedInceptionNet(t)
+	in := tensor.MustNew(net.InputShape()...)
+	fillDeterministic(in, 404)
+
+	want := refNetForward(t, net, in)
+	got, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(want, got); d > 1e-6 {
+		t.Fatalf("planned engine diverges from reference by %g", d)
+	}
+
+	for k := 0; k < net.NumLayers()-1; k++ {
+		front, rear, err := net.Split(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feat, err := front.Forward(in)
+		if err != nil {
+			t.Fatalf("split %d front: %v", k, err)
+		}
+		if rs := rear.InputShape(); tensor.Volume(rs) == feat.Len() && len(rs) != feat.Rank() {
+			feat, err = feat.Reshape(rs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		end, err := rear.Forward(feat)
+		if err != nil {
+			t.Fatalf("split %d rear: %v", k, err)
+		}
+		if d := maxAbsDiff(want, end); d > 1e-6 {
+			t.Fatalf("split %d diverges from reference by %g", k, d)
+		}
+	}
+}
+
+// TestCachedPlanConcurrentForwardBatch hammers one cached plan from many
+// goroutines through ForwardBatch and Forward simultaneously; run under
+// -race this pins the concurrency contract for plan reuse (the
+// scheduler's batch path shares one plan per model).
+func TestCachedPlanConcurrentForwardBatch(t *testing.T) {
+	net := stackedInceptionNet(t)
+	in := tensor.MustNew(net.InputShape()...)
+	fillDeterministic(in, 777)
+	want, err := net.Forward(in) // warm the plan cache
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				if g%2 == 0 {
+					outs, err := net.ForwardBatch([]*tensor.Tensor{in, in, in})
+					if err != nil {
+						errs <- err
+						return
+					}
+					for _, out := range outs {
+						for i := range want.Data() {
+							if out.Data()[i] != want.Data()[i] {
+								t.Errorf("goroutine %d: batch output differs at %d", g, i)
+								return
+							}
+						}
+					}
+				} else {
+					out, err := net.Forward(in)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for i := range want.Data() {
+						if out.Data()[i] != want.Data()[i] {
+							t.Errorf("goroutine %d: output differs at %d", g, i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestDropoutForwardNoAlloc pins the satellite fix: inference dropout is
+// a pass-through, not a clone.
+func TestDropoutForwardNoAlloc(t *testing.T) {
+	d := NewDropout("drop", 0.5)
+	in := tensor.MustNew(4, 8, 8)
+	fillDeterministic(in, 5)
+	out, err := d.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatal("dropout Forward should return its input unchanged")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := d.Forward(in); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("dropout Forward allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestPlannedForwardAllocsBelowLegacy verifies the arena actually pays:
+// a steady-state planned forward allocates far less than chaining the
+// standalone per-layer path (the pre-refactor execution shape).
+func TestPlannedForwardAllocsBelowLegacy(t *testing.T) {
+	net := stackedInceptionNet(t)
+	in := tensor.MustNew(net.InputShape()...)
+	fillDeterministic(in, 99)
+	legacyForward := func() {
+		cur := in
+		for _, l := range net.Layers() {
+			out, err := l.Forward(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur = out
+		}
+	}
+	// Warm the plan cache and pools before measuring.
+	if _, err := net.Forward(in); err != nil {
+		t.Fatal(err)
+	}
+	planned := testing.AllocsPerRun(20, func() {
+		if _, err := net.Forward(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	legacy := testing.AllocsPerRun(20, legacyForward)
+	t.Logf("allocs/inference: planned=%.1f legacy=%.1f", planned, legacy)
+	if planned > legacy/2 {
+		t.Fatalf("planned forward allocates %.1f times per inference, legacy %.1f — want < half", planned, legacy)
+	}
+}
+
+// TestPlanIntrospection sanity-checks compiled plan metadata: identity
+// layers elided, activations in place, conv kernel choice recorded.
+func TestPlanIntrospection(t *testing.T) {
+	net := stackedInceptionNet(t)
+	plan, err := net.Plan(net.InputShape()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumSteps() != net.NumLayers() {
+		t.Fatalf("NumSteps = %d, want %d", plan.NumSteps(), net.NumLayers())
+	}
+	byName := map[string]PlanStep{}
+	for _, st := range plan.Steps() {
+		byName[st.Name] = st
+	}
+	if !byName["data"].Elided || !byName["drop"].Elided {
+		t.Error("input and dropout steps should be elided")
+	}
+	if byName["conv1"].Elided || byName["conv1"].Algo != "direct" {
+		t.Errorf("conv1 step = %+v, want live direct conv", byName["conv1"])
+	}
+	if !byName["relu1"].InPlace {
+		t.Errorf("relu1 step = %+v, want in-place", byName["relu1"])
+	}
+	if byName["prob"].Name != "prob" {
+		t.Error("missing softmax step")
+	}
+	// A conv above the parallel threshold plans the im2col kernel with
+	// scratch reserved for the column matrix.
+	big, err := NewConv("big", 16, 32, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := big.Traits([]int{16, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Algo != "im2col" || tr.ScratchFloats != 16*3*3*32*32 {
+		t.Errorf("big conv traits = %+v, want im2col with column scratch", tr)
+	}
+}
+
+// BenchmarkNetworkForward compares a steady-state planned forward pass
+// against chaining the standalone per-layer path (the shape of the
+// pre-refactor engine) on the GoogLeNet-style stacked-inception net.
+func BenchmarkNetworkForward(b *testing.B) {
+	net := stackedInceptionNet(b)
+	in := tensor.MustNew(net.InputShape()...)
+	fillDeterministic(in, 7)
+	b.Run("planned", func(b *testing.B) {
+		if _, err := net.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Forward(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-layer", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cur := in
+			for _, l := range net.Layers() {
+				out, err := l.Forward(cur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cur = out
+			}
+		}
+	})
+}
+
+// BenchmarkForwardBatch measures the scheduler's batch path: one cached
+// plan, per-sample contexts, layer-major execution.
+func BenchmarkForwardBatch(b *testing.B) {
+	net := stackedInceptionNet(b)
+	in := tensor.MustNew(net.InputShape()...)
+	fillDeterministic(in, 8)
+	batch := []*tensor.Tensor{in, in, in, in}
+	if _, err := net.ForwardBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ForwardBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,15 +4,17 @@ import (
 	"websnap/internal/tensor"
 )
 
-// ForwardIm2col computes the same convolution as Forward via im2col + GEMM:
-// the input is unrolled into a column matrix so the convolution becomes a
-// dense [outC, inC·k·k] × [inC·k·k, oh·ow] matrix product with sequential
-// memory access. For large layers this trades memory (the column matrix)
-// for cache locality.
+// ForwardIm2col computes the same convolution as Forward via im2col +
+// GEMM: the input is unrolled into a column matrix so the convolution
+// becomes a dense [outC, inC·k·k] × [inC·k·k, oh·ow] matrix product with
+// sequential memory access, executed by the shared tensor.Gemm kernel.
+// For large layers this trades memory (the column matrix) for cache
+// locality.
 //
-// The result is numerically identical to the direct path when accumulation
-// order per output element is the same, which this implementation
-// preserves (channels-major, kernel row, kernel column).
+// The result is numerically identical to the direct path when the
+// accumulation order per output element is the same, which this
+// implementation preserves (channels-major, kernel row, kernel column —
+// padding positions contribute exact-zero terms).
 func (c *Conv) ForwardIm2col(in *tensor.Tensor) (*tensor.Tensor, error) {
 	outShape, err := c.OutputShape(in.Shape())
 	if err != nil {
@@ -21,21 +23,23 @@ func (c *Conv) ForwardIm2col(in *tensor.Tensor) (*tensor.Tensor, error) {
 	oh, ow := outShape[1], outShape[2]
 	cols := oh * ow
 	rows := c.inC * c.k * c.k
-	col := c.buildColumns(in, oh, ow)
 	out, err := tensor.New(outShape...)
 	if err != nil {
 		return nil, err
 	}
-	c.gemmRows(col, out, rows, cols, 0, c.outC)
+	col := tensor.GetBuf(rows * cols)
+	c.buildColumns(in, oh, ow, col)
+	tensor.Gemm(out.Data(), c.weight.Data(), col, c.bias.Data(), c.outC, rows, cols)
+	tensor.PutBuf(col)
 	return out, nil
 }
 
-// buildColumns unrolls the input into the im2col matrix.
-func (c *Conv) buildColumns(in *tensor.Tensor, oh, ow int) []float32 {
+// buildColumns unrolls the input into the im2col matrix col, which must
+// hold inC·k·k·oh·ow floats. Every position is written — padding
+// positions get explicit zeros — so col may be reused scratch.
+func (c *Conv) buildColumns(in *tensor.Tensor, oh, ow int, col []float32) {
 	h, w := in.Dim(1), in.Dim(2)
 	cols := oh * ow
-	rows := c.inC * c.k * c.k
-	col := make([]float32, rows*cols)
 	src := in.Data()
 	r := 0
 	for ic := 0; ic < c.inC; ic++ {
@@ -47,7 +51,10 @@ func (c *Conv) buildColumns(in *tensor.Tensor, oh, ow int) []float32 {
 				for oy := 0; oy < oh; oy++ {
 					iy := oy*c.stride - c.pad + ky
 					if iy < 0 || iy >= h {
-						p += ow
+						for e := 0; e < ow; e++ {
+							dst[p] = 0
+							p++
+						}
 						continue
 					}
 					rowBase := base + iy*w
@@ -55,36 +62,13 @@ func (c *Conv) buildColumns(in *tensor.Tensor, oh, ow int) []float32 {
 						ix := ox*c.stride - c.pad + kx
 						if ix >= 0 && ix < w {
 							dst[p] = src[rowBase+ix]
+						} else {
+							dst[p] = 0
 						}
 						p++
 					}
 				}
 				r++
-			}
-		}
-	}
-	return col
-}
-
-// gemmRows multiplies weight rows [ocLo, ocHi) against the column matrix.
-func (c *Conv) gemmRows(col []float32, out *tensor.Tensor, rows, cols, ocLo, ocHi int) {
-	dst := out.Data()
-	wt := c.weight.Data()
-	bias := c.bias.Data()
-	for oc := ocLo; oc < ocHi; oc++ {
-		outRow := dst[oc*cols : (oc+1)*cols]
-		for p := range outRow {
-			outRow[p] = bias[oc]
-		}
-		wRow := wt[oc*rows : (oc+1)*rows]
-		for rr := 0; rr < rows; rr++ {
-			wv := wRow[rr]
-			if wv == 0 {
-				continue
-			}
-			colRow := col[rr*cols : (rr+1)*cols]
-			for p, v := range colRow {
-				outRow[p] += wv * v
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"websnap/internal/tensor"
 )
@@ -16,6 +17,25 @@ import (
 type Inception struct {
 	name     string
 	branches [][]Layer
+
+	// planMu guards plans, the per-input-shape compiled branch programs.
+	// Compilation is idempotent (same layers, same shapes), so concurrent
+	// first uses at worst compile twice and keep one.
+	planMu sync.RWMutex
+	plans  map[[3]int]*incPlan
+}
+
+// incPlan is an inception module compiled for one input shape: each
+// branch is a standalone sub-program writing a channel window of the
+// module's output.
+type incPlan struct {
+	branches []incBranch
+}
+
+type incBranch struct {
+	prog     *program
+	off      int // float32 offset of this branch's window in the output
+	outShape []int
 }
 
 var _ Layer = (*Inception)(nil)
@@ -80,32 +100,86 @@ func (l *Inception) OutputShape(in []int) ([]int, error) {
 	return []int{totalC, oh, ow}, nil
 }
 
-// Forward implements Layer: run each branch and concatenate along channels.
+// Forward implements Layer via the standalone shim.
 func (l *Inception) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	outShape, err := l.OutputShape(in.Shape())
-	if err != nil {
-		return nil, err
+	return forwardStandalone(l, in)
+}
+
+// planFor returns the module compiled for a [c,h,w] input, compiling and
+// caching branch sub-programs on first use. Branch programs write their
+// output directly into the module's channel-concatenated output window,
+// so no per-branch result tensor or concat copy exists at run time.
+func (l *Inception) planFor(c, h, w int) (*incPlan, error) {
+	key := [3]int{c, h, w}
+	l.planMu.RLock()
+	ip := l.plans[key]
+	l.planMu.RUnlock()
+	if ip != nil {
+		return ip, nil
 	}
-	out, err := tensor.New(outShape...)
-	if err != nil {
-		return nil, err
-	}
-	dst := out.Data()
-	plane := outShape[1] * outShape[2]
+	in := []int{c, h, w}
+	ip = &incPlan{branches: make([]incBranch, len(l.branches))}
 	chOff := 0
-	for _, b := range l.branches {
-		cur := in
-		for _, lay := range b {
-			cur, err = lay.Forward(cur)
-			if err != nil {
-				return nil, fmt.Errorf("inception %q/%s: %w", l.name, lay.Name(), err)
-			}
+	plane := 0
+	for i, b := range l.branches {
+		prog, err := compileProgram(b, in)
+		if err != nil {
+			return nil, fmt.Errorf("inception %q: %w", l.name, err)
 		}
-		bc := cur.Dim(0)
-		copy(dst[chOff*plane:(chOff+bc)*plane], cur.Data())
-		chOff += bc
+		if len(prog.outShape) != 3 {
+			return nil, fmt.Errorf("inception %q: branch %d output %v is not [C H W]: %w",
+				l.name, i, prog.outShape, ErrBadShape)
+		}
+		plane = prog.outShape[1] * prog.outShape[2]
+		ip.branches[i] = incBranch{prog: prog, off: chOff * plane, outShape: prog.outShape}
+		chOff += prog.outShape[0]
 	}
-	return out, nil
+	l.planMu.Lock()
+	if l.plans == nil {
+		l.plans = make(map[[3]int]*incPlan)
+	}
+	if exist := l.plans[key]; exist != nil {
+		ip = exist
+	} else {
+		l.plans[key] = ip
+	}
+	l.planMu.Unlock()
+	return ip, nil
+}
+
+// Traits implements Layer, compiling the branch sub-programs as a side
+// effect so plan construction surfaces branch shape errors eagerly.
+func (l *Inception) Traits(in []int) (StepTraits, error) {
+	c, h, w, err := shapeCHW(in)
+	if err != nil {
+		return StepTraits{}, fmt.Errorf("inception %q: %w", l.name, err)
+	}
+	if _, err := l.planFor(c, h, w); err != nil {
+		return StepTraits{}, err
+	}
+	return StepTraits{Algo: "concat"}, nil
+}
+
+// ForwardCtx implements Layer: each branch sub-program runs in its own
+// cached child context and writes straight into its channel window of
+// out.
+func (l *Inception) ForwardCtx(ctx *ExecContext, in, out *tensor.Tensor) error {
+	ip, err := l.planFor(in.Dim(0), in.Dim(1), in.Dim(2))
+	if err != nil {
+		return err
+	}
+	for i := range ip.branches {
+		br := &ip.branches[i]
+		sub := ctx.sub(br.prog)
+		view, err := sub.outView(out, br.off, br.outShape)
+		if err != nil {
+			return fmt.Errorf("inception %q: %w", l.name, err)
+		}
+		if err := br.prog.run(sub, in, view, nil); err != nil {
+			return fmt.Errorf("inception %q: %w", l.name, err)
+		}
+	}
+	return nil
 }
 
 // FLOPs implements Layer: the sum over all branch layers.

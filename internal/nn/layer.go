@@ -57,9 +57,21 @@ type Layer interface {
 	// OutputShape returns the output dimensions for the given input
 	// dimensions (channels-first: [C, H, W], or [N] after flattening).
 	OutputShape(in []int) ([]int, error)
-	// Forward executes the layer on in and returns a freshly allocated
-	// output tensor.
+	// Forward executes the layer on in and returns an output tensor the
+	// caller owns. Most layers allocate it fresh; identity layers
+	// (Dropout at inference) may return in unchanged. This is the
+	// standalone compatibility path — compiled plans use ForwardCtx.
 	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
+	// ForwardCtx executes the layer as one step of a compiled plan,
+	// reading in and writing the pre-allocated out. Shapes are validated
+	// at plan-compile time, not here. Per-step scratch comes from ctx.
+	// Layers whose Traits declare InPlace must tolerate out aliasing in;
+	// all layers must tolerate distinct in/out.
+	ForwardCtx(ctx *ExecContext, in, out *tensor.Tensor) error
+	// Traits reports the layer's execution properties for the given
+	// input shape (in-place capability, identity elision, scratch need,
+	// kernel choice) so the plan compiler can assign buffers.
+	Traits(in []int) (StepTraits, error)
 	// FLOPs estimates the floating point operations needed to execute the
 	// layer on the given input shape.
 	FLOPs(in []int) (int64, error)

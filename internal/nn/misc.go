@@ -53,12 +53,23 @@ func (l *Input) OutputShape(in []int) ([]int, error) {
 	return l.ExpectedShape(), nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer: validate the shape and hand back a copy.
 func (l *Input) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	if _, err := l.OutputShape(in.Shape()); err != nil {
-		return nil, err
+	return forwardStandalone(l, in)
+}
+
+// Traits implements Layer: pure validation, elided from compiled plans
+// (the plan validates the input shape once up front).
+func (l *Input) Traits(in []int) (StepTraits, error) {
+	return StepTraits{InPlace: true, Identity: true}, nil
+}
+
+// ForwardCtx implements Layer.
+func (l *Input) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
+	if out != in {
+		copy(out.Data(), in.Data())
 	}
-	return in.Clone(), nil
+	return nil
 }
 
 // FLOPs implements Layer.
@@ -116,28 +127,22 @@ func (l *FC) OutputShape(in []int) ([]int, error) {
 	return []int{l.out}, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer via the standalone shim.
 func (l *FC) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	if _, err := l.OutputShape(in.Shape()); err != nil {
-		return nil, err
-	}
-	out, err := tensor.New(l.out)
-	if err != nil {
-		return nil, err
-	}
-	src := in.Data()
-	dst := out.Data()
-	wt := l.weight.Data()
-	bias := l.bias.Data()
-	for o := 0; o < l.out; o++ {
-		sum := bias[o]
-		row := wt[o*l.in : (o+1)*l.in]
-		for i, v := range src {
-			sum += v * row[i]
-		}
-		dst[o] = sum
-	}
-	return out, nil
+	return forwardStandalone(l, in)
+}
+
+// Traits implements Layer.
+func (l *FC) Traits(in []int) (StepTraits, error) {
+	return StepTraits{Algo: "gemv"}, nil
+}
+
+// ForwardCtx implements Layer: the inner product is the shared GEMM
+// kernel's n==1 matrix-vector path (any [C,H,W] input is implicitly
+// flattened by reading its storage directly).
+func (l *FC) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
+	tensor.Gemm(out.Data(), l.weight.Data(), in.Data(), l.bias.Data(), l.out, l.in, 1)
+	return nil
 }
 
 // FLOPs implements Layer.
@@ -177,16 +182,29 @@ func (l *ReLU) OutputShape(in []int) ([]int, error) {
 	return out, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer via the standalone shim.
 func (l *ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	out := in.Clone()
-	d := out.Data()
-	for i, v := range d {
+	return forwardStandalone(l, in)
+}
+
+// Traits implements Layer.
+func (l *ReLU) Traits(in []int) (StepTraits, error) {
+	return StepTraits{InPlace: true}, nil
+}
+
+// ForwardCtx implements Layer. Alias-safe: each element is read before
+// its slot is written.
+func (l *ReLU) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
+	src := in.Data()
+	dst := out.Data()
+	for i, v := range src {
 		if v < 0 {
-			d[i] = 0
+			dst[i] = 0
+		} else {
+			dst[i] = v
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FLOPs implements Layer.
@@ -236,20 +254,38 @@ func (l *LRN) OutputShape(in []int) ([]int, error) {
 	return out, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer via the standalone shim.
 func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	if _, err := l.OutputShape(in.Shape()); err != nil {
-		return nil, err
+	return forwardStandalone(l, in)
+}
+
+// Traits implements Layer: in-place with a C-float scratch column (the
+// channel window must read pre-normalization values even when out
+// aliases in).
+func (l *LRN) Traits(in []int) (StepTraits, error) {
+	if _, _, _, err := shapeCHW(in); err != nil {
+		return StepTraits{}, fmt.Errorf("lrn %q: %w", l.name, err)
 	}
+	return StepTraits{InPlace: true, ScratchFloats: in[0]}, nil
+}
+
+// ForwardCtx implements Layer. For each spatial position the channel
+// column is copied to scratch first, so normalization reads original
+// values regardless of aliasing; values and accumulation order match the
+// pre-plan implementation exactly.
+func (l *LRN) ForwardCtx(ctx *ExecContext, in, out *tensor.Tensor) error {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
-	out := in.Clone()
 	src := in.Data()
 	dst := out.Data()
+	column := ctx.Scratch(c)
 	half := l.localSize / 2
 	plane := h * w
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			off := y*w + x
+			for ch := 0; ch < c; ch++ {
+				column[ch] = src[ch*plane+off]
+			}
 			for ch := 0; ch < c; ch++ {
 				var sum float64
 				lo := ch - half
@@ -261,15 +297,15 @@ func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 					hi = c - 1
 				}
 				for j := lo; j <= hi; j++ {
-					v := float64(src[j*plane+off])
+					v := float64(column[j])
 					sum += v * v
 				}
 				scale := math.Pow(1+l.alpha/float64(l.localSize)*sum, -l.beta)
-				dst[ch*plane+off] = float32(float64(src[ch*plane+off]) * scale)
+				dst[ch*plane+off] = float32(float64(column[ch]) * scale)
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FLOPs implements Layer: roughly 2 ops per neighbor plus the power.
@@ -314,8 +350,24 @@ func (l *Dropout) OutputShape(in []int) ([]int, error) {
 	return out, nil
 }
 
-// Forward implements Layer.
-func (l *Dropout) Forward(in *tensor.Tensor) (*tensor.Tensor, error) { return in.Clone(), nil }
+// Forward implements Layer. Inference dropout is the identity, so the
+// input is returned unchanged — no clone, no allocation. Callers that
+// need an isolated copy (there are none in this repo: Network always
+// copy-guards its final output) must Clone explicitly.
+func (l *Dropout) Forward(in *tensor.Tensor) (*tensor.Tensor, error) { return in, nil }
+
+// Traits implements Layer: identity, elided from compiled plans.
+func (l *Dropout) Traits(in []int) (StepTraits, error) {
+	return StepTraits{InPlace: true, Identity: true}, nil
+}
+
+// ForwardCtx implements Layer.
+func (l *Dropout) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
+	if out != in {
+		copy(out.Data(), in.Data())
+	}
+	return nil
+}
 
 // FLOPs implements Layer.
 func (l *Dropout) FLOPs(in []int) (int64, error) { return 0, nil }
@@ -350,32 +402,43 @@ func (l *Softmax) OutputShape(in []int) ([]int, error) {
 	return out, nil
 }
 
-// Forward implements Layer.
+// Forward implements Layer via the standalone shim.
 func (l *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	out := in.Clone()
-	d := out.Data()
-	if len(d) == 0 {
-		return out, nil
+	return forwardStandalone(l, in)
+}
+
+// Traits implements Layer.
+func (l *Softmax) Traits(in []int) (StepTraits, error) {
+	return StepTraits{InPlace: true}, nil
+}
+
+// ForwardCtx implements Layer. Alias-safe: the max is taken before any
+// write, and each element is read before its slot is written.
+func (l *Softmax) ForwardCtx(_ *ExecContext, in, out *tensor.Tensor) error {
+	src := in.Data()
+	dst := out.Data()
+	if len(src) == 0 {
+		return nil
 	}
-	maxV := d[0]
-	for _, v := range d[1:] {
+	maxV := src[0]
+	for _, v := range src[1:] {
 		if v > maxV {
 			maxV = v
 		}
 	}
 	var sum float64
-	for i, v := range d {
+	for i, v := range src {
 		e := math.Exp(float64(v - maxV))
-		d[i] = float32(e)
+		dst[i] = float32(e)
 		sum += e
 	}
 	if sum > 0 {
 		inv := float32(1 / sum)
-		for i := range d {
-			d[i] *= inv
+		for i := range dst {
+			dst[i] *= inv
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FLOPs implements Layer.

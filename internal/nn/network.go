@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"websnap/internal/tensor"
 )
@@ -18,6 +19,21 @@ type Network struct {
 	name   string
 	layers []Layer
 	input  []int
+
+	// planMu guards plans, the compiled-execution cache keyed by layer
+	// range and input shape. Plans are immutable once stored, so lookups
+	// are cheap reads and Forward/ForwardRange/ForwardBatch are safe for
+	// concurrent use (the scheduler's batch path shares one plan).
+	planMu sync.RWMutex
+	plans  map[planKey]*ExecPlan
+}
+
+// planKey identifies a compiled plan: the layer range plus the input
+// shape, inlined into a comparable struct so cache hits allocate nothing.
+type planKey struct {
+	from, to int
+	rank     int
+	dims     [4]int
 }
 
 // NewNetwork assembles a network. The first layer must be an *Input, which
@@ -75,30 +91,95 @@ func (n *Network) OutputShape() ([]int, error) {
 	return cur, nil
 }
 
-// Forward runs the full forward execution on in.
+// Forward runs the full forward execution on in through the cached
+// execution plan for in's shape. The input is never mutated and the
+// result is always freshly allocated.
 func (n *Network) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return n.ForwardRange(in, 0, len(n.layers))
 }
 
 // ForwardRange executes layers [from, to) on in. from=0, to=NumLayers() is a
 // full forward pass; partial inference executes [0, k) on the client and
-// [k, NumLayers()) on the server.
+// [k, NumLayers()) on the server. Execution goes through a compiled plan
+// cached per (range, input shape); the first call for a shape compiles,
+// later calls reuse pooled buffers.
 func (n *Network) ForwardRange(in *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
+	p, err := n.planFor(in, from, to)
+	if err != nil {
+		return nil, err
+	}
+	return p.Forward(in)
+}
+
+// Plan returns the compiled execution plan for a full forward pass on the
+// given input shape, compiling and caching it on first use. Plans are
+// safe for concurrent use.
+func (n *Network) Plan(shape ...int) (*ExecPlan, error) {
+	return n.PlanRange(0, len(n.layers), shape...)
+}
+
+// PlanRange returns the compiled plan for layers [from, to) on the given
+// input shape, compiling and caching it on first use.
+func (n *Network) PlanRange(from, to int, shape ...int) (*ExecPlan, error) {
 	if from < 0 || to > len(n.layers) || from > to {
 		return nil, fmt.Errorf("%w: [%d, %d) of %d layers", ErrBadSplit, from, to, len(n.layers))
 	}
-	cur := in
-	var err error
-	for _, l := range n.layers[from:to] {
-		cur, err = l.Forward(cur)
-		if err != nil {
-			return nil, fmt.Errorf("network %q: layer %q: %w", n.name, l.Name(), err)
+	key, cacheable := n.planKeyFromShape(from, to, shape)
+	if cacheable {
+		n.planMu.RLock()
+		p := n.plans[key]
+		n.planMu.RUnlock()
+		if p != nil {
+			return p, nil
 		}
 	}
-	if cur == in {
-		cur = in.Clone()
+	p, err := newExecPlan(n.name, n.layers[from:to], shape)
+	if err != nil {
+		return nil, fmt.Errorf("network %q: %w", n.name, err)
 	}
-	return cur, nil
+	if cacheable {
+		n.planMu.Lock()
+		if n.plans == nil {
+			n.plans = make(map[planKey]*ExecPlan)
+		}
+		if exist := n.plans[key]; exist != nil {
+			p = exist // lost a compile race; keep the shared one
+		} else {
+			n.plans[key] = p
+		}
+		n.planMu.Unlock()
+	}
+	return p, nil
+}
+
+func (n *Network) planKeyFromShape(from, to int, shape []int) (planKey, bool) {
+	key := planKey{from: from, to: to, rank: len(shape)}
+	if len(shape) > len(key.dims) {
+		return key, false
+	}
+	copy(key.dims[:], shape)
+	return key, true
+}
+
+// planFor is PlanRange keyed straight off a tensor's dimensions, so cache
+// hits allocate nothing.
+func (n *Network) planFor(in *tensor.Tensor, from, to int) (*ExecPlan, error) {
+	if from < 0 || to > len(n.layers) || from > to {
+		return nil, fmt.Errorf("%w: [%d, %d) of %d layers", ErrBadSplit, from, to, len(n.layers))
+	}
+	if rank := in.Rank(); rank <= 4 {
+		key := planKey{from: from, to: to, rank: rank}
+		for i := 0; i < rank; i++ {
+			key.dims[i] = in.Dim(i)
+		}
+		n.planMu.RLock()
+		p := n.plans[key]
+		n.planMu.RUnlock()
+		if p != nil {
+			return p, nil
+		}
+	}
+	return n.PlanRange(from, to, in.Shape()...)
 }
 
 // ForwardBatch runs one forward pass over a batch of inputs, layer-major:
@@ -108,28 +189,36 @@ func (n *Network) ForwardRange(in *tensor.Tensor, from, to int) (*tensor.Tensor,
 // across the whole batch instead of being re-streamed per request, which is
 // where batched inference wins over running the samples back to back.
 // Results are bit-identical to per-sample Forward calls because each
-// sample's per-layer computation is unchanged.
+// sample's per-step computation is unchanged. Same-shaped batches (the
+// scheduler's case) share one cached plan; mixed shapes fall back to
+// per-sample forwards.
 func (n *Network) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if len(ins) == 0 {
 		return nil, fmt.Errorf("nn: network %q: empty batch", n.name)
 	}
-	cur := make([]*tensor.Tensor, len(ins))
-	copy(cur, ins)
-	for _, l := range n.layers {
-		for i, t := range cur {
-			out, err := l.Forward(t)
+	uniform := true
+	for _, t := range ins[1:] {
+		if !tensor.SameShape(t, ins[0]) {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		outs := make([]*tensor.Tensor, len(ins))
+		for i, t := range ins {
+			out, err := n.Forward(t)
 			if err != nil {
-				return nil, fmt.Errorf("network %q: layer %q (batch member %d): %w", n.name, l.Name(), i, err)
+				return nil, fmt.Errorf("batch member %d: %w", i, err)
 			}
-			cur[i] = out
+			outs[i] = out
 		}
+		return outs, nil
 	}
-	for i := range cur {
-		if cur[i] == ins[i] {
-			cur[i] = ins[i].Clone()
-		}
+	p, err := n.planFor(ins[0], 0, len(n.layers))
+	if err != nil {
+		return nil, err
 	}
-	return cur, nil
+	return p.ForwardBatch(ins)
 }
 
 // LayerInfo describes one layer's static properties at its position in the

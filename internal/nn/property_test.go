@@ -220,3 +220,26 @@ func TestPropertyRandomNetworks(t *testing.T) {
 		}
 	}
 }
+
+// TestPropertyPlannedMatchesReference drives randomly generated
+// architectures through the planned execution engine and checks every
+// output element against the naive per-layer reference implementations
+// (engine_test.go) within 1e-6. This is the property-level half of the
+// golden equivalence suite: where TestEngineMatchesReferenceLayers pins
+// each layer type in isolation, this covers arbitrary compositions and
+// the buffer/in-place assignment decisions they induce.
+func TestPropertyPlannedMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		net := randomNetwork(t, seed)
+		in := randomInput(net, seed)
+
+		want := refNetForward(t, net, in)
+		got, err := net.Forward(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if d := maxAbsDiff(want, got); d > 1e-6 {
+			t.Fatalf("seed %d: planned engine diverges from reference by %g", seed, d)
+		}
+	}
+}

@@ -168,7 +168,12 @@ func (d *Delta) Apply(base *Snapshot) (*Snapshot, error) {
 //	__dispatch({...});
 func (d *Delta) Encode() ([]byte, error) {
 	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
+	hint := len(deltaHeader) + 1 + len(d.AppID) + len(d.CodeHash) + len(d.BaseHash) + 96
+	for name, v := range d.SetGlobals {
+		hint += len(name) + 12 + wireSizeHint(v)
+	}
+	buf.Grow(hint)
+	w := &buf
 	fmt.Fprintln(w, deltaHeader)
 	if err := writeVar(w, "__appID", d.AppID); err != nil {
 		return nil, err
@@ -218,9 +223,6 @@ func (d *Delta) Encode() ([]byte, error) {
 			return nil, err
 		}
 		fmt.Fprintf(w, "__dispatch(%s);\n", enc)
-	}
-	if err := w.Flush(); err != nil {
-		return nil, err
 	}
 	return buf.Bytes(), nil
 }

@@ -35,9 +35,14 @@ const f32Key = "__f32__"
 //
 // Running the snapshot (Restore) rebuilds exactly this state and
 // re-dispatches the pending events.
+//
+// The encoder writes directly into one bytes.Buffer pre-sized from the
+// model blob and feature-array sizes, so a snapshot dominated by weights
+// is assembled in a single allocation with no intermediate buffering.
 func (s *Snapshot) Encode() ([]byte, error) {
 	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
+	buf.Grow(s.encodedSizeHint())
+	w := &buf
 	fmt.Fprintln(w, header)
 	if err := writeVar(w, "__appID", s.AppID); err != nil {
 		return nil, err
@@ -88,10 +93,52 @@ func (s *Snapshot) Encode() ([]byte, error) {
 		}
 		fmt.Fprintf(w, "__dispatch(%s);\n", enc)
 	}
-	if err := w.Flush(); err != nil {
-		return nil, err
-	}
 	return buf.Bytes(), nil
+}
+
+// encodedSizeHint estimates the encoded snapshot size so Encode can
+// reserve the buffer up front. The dominant terms — base64 model weights
+// and textual Float32Array features — are computed exactly or nearly so;
+// structural framing is a rough floor (Grow tolerates underestimates, a
+// short tail just appends normally).
+func (s *Snapshot) encodedSizeHint() int {
+	n := len(header) + 1
+	n += len(s.AppID) + len(s.CodeHash) + 2*len(`var __codeHash = "";`+"\n")
+	for _, ms := range s.Models {
+		n += len(`__model(, , "");`+"\n") + len(ms.Name) + 2
+		n += base64.StdEncoding.EncodedLen(len(ms.Weights))
+		n += 512 // serialized layer spec
+	}
+	for name, v := range s.Globals {
+		n += len(`var  = ;`+"\n") + len(name) + wireSizeHint(v)
+	}
+	n += 256 // __dom / __bind / __dispatch framing floor
+	return n
+}
+
+// wireSizeHint estimates the JSON-encoded size of a captured value.
+func wireSizeHint(v webapp.Value) int {
+	switch t := v.(type) {
+	case webapp.Float32Array:
+		// {"__f32__":[...]} with ~12 digits plus separator per float.
+		return len(f32Key) + 6 + 13*len(t)
+	case []webapp.Value:
+		n := 2
+		for _, e := range t {
+			n += wireSizeHint(e) + 1
+		}
+		return n
+	case map[string]webapp.Value:
+		n := 2
+		for k, e := range t {
+			n += len(k) + 4 + wireSizeHint(e)
+		}
+		return n
+	case string:
+		return len(t) + 2
+	default:
+		return 8
+	}
 }
 
 // Decode parses a textual snapshot produced by Encode.
@@ -241,7 +288,7 @@ func (s *Snapshot) decodeModel(line string) error {
 }
 
 // writeVar emits `var name = "<json string>";`.
-func writeVar(w *bufio.Writer, name, value string) error {
+func writeVar(w *bytes.Buffer, name, value string) error {
 	enc, err := json.Marshal(value)
 	if err != nil {
 		return err

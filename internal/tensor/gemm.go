@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelFLOPs is the multiply-add count above which Gemm fans row
+// blocks out across CPUs. Below it the goroutine hand-off costs more than
+// it saves. The value matches the convolution engine's historical
+// parallel threshold so algorithm choices stay comparable across layers.
+const gemmParallelFLOPs = 4 << 20
+
+// Gemm computes dst = a·b (+ bias), the one matrix kernel every dense
+// layer in the engine routes through: a is m×k, b is k×n, dst is m×n,
+// all row-major float32. bias, when non-nil, has length m and seeds each
+// output row (dst[i][j] starts at bias[i]); a nil bias seeds rows with
+// zero. dst is fully overwritten.
+//
+// The kernel is blocked four output rows at a time so each streamed row
+// of b is reused from registers, and row blocks are fanned out across
+// CPUs when the problem is large enough to amortize the goroutines.
+// Determinism contract: for every output element the accumulation order
+// is strictly increasing in k, independent of blocking and worker count,
+// so results are bit-identical across machines, GOMAXPROCS settings, and
+// the n==1 vector fast path.
+func Gemm(dst, a, b, bias []float32, m, k, n int) {
+	if m <= 0 || n <= 0 {
+		return
+	}
+	workers := 1
+	if flops := 2 * int64(m) * int64(k) * int64(n); flops > gemmParallelFLOPs {
+		workers = runtime.GOMAXPROCS(0)
+		if mx := (m + 3) / 4; workers > mx {
+			workers = mx
+		}
+	}
+	if workers <= 1 {
+		gemmRows(dst, a, b, bias, k, n, 0, m)
+		return
+	}
+	// Chunks are 4-row aligned so every full block stays on the fast
+	// 4-row path; each worker owns a disjoint row range of dst.
+	chunk := ((m+workers-1)/workers + 3) &^ 3
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(dst, a, b, bias, k, n, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows computes output rows [lo, hi).
+func gemmRows(dst, a, b, bias []float32, k, n, lo, hi int) {
+	if n == 1 {
+		gemvRows(dst, a, b, bias, k, lo, hi)
+		return
+	}
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		gemm4(dst, a, b, bias, k, n, i)
+	}
+	for ; i < hi; i++ {
+		gemm1(dst, a, b, bias, k, n, i)
+	}
+}
+
+// gemm4 computes four adjacent output rows at once: each row of b is
+// loaded once and applied to four accumulator rows, quartering the
+// memory traffic of the row-at-a-time kernel.
+func gemm4(dst, a, b, bias []float32, k, n, i int) {
+	r0 := dst[(i+0)*n : (i+0)*n+n]
+	r1 := dst[(i+1)*n : (i+1)*n+n]
+	r2 := dst[(i+2)*n : (i+2)*n+n]
+	r3 := dst[(i+3)*n : (i+3)*n+n]
+	var s0, s1, s2, s3 float32
+	if bias != nil {
+		s0, s1, s2, s3 = bias[i], bias[i+1], bias[i+2], bias[i+3]
+	}
+	for j := range r0 {
+		r0[j] = s0
+		r1[j] = s1
+		r2[j] = s2
+		r3[j] = s3
+	}
+	a0 := a[(i+0)*k : (i+0)*k+k]
+	a1 := a[(i+1)*k : (i+1)*k+k]
+	a2 := a[(i+2)*k : (i+2)*k+k]
+	a3 := a[(i+3)*k : (i+3)*k+k]
+	for kk := 0; kk < k; kk++ {
+		brow := b[kk*n : kk*n+n]
+		c0, c1, c2, c3 := a0[kk], a1[kk], a2[kk], a3[kk]
+		for j, v := range brow {
+			r0[j] += c0 * v
+			r1[j] += c1 * v
+			r2[j] += c2 * v
+			r3[j] += c3 * v
+		}
+	}
+}
+
+// gemm1 computes one output row (the <4-row remainder path).
+func gemm1(dst, a, b, bias []float32, k, n, i int) {
+	row := dst[i*n : i*n+n]
+	var s float32
+	if bias != nil {
+		s = bias[i]
+	}
+	for j := range row {
+		row[j] = s
+	}
+	arow := a[i*k : i*k+k]
+	for kk := 0; kk < k; kk++ {
+		c := arow[kk]
+		brow := b[kk*n : kk*n+n]
+		for j, v := range brow {
+			row[j] += c * v
+		}
+	}
+}
+
+// gemvRows is the n==1 fast path: dst[o] = bias[o] + a[o]·x, a plain dot
+// product per output row with no per-column loop overhead.
+func gemvRows(dst, a, x, bias []float32, k, lo, hi int) {
+	x = x[:k]
+	for o := lo; o < hi; o++ {
+		row := a[o*k : o*k+k]
+		var sum float32
+		if bias != nil {
+			sum = bias[o]
+		}
+		for i, v := range x {
+			sum += v * row[i]
+		}
+		dst[o] = sum
+	}
+}

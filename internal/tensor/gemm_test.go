@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"runtime"
+	"testing"
+)
+
+// naiveGemm is the straightforward triple loop the blocked kernel must
+// match: dst[i][j] = bias[i] + Σ_kk a[i][kk]·b[kk][j], accumulated in
+// kk-increasing order (the engine's determinism contract).
+func naiveGemm(dst, a, b, bias []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		row := dst[i*n : (i+1)*n]
+		for j := range row {
+			if bias != nil {
+				row[j] = bias[i]
+			} else {
+				row[j] = 0
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			c := a[i*k+kk]
+			brow := b[kk*n : (kk+1)*n]
+			for j, v := range brow {
+				row[j] += c * v
+			}
+		}
+	}
+}
+
+func fillSeq(s []float32, seed uint64) {
+	for i := range s {
+		seed ^= seed >> 12
+		seed ^= seed << 25
+		seed ^= seed >> 27
+		s[i] = float32(seed%2000)/1000 - 1
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{1, 64, 1},    // gemv path
+		{7, 33, 1},    // gemv with odd sizes
+		{4, 16, 8},    // exact 4-row blocks
+		{5, 16, 8},    // 4-row block + 1 remainder
+		{6, 7, 9},     // 4 + 2 remainder, odd dims
+		{3, 128, 17},  // pure remainder rows
+		{64, 128, 96}, // big enough to matter
+	}
+	for _, tc := range cases {
+		a := make([]float32, tc.m*tc.k)
+		b := make([]float32, tc.k*tc.n)
+		bias := make([]float32, tc.m)
+		fillSeq(a, uint64(tc.m*1000+tc.k))
+		fillSeq(b, uint64(tc.k*1000+tc.n))
+		fillSeq(bias, uint64(tc.n))
+		for _, withBias := range []bool{true, false} {
+			bs := bias
+			if !withBias {
+				bs = nil
+			}
+			want := make([]float32, tc.m*tc.n)
+			got := make([]float32, tc.m*tc.n)
+			naiveGemm(want, a, b, bs, tc.m, tc.k, tc.n)
+			Gemm(got, a, b, bs, tc.m, tc.k, tc.n)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("m=%d k=%d n=%d bias=%v: dst[%d] = %g, want %g (must be bit-identical)",
+						tc.m, tc.k, tc.n, withBias, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmDeterministicAcrossWorkers pins that a GEMM large enough to
+// parallelize produces bit-identical output regardless of GOMAXPROCS:
+// row partitioning must never change per-element accumulation order.
+func TestGemmDeterministicAcrossWorkers(t *testing.T) {
+	const m, k, n = 96, 144, 200 // 2·m·k·n ≈ 5.5M FLOPs > gemmParallelFLOPs
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	bias := make([]float32, m)
+	fillSeq(a, 1)
+	fillSeq(b, 2)
+	fillSeq(bias, 3)
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	want := make([]float32, m*n)
+	Gemm(want, a, b, bias, m, k, n)
+
+	for _, procs := range []int{2, 4, 7} {
+		runtime.GOMAXPROCS(procs)
+		got := make([]float32, m*n)
+		Gemm(got, a, b, bias, m, k, n)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("GOMAXPROCS=%d: dst[%d] = %g, want %g", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBufPoolRoundTrip(t *testing.T) {
+	b := GetBuf(1000)
+	if len(b) != 1000 {
+		t.Fatalf("GetBuf(1000) returned len %d", len(b))
+	}
+	if cap(b) != 1024 {
+		t.Fatalf("GetBuf(1000) returned cap %d, want power-of-two 1024", cap(b))
+	}
+	PutBuf(b)
+	b2 := GetBuf(1024)
+	if cap(b2) != 1024 {
+		t.Fatalf("GetBuf(1024) returned cap %d", cap(b2))
+	}
+	PutBuf(b2)
+	// Zero and odd-capacity slices must not poison the pool.
+	PutBuf(nil)
+	PutBuf(make([]float32, 3))
+	if got := GetBuf(1); len(got) != 1 {
+		t.Fatalf("GetBuf(1) returned len %d", len(got))
+	}
+}
+
+func benchmarkGemm(b *testing.B, m, k, n int) {
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	bias := make([]float32, m)
+	dst := make([]float32, m*n)
+	fillSeq(a, 1)
+	fillSeq(bb, 2)
+	fillSeq(bias, 3)
+	b.ReportAllocs()
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(dst, a, bb, bias, m, k, n)
+	}
+}
+
+func BenchmarkGemmSmall(b *testing.B)  { benchmarkGemm(b, 32, 64, 64) }    // below parallel cutoff
+func BenchmarkGemmMedium(b *testing.B) { benchmarkGemm(b, 128, 256, 196) } // conv-like column GEMM
+func BenchmarkGemmLarge(b *testing.B)  { benchmarkGemm(b, 256, 512, 512) } // parallel path
+func BenchmarkGemv(b *testing.B)       { benchmarkGemm(b, 1024, 1024, 1) } // FC path

@@ -1,0 +1,44 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// bufPools recycles float32 scratch buffers in power-of-two size classes.
+// Index i holds buffers of capacity exactly 1<<i. The execution engine
+// allocates its arenas (ping-pong intermediates, im2col scratch) through
+// this pool so steady-state inference performs no large allocations.
+var bufPools [33]sync.Pool
+
+// GetBuf returns a float32 buffer with len n from the pool, allocating a
+// power-of-two-capacity slice when the pool is empty. Contents are
+// unspecified — callers that rely on zeroing must clear it themselves.
+// Return the buffer with PutBuf when done.
+func GetBuf(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1))
+	if class >= len(bufPools) {
+		return make([]float32, n)
+	}
+	if v := bufPools[class].Get(); v != nil {
+		return v.([]float32)[:n]
+	}
+	return make([]float32, n, 1<<class)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. Buffers whose capacity
+// is not an exact power of two (not pool-allocated) are dropped.
+func PutBuf(s []float32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class >= len(bufPools) {
+		return
+	}
+	bufPools[class].Put(s[:c]) //nolint:staticcheck // slice header, not pointer: the value is small
+}
