@@ -1,0 +1,291 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"websnap/internal/netem"
+)
+
+// pipePair returns the two ends of an in-memory connection, the chaos end
+// wrapped with the given plan.
+func pipePair(t *testing.T, p Plan) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewConn(a, p), b
+}
+
+// readAll drains peer until EOF/error in the background.
+func readAllAsync(peer net.Conn) <-chan []byte {
+	ch := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(peer)
+		ch <- data
+	}()
+	return ch
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	// Identical (seed, opts) must yield identical plan sequences; a
+	// different seed must diverge.
+	a := New(42, Options{})
+	b := New(42, Options{})
+	c := New(43, Options{})
+	dummy := func() net.Conn { p1, p2 := net.Pipe(); p2.Close(); return p1 }
+	for i := 0; i < 50; i++ {
+		a.WrapConn(dummy())
+		b.WrapConn(dummy())
+		c.WrapConn(dummy())
+	}
+	pa, pb, pc := a.Plans(), b.Plans(), c.Plans()
+	same := 0
+	for i := range pa {
+		if pa[i].String() != pb[i].String() {
+			t.Fatalf("plan %d diverged under one seed:\n  %s\n  %s", i, pa[i], pb[i])
+		}
+		if pa[i].String() == pc[i].String() {
+			same++
+		}
+	}
+	if same == len(pa) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanIndependentOfEarlierDraws(t *testing.T) {
+	// Plan k is a pure function of (seed, k): wrapping 10 conns then
+	// inspecting plan 9 must equal generating plan 9 directly.
+	in := New(7, Options{})
+	dummy := func() net.Conn { p1, p2 := net.Pipe(); p2.Close(); return p1 }
+	for i := 0; i < 10; i++ {
+		in.WrapConn(dummy())
+	}
+	got := in.Plans()[9]
+	rng := rand.New(rand.NewSource(connSeed(7, 9)))
+	want := GenPlan(rng, 9, Options{})
+	// WrapConn rewrites Refuse into a reset fault; normalize the same way.
+	if want.Refuse {
+		want.Faults = []Fault{{Kind: FaultReset, Dir: DirWrite, Offset: 0}}
+		want.Refuse = false
+	}
+	if got.String() != want.String() {
+		t.Errorf("plan 9 = %s, want %s", got, want)
+	}
+}
+
+func TestWriteCorruptionAtOffset(t *testing.T) {
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultCorrupt, Dir: DirWrite, Offset: 3, Mask: 0xFF},
+	}})
+	got := readAllAsync(peer)
+	msg := []byte("hello world")
+	if _, err := cc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	cc.Close()
+	data := <-got
+	want := append([]byte(nil), msg...)
+	want[3] ^= 0xFF
+	if !bytes.Equal(data, want) {
+		t.Errorf("peer received %q, want %q", data, want)
+	}
+}
+
+func TestWriteResetMidBuffer(t *testing.T) {
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultReset, Dir: DirWrite, Offset: 5},
+	}})
+	got := readAllAsync(peer)
+	n, err := cc.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 5 {
+		t.Errorf("reported %d bytes written, want 5", n)
+	}
+	if data := <-got; !bytes.Equal(data, []byte("01234")) {
+		t.Errorf("peer received %q, want %q", data, "01234")
+	}
+	// The conn is dead: further writes fail.
+	if _, err := cc.Write([]byte("x")); err == nil {
+		t.Error("write after reset should fail")
+	}
+}
+
+func TestWriteTruncationReportsSuccess(t *testing.T) {
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultTruncate, Dir: DirWrite, Offset: 4},
+	}})
+	got := readAllAsync(peer)
+	n, err := cc.Write([]byte("0123456789"))
+	if err != nil || n != 10 {
+		t.Fatalf("truncated write = (%d, %v), want silent success (10, nil)", n, err)
+	}
+	if data := <-got; !bytes.Equal(data, []byte("0123")) {
+		t.Errorf("peer received %q, want %q", data, "0123")
+	}
+}
+
+func TestWriteDuplicateDelivery(t *testing.T) {
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultDuplicate, Dir: DirWrite, Offset: 4, Dup: 2},
+	}})
+	got := readAllAsync(peer)
+	if _, err := cc.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	cc.Close()
+	if data := <-got; !bytes.Equal(data, []byte("abcdcdef")) {
+		t.Errorf("peer received %q, want %q", data, "abcdcdef")
+	}
+}
+
+func TestReadCorruptionAndReset(t *testing.T) {
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultCorrupt, Dir: DirRead, Offset: 1, Mask: 0x01},
+		{Kind: FaultReset, Dir: DirRead, Offset: 4},
+	}})
+	go func() {
+		peer.Write([]byte("abcdefgh"))
+	}()
+	buf := make([]byte, 16)
+	var recv []byte
+	var err error
+	for {
+		var n int
+		n, err = cc.Read(buf)
+		recv = append(recv, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInjected) && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("read err = %v, want injected/EOF/closed", err)
+	}
+	want := []byte("a\x63cd") // 'b' ^ 0x01 = 'c'
+	if !bytes.Equal(recv, want) {
+		t.Errorf("received %q, want %q (clean prefix up to reset)", recv, want)
+	}
+}
+
+func TestStallDelaysDelivery(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	cc, peer := pipePair(t, Plan{Faults: []Fault{
+		{Kind: FaultStall, Dir: DirWrite, Offset: 2, Delay: delay},
+	}})
+	got := readAllAsync(peer)
+	start := time.Now()
+	if _, err := cc.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("write returned after %v, want >= %v stall", elapsed, delay)
+	}
+	cc.Close()
+	if data := <-got; !bytes.Equal(data, []byte("abcd")) {
+		t.Errorf("peer received %q, want %q", data, "abcd")
+	}
+}
+
+func TestShapingPhasesPaceWrites(t *testing.T) {
+	// 8 kbit/s: 100 bytes take 100ms; the second phase at offset 100 is
+	// effectively unlimited, so the tail is fast.
+	cc, peer := pipePair(t, Plan{Phases: []Phase{
+		{Offset: 0, Profile: netem.Profile{BandwidthBitsPerSec: 8e3}},
+		{Offset: 100, Profile: netem.Profile{BandwidthBitsPerSec: 8e9}},
+	}})
+	got := readAllAsync(peer)
+	start := time.Now()
+	if _, err := cc.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	start = time.Now()
+	if _, err := cc.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+	cc.Close()
+	<-got
+	if slow < 50*time.Millisecond {
+		t.Errorf("phase-1 write took %v, want >= 50ms of pacing", slow)
+	}
+	if fast > slow/2 {
+		t.Errorf("phase-2 write took %v, want well under phase-1's %v", fast, slow)
+	}
+}
+
+func TestListenerRefusal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// RefuseProb 1: every accept closes the conn and keeps listening.
+	in := New(1, Options{RefuseProb: 1})
+	wrapped := in.WrapListener(ln)
+	accepted := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Accept()
+		accepted <- err
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Error("refused conn delivered data")
+		}
+		c.Close()
+	}
+	select {
+	case err := <-accepted:
+		t.Fatalf("Accept returned (%v) despite refusal plans", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	ln.Close()
+	if err := <-accepted; err == nil {
+		t.Error("Accept on closed listener should error")
+	}
+}
+
+// TestFaultScheduleChunkingIndependence pins the offset-based trigger
+// contract: the same plan fires the same corruption regardless of how the
+// writer chunks its calls.
+func TestFaultScheduleChunkingIndependence(t *testing.T) {
+	plan := Plan{Faults: []Fault{
+		{Kind: FaultCorrupt, Dir: DirWrite, Offset: 7, Mask: 0xA5},
+		{Kind: FaultCorrupt, Dir: DirWrite, Offset: 13, Mask: 0x5A},
+	}}
+	msg := []byte("the quick brown fox")
+	deliver := func(chunks ...[]byte) []byte {
+		cc, peer := pipePair(t, plan)
+		got := readAllAsync(peer)
+		for _, ch := range chunks {
+			if _, err := cc.Write(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cc.Close()
+		return <-got
+	}
+	whole := deliver(msg)
+	split := deliver(msg[:3], msg[3:9], msg[9:])
+	if !bytes.Equal(whole, split) {
+		t.Errorf("chunking changed the faulted stream:\n  whole %q\n  split %q", whole, split)
+	}
+	want := append([]byte(nil), msg...)
+	want[7] ^= 0xA5
+	want[13] ^= 0x5A
+	if !bytes.Equal(whole, want) {
+		t.Errorf("delivered %q, want %q", whole, want)
+	}
+}

@@ -51,6 +51,10 @@ type Conn struct {
 	// addr is the dialed address; empty for Conns wrapped around an
 	// existing net.Conn, which cannot Redial.
 	addr string
+	// wrap, when set, decorates every dialed socket (netem shaping, chaos
+	// injection); applying it inside Redial keeps the decoration across
+	// reconnects.
+	wrap func(net.Conn) net.Conn
 	// broken marks a desynced frame stream (see ErrConnBroken).
 	broken bool
 
@@ -100,12 +104,25 @@ func NewConn(rw net.Conn) *Conn {
 // Dial connects to an edge server at addr over TCP. The Conn remembers the
 // address, so a broken connection can be re-established with Redial.
 func Dial(addr string) (*Conn, error) {
+	return DialWrapped(addr, nil)
+}
+
+// DialWrapped connects like Dial but passes every dialed socket through
+// wrap (netem shaping, fault injection) before framing. Unlike wrapping the
+// socket yourself and using NewConn, the decoration survives Redial: each
+// reconnect dials raw TCP and re-applies wrap to the fresh socket. A nil
+// wrap is identity.
+func DialWrapped(addr string, wrap func(net.Conn) net.Conn) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
+	if wrap != nil {
+		c = wrap(c)
+	}
 	conn := NewConn(c)
 	conn.addr = addr
+	conn.wrap = wrap
 	return conn, nil
 }
 
@@ -129,6 +146,14 @@ func (c *Conn) Broken() bool {
 	return c.broken
 }
 
+// markBroken flags the frame stream as desynced outside roundTrip (e.g. a
+// response whose Seq belongs to a different request).
+func (c *Conn) markBroken() {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+}
+
 // Redial re-establishes a dialed connection in place: the old socket is
 // closed, a fresh one replaces it, and the broken mark is cleared. Conns
 // wrapped around an existing net.Conn (NewConn) cannot redial. The server's
@@ -143,6 +168,9 @@ func (c *Conn) Redial() error {
 	fresh, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	if c.wrap != nil {
+		fresh = c.wrap(fresh)
 	}
 	c.rw.Close() //nolint:errcheck // the old socket is already suspect
 	c.rw = fresh
@@ -228,7 +256,8 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 	}
 	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
 		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
-		Hints: protocol.HintLoadV1,
+		Hints:   protocol.HintCRCV1,
+		BodyCRC: protocol.BodyChecksum(weights.Bytes()),
 	}, weights.Bytes())
 	if err != nil {
 		return err
@@ -310,7 +339,8 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 	}
 	req, err := protocol.Encode(reqType, protocol.SnapshotHeader{
 		AppID: appID, Seq: seq, Encoding: encoding,
-		Hints: protocol.HintTraceV1, TraceID: reply.TraceID,
+		Hints: protocol.HintCRCV1, TraceID: reply.TraceID,
+		BodyCRC: protocol.BodyChecksum(body),
 	}, body)
 	if err != nil {
 		return reply, err
@@ -327,6 +357,18 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 	var hdr protocol.SnapshotHeader
 	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
 		return reply, err
+	}
+	if hdr.Seq != seq {
+		// A response for a different request means the frame stream has
+		// slipped (a stale response from before a fault); nothing read from
+		// this socket can be trusted anymore.
+		c.markBroken()
+		return reply, fmt.Errorf("%w: response seq %d for request %d", ErrConnBroken, hdr.Seq, seq)
+	}
+	if err := protocol.VerifyBody(resp.Body, hdr.BodyCRC); err != nil {
+		// The frame itself was complete — the stream is still aligned — so
+		// the connection stays usable; only this result is poisoned.
+		return reply, fmt.Errorf("client: %s result: %w", reqType, err)
 	}
 	c.noteLoad(hdr.Load)
 	reply.ServerTrace = hdr.ServerTrace

@@ -7,6 +7,7 @@ import (
 
 	"websnap/internal/edge"
 	"websnap/internal/mlapp"
+	"websnap/internal/testutil"
 	"websnap/internal/trace"
 	"websnap/internal/vmsynth"
 	"websnap/internal/webapp"
@@ -82,6 +83,7 @@ func classifyOnce(t *testing.T, off *Offloader, app *webapp.App, seed uint64) st
 }
 
 func TestOffloadEndToEndInPackage(t *testing.T) {
+	testutil.LeakCheck(t)
 	addr := startEdge(t, edge.Config{Installed: true})
 	conn := dialEdge(t, addr)
 	off, app := newOffloadedApp(t, conn, Options{
@@ -104,6 +106,7 @@ func TestOffloadEndToEndInPackage(t *testing.T) {
 }
 
 func TestOffloadDeltaInPackage(t *testing.T) {
+	testutil.LeakCheck(t)
 	addr := startEdge(t, edge.Config{Installed: true})
 	conn := dialEdge(t, addr)
 	off, app := newOffloadedApp(t, conn, Options{EnableDelta: true})

@@ -12,6 +12,7 @@ import (
 	"websnap/internal/client"
 	"websnap/internal/mlapp"
 	"websnap/internal/netem"
+	"websnap/internal/testutil"
 	"websnap/internal/webapp"
 )
 
@@ -32,6 +33,7 @@ func shapedDial(t *testing.T, addr string, p netem.Profile) *client.Conn {
 // small scheduler pool. Every client must get its own result back — none
 // lost, none swapped with another session's.
 func TestConcurrentOffloadsShapedNetwork(t *testing.T) {
+	testutil.LeakCheck(t)
 	srv, addr := startServer(t, Config{
 		Installed:  true,
 		Workers:    2,
@@ -118,6 +120,7 @@ func TestConcurrentOffloadsShapedNetwork(t *testing.T) {
 // batched forward passes (a single worker plus a batch window makes the
 // queue build up), and that batching never corrupts per-session results.
 func TestSchedulerBatchesConcurrentSessions(t *testing.T) {
+	testutil.LeakCheck(t)
 	srv, addr := startServer(t, Config{
 		Installed:   true,
 		Workers:     1,
@@ -229,6 +232,7 @@ func slowOffloader(t *testing.T, reg *webapp.Registry, addr, id string, fallback
 // and deliver its result, the queued one must be cancelled with an Error
 // frame (not a dropped connection), and no goroutines may leak.
 func TestShutdownDrainsScheduledSessions(t *testing.T) {
+	testutil.LeakCheck(t)
 	baseline := runtime.NumGoroutine()
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
@@ -291,6 +295,7 @@ func TestShutdownDrainsScheduledSessions(t *testing.T) {
 // with an overload Error frame and the client must finish the event
 // locally.
 func TestQueueFullRejectsAndClientFallsBack(t *testing.T) {
+	testutil.LeakCheck(t)
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
 	cat, reg := slowCatalog(t, started, release)

@@ -715,6 +715,9 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
+	if err := protocol.VerifyBody(msg.Body, hdr.BodyCRC); err != nil {
+		return protocol.Message{}, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
+	}
 	net, err := nn.DecodeSpec(hdr.Spec)
 	if err != nil {
 		return protocol.Message{}, fmt.Errorf("model %q: %w", hdr.ModelName, err)
@@ -993,6 +996,9 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
+	if err := protocol.VerifyBody(msg.Body, hdr.BodyCRC); err != nil {
+		return protocol.Message{}, err
+	}
 	decodeStart := time.Now()
 	plain, err := protocol.DecodeBody(msg.Body, hdr.Encoding)
 	if err != nil {
@@ -1033,6 +1039,9 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 	hdr := protocol.SnapshotHeader{
 		AppID: appID, Seq: req.Seq, Encoding: encoding,
 		Load: s.hintFor(req.Hints),
+	}
+	if req.Hints >= protocol.HintCRCV1 {
+		hdr.BodyCRC = protocol.BodyChecksum(body)
 	}
 	if tm != nil {
 		encode := time.Since(tm.encodeStart)
@@ -1097,6 +1106,9 @@ func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, error) {
 	var hdr protocol.SnapshotHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	if err := protocol.VerifyBody(msg.Body, hdr.BodyCRC); err != nil {
 		return protocol.Message{}, err
 	}
 	decodeStart := time.Now()

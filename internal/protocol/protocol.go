@@ -14,10 +14,12 @@
 package protocol
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
@@ -102,7 +104,34 @@ var (
 	ErrBadVersion  = errors.New("protocol: unsupported version")
 	ErrTooLarge    = errors.New("protocol: message exceeds size limit")
 	ErrUnknownType = errors.New("protocol: unknown message type")
+	// ErrChecksum marks a body whose content does not match the checksum
+	// its header carries: the frame arrived complete but corrupted, so the
+	// payload must not be trusted (and must never be executed or applied).
+	ErrChecksum = errors.New("protocol: body checksum mismatch")
 )
+
+// crcTable is the Castagnoli polynomial table used for body checksums
+// (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// BodyChecksum returns the integrity checksum senders attach to snapshot
+// and model bodies (over the wire bytes, i.e. after any compression).
+func BodyChecksum(body []byte) uint32 {
+	return crc32.Checksum(body, crcTable)
+}
+
+// VerifyBody checks body against the checksum a header carried. A zero
+// sum means the peer predates the integrity extension (or the body is
+// empty) and no check applies.
+func VerifyBody(body []byte, sum uint32) error {
+	if sum == 0 {
+		return nil
+	}
+	if got := BodyChecksum(body); got != sum {
+		return fmt.Errorf("%w: got %#08x, header says %#08x", ErrChecksum, got, sum)
+	}
+	return nil
+}
 
 // Extension versions. Requests advertise the highest version they
 // understand in their header's Hints field; each version implies all lower
@@ -119,6 +148,12 @@ const (
 	// carrying its per-stage span durations, letting the client merge
 	// server-side spans into the offload's end-to-end trace.
 	HintTraceV1 = 2
+	// HintCRCV1 gates the body-integrity extension: requests always MAY
+	// carry a BodyCRC (receivers verify whenever the field is non-zero),
+	// and servers attach a BodyCRC to responses only for clients that
+	// advertised at least this version, keeping old-client response
+	// headers byte-identical.
+	HintCRCV1 = 3
 )
 
 // LoadHint is the edge server's advertised scheduling load, attached to
@@ -188,6 +223,9 @@ type ModelPreSendHeader struct {
 	Partial bool `json:"partial,omitempty"`
 	// Hints advertises the extension versions the sender understands.
 	Hints int `json:"hints,omitempty"`
+	// BodyCRC is the weight blob's integrity checksum (BodyChecksum);
+	// zero means unchecked (old peer or empty body).
+	BodyCRC uint32 `json:"bodyCrc,omitempty"`
 }
 
 // AckHeader is the JSON header of MsgAck.
@@ -214,6 +252,11 @@ type SnapshotHeader struct {
 	// stamped when the client advertises HintTraceV1). Servers that
 	// predate the extension ignore it.
 	TraceID string `json:"traceId,omitempty"`
+	// BodyCRC is the body's integrity checksum over the wire bytes (after
+	// compression). Receivers verify whenever it is non-zero; zero means
+	// unchecked. Servers attach it to responses only when the request
+	// advertised HintCRCV1.
+	BodyCRC uint32 `json:"bodyCrc,omitempty"`
 	// Load is the server's scheduling load (response direction only;
 	// present only when the request advertised HintLoadV1).
 	Load *LoadHint `json:"load,omitempty"`
@@ -328,11 +371,35 @@ func Read(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, msg.Header); err != nil {
 		return Message{}, fmt.Errorf("protocol: read header: %w", err)
 	}
-	msg.Body = make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, msg.Body); err != nil {
+	body, err := readBody(r, bodyLen)
+	if err != nil {
 		return Message{}, fmt.Errorf("protocol: read body: %w", err)
 	}
+	msg.Body = body
 	return msg, nil
+}
+
+// readBody reads exactly n body bytes without trusting n for the initial
+// allocation: a corrupted length prefix claiming up to MaxBodyLen (1 GiB)
+// must not allocate that much before the stream proves it actually carries
+// the bytes. Allocation grows with the data actually read, chunk by chunk.
+func readBody(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // Encode builds a Message from a header struct and body.

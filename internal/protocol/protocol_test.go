@@ -2,10 +2,12 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"io"
 	"net"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -248,5 +250,76 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestBodyChecksumVerify(t *testing.T) {
+	body := []byte("var feature = [0.1,0.2];")
+	sum := BodyChecksum(body)
+	if sum == 0 {
+		t.Fatal("checksum of non-empty body should be non-zero")
+	}
+	if err := VerifyBody(body, sum); err != nil {
+		t.Errorf("matching checksum rejected: %v", err)
+	}
+	// Zero sum means "unchecked" (old peer): always passes.
+	if err := VerifyBody(body, 0); err != nil {
+		t.Errorf("zero checksum must be skipped: %v", err)
+	}
+	corrupted := append([]byte(nil), body...)
+	corrupted[5] ^= 0x40
+	err := VerifyBody(corrupted, sum)
+	if !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+// TestReadHugeClaimedBodyBoundedAlloc is a regression test: a frame header
+// whose corrupted length prefix claims a body near MaxBodyLen (1 GiB) but
+// whose stream ends after a few bytes must fail with a truncation error
+// WITHOUT allocating the claimed size up front.
+func TestReadHugeClaimedBodyBoundedAlloc(t *testing.T) {
+	var buf bytes.Buffer
+	msg := Message{Type: MsgSnapshot, Header: []byte("{}")}
+	if err := Write(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[10:18], MaxBodyLen) // claim 1 GiB
+	data = append(data, []byte("only a few bytes arrive")...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := Read(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated huge-claim frame decoded without error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want unexpected-EOF truncation", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("Read allocated %d bytes for a body that never arrived; want bounded growth", grew)
+	}
+}
+
+// TestReadLargeBodyStillRoundTrips pins that the chunked body reader
+// reassembles multi-chunk bodies bit-exactly.
+func TestReadLargeBodyStillRoundTrips(t *testing.T) {
+	body := make([]byte, 3<<20+12345)
+	for i := range body {
+		body[i] = byte(i * 31)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, Message{Type: MsgSnapshot, Header: []byte("{}"), Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body, body) {
+		t.Error("multi-chunk body corrupted in reassembly")
 	}
 }

@@ -6,15 +6,19 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"websnap/internal/chaos"
 	"websnap/internal/client"
 	"websnap/internal/core"
+	"websnap/internal/edge"
 	"websnap/internal/mlapp"
 	"websnap/internal/models"
 	"websnap/internal/obs"
 	"websnap/internal/protocol"
+	"websnap/internal/testutil"
 	"websnap/internal/webapp"
 )
 
@@ -440,5 +444,210 @@ func TestPingProbeAgainstRealServer(t *testing.T) {
 	}
 	if load.Workers <= 0 {
 		t.Errorf("load = %+v, want positive worker count", load)
+	}
+}
+
+// startEdgeSrv is startEdge with the server handle exposed, so tests can
+// read its execution counters.
+func startEdgeSrv(t *testing.T) (*edge.Server, string, func()) {
+	t.Helper()
+	srv, err := core.NewEdgeServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	var once sync.Once
+	return srv, ln.Addr().String(), func() {
+		once.Do(func() {
+			srv.Close()
+			<-done
+		})
+	}
+}
+
+// TestMidHandoffConnectionLoss is the mobility scenario under fire: the
+// client hands off from server A to server B, and the very first
+// connection to B dies mid-frame (a scripted chaos reset inside the model
+// re-pre-send). The invariants under that loss:
+//
+//   - every offload-eligible event executes on exactly one server — the
+//     truncated frame must not execute on B and again on the redialed conn;
+//   - the offloader records exactly one terminal audit decision per event;
+//   - results stay bit-identical across the handoff for identical input.
+//
+// This is the paper's statelessness claim at its sharpest: the interrupted
+// handoff needs no recovery protocol because the next snapshot carries
+// everything the new server lacks.
+func TestMidHandoffConnectionLoss(t *testing.T) {
+	testutil.LeakCheck(t)
+	srvA, addrA, shutdownA := startEdgeSrv(t)
+	srvB, addrB, shutdownB := startEdgeSrv(t)
+	defer shutdownB()
+	defer shutdownA()
+
+	// The first connection to B resets 64 bytes into the write stream —
+	// inside the first frame of the handoff's model re-pre-send. Redials
+	// are clean.
+	var bDials atomic.Int32
+	dial := func(addr string) (*client.Conn, error) {
+		return client.DialWrapped(addr, func(c net.Conn) net.Conn {
+			if addr == addrB && bDials.Add(1) == 1 {
+				return chaos.NewConn(c, chaos.Plan{Faults: []chaos.Fault{
+					{Kind: chaos.FaultReset, Dir: chaos.DirWrite, Offset: 64},
+				}})
+			}
+			return c
+		})
+	}
+	roamer, err := New(Config{
+		Servers: []string{addrA, addrB},
+		Dial:    dial,
+		Probe: func(addr string) (time.Duration, error) {
+			start := time.Now()
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err != nil {
+				return 0, err
+			}
+			c.Close()
+			rtt := time.Since(start)
+			if addr == addrA {
+				return rtt / 1000, nil
+			}
+			return rtt + time.Second, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := roamer.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer roamer.Close()
+	if addr, _ := roamer.Current(); addr != addrA {
+		t.Fatalf("connected to %s, want A=%s", addr, addrA)
+	}
+
+	model, err := models.BuildTinyNet("tiny", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := mlapp.NewFullApp("handoff-app", "tiny", model, []string{"cat", "dog", "bird"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := obs.NewAuditor(obs.AuditorOptions{})
+	off, err := client.NewOffloader(app, conn, client.Options{
+		OffloadEventTypes: []string{mlapp.EventClick},
+		Models:            []client.ModelToSend{{Name: "tiny", Net: model}},
+		Audit:             auditor,
+		LocalFallback:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func(seed uint64) string {
+		t.Helper()
+		if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, seed)); err != nil {
+			t.Fatal(err)
+		}
+		app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+		if _, err := off.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return mlapp.Result(app)
+	}
+	first := runOnce(1)
+	if first == "" {
+		t.Fatal("no result on server A")
+	}
+
+	// The client leaves A's service area mid-session.
+	shutdownA()
+	newConn, switched, err := roamer.Evaluate()
+	if err != nil {
+		t.Fatalf("Evaluate after A death: %v", err)
+	}
+	if !switched {
+		t.Fatal("roamer should have switched to B")
+	}
+	// Retarget restarts the pre-send, which dies on the chaotic conn: the
+	// handoff's model transfer is the frame the reset lands in.
+	if err := off.Retarget(newConn); err != nil {
+		t.Fatal(err)
+	}
+	if err := off.WaitForAcks(); err == nil {
+		t.Fatal("pre-send over the resetting conn should have failed")
+	}
+	if m := srvB.Metrics(); m.ModelsStored != 0 || m.SnapshotsExecuted != 0 {
+		t.Fatalf("B acted on a truncated frame: %+v", m)
+	}
+
+	// The first event after the loss rides the still-broken conn: its
+	// inline model send fails fast, the offloader repairs the conn for
+	// next time and finishes this event locally — executed exactly once,
+	// by no server.
+	if fb := runOnce(1); fb != first {
+		t.Errorf("local fallback result = %q, want %q", fb, first)
+	}
+	st := off.Stats()
+	if st.LocalFallbacks != 1 || st.Redials != 1 {
+		t.Errorf("stats after fallback = %+v, want 1 fallback / 1 redial", st)
+	}
+	if m := srvB.Metrics(); m.SnapshotsExecuted != 0 {
+		t.Fatalf("B executed the fallback event too: %+v", m)
+	}
+
+	// The next event runs on the repaired conn, carrying the model inline:
+	// it must run on B exactly once, with the same answer A gave for the
+	// same input.
+	if again := runOnce(1); again != first {
+		t.Errorf("result after interrupted handoff = %q, want %q", again, first)
+	}
+	if bDials.Load() < 2 {
+		t.Errorf("B dial count = %d, want >= 2 (chaotic dial + clean redial)", bDials.Load())
+	}
+
+	mA, mB := srvA.Metrics(), srvB.Metrics()
+	if mA.SnapshotsExecuted != 1 {
+		t.Errorf("A executed %d snapshots, want 1", mA.SnapshotsExecuted)
+	}
+	if mB.SnapshotsExecuted != 1 {
+		t.Errorf("B executed %d snapshots, want 1 (exactly-once after handoff)", mB.SnapshotsExecuted)
+	}
+	if mB.ModelsStored != 1 {
+		t.Errorf("B stored %d models, want 1 (the inline re-send)", mB.ModelsStored)
+	}
+
+	// One terminal audit decision per offload-eligible event: full on A,
+	// fallback for the event the loss consumed, full on B. The interrupted
+	// pre-send is connection maintenance, not a decision.
+	if got := auditor.Total(); got != 3 {
+		t.Errorf("audit decisions = %d, want 3", got)
+	}
+	for _, pc := range auditor.Summary().Mix {
+		switch pc.Path {
+		case obs.PathFull:
+			if pc.Count != 2 {
+				t.Errorf("full-path decisions = %d, want 2", pc.Count)
+			}
+		case obs.PathFallback:
+			if pc.Count != 1 {
+				t.Errorf("fallback decisions = %d, want 1", pc.Count)
+			}
+		default:
+			if pc.Count != 0 {
+				t.Errorf("unexpected %s decisions: %d", pc.Path, pc.Count)
+			}
+		}
 	}
 }

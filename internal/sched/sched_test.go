@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"websnap/internal/testutil"
 	"websnap/internal/trace"
 )
 
@@ -258,6 +259,7 @@ func TestBatchWindowCollectsArrivals(t *testing.T) {
 // TestCloseCancelsQueuedAndDrainsRunning: Close finishes every accepted
 // task — in-flight ones execute, queued ones fail with ErrClosed.
 func TestCloseCancelsQueuedAndDrainsRunning(t *testing.T) {
+	testutil.LeakCheck(t)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	exec := func(batch []*Task) []Result {
@@ -383,6 +385,7 @@ func TestServiceHistogramTracksExecution(t *testing.T) {
 // TestConcurrentSubmitters: many goroutines hammering Submit lose no tasks
 // and every accepted task completes exactly once (run with -race).
 func TestConcurrentSubmitters(t *testing.T) {
+	testutil.LeakCheck(t)
 	var executed atomic.Int64
 	exec := func(batch []*Task) []Result {
 		executed.Add(int64(len(batch)))

@@ -1,8 +1,11 @@
 package snapshot
 
 import (
+	"errors"
 	"testing"
 
+	"websnap/internal/mlapp"
+	"websnap/internal/models"
 	"websnap/internal/webapp"
 )
 
@@ -72,6 +75,126 @@ func FuzzDecodeDelta(f *testing.F) {
 		}
 		if _, err := dd.Encode(); err != nil {
 			t.Errorf("decoded delta failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDeltaApply exercises the full delta pipeline — decode a delta,
+// decode a base, apply one to the other — against arbitrary byte pairs.
+// The corpus is seeded with real mlapp state (feature tensors, DOM
+// mutations, pending events) so the fuzzer starts from wire bytes the
+// production path actually produces. Invariants: Apply never panics, a
+// failed apply is the typed ErrBaseMismatch (given a hashable base),
+// Apply never mutates its base, and a successful apply yields a snapshot
+// that re-encodes, re-decodes, and keeps a stable identity hash.
+func FuzzDeltaApply(f *testing.F) {
+	model, err := models.BuildTinyNet("tiny", 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	app, err := mlapp.NewFullApp("fuzz-ml", "tiny", model, []string{"a", "b", "c"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Omit model weights from the corpus: they dominate the wire size and
+	// make per-exec decode cost too high for the fuzzer to make progress,
+	// while contributing nothing to delta coverage (deltas never carry
+	// models).
+	capOpts := Options{DefaultModelPolicy: ModelOmit}
+	base, err := Capture(app, capOpts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	baseWire, err := base.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Mutate through the real app: load an image (feature globals change),
+	// then click (DOM result text changes, pending event queued).
+	if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, 7)); err != nil {
+		f.Fatal(err)
+	}
+	app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+	cur, err := Capture(app, capOpts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	d, err := Diff(base, cur)
+	if err != nil {
+		f.Fatal(err)
+	}
+	deltaWire, err := d.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(deltaWire, baseWire)
+
+	// A mismatched base from an unrelated app seeds the ErrBaseMismatch path.
+	other, err := webapp.NewApp("fuzz", seedRegistry())
+	if err != nil {
+		f.Fatal(err)
+	}
+	otherSnap, err := Capture(other, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	otherWire, err := otherSnap.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(deltaWire, otherWire)
+	f.Add([]byte(deltaHeader+"\nvar __appID = \"a\";\nvar __codeHash = \"b\";\nvar __baseHash = \"c\";\n__delete(\"x\");\n"), baseWire)
+
+	f.Fuzz(func(t *testing.T, deltaBytes, baseBytes []byte) {
+		dd, err := DecodeDelta(deltaBytes)
+		if err != nil {
+			return
+		}
+		bs, err := Decode(baseBytes)
+		if err != nil {
+			return
+		}
+		hashBefore, err := bs.Hash()
+		if err != nil {
+			return
+		}
+		out, err := dd.Apply(bs)
+		if err != nil {
+			// The base hashed fine above, so the only legitimate failure
+			// left is the typed base-identity mismatch.
+			if !errors.Is(err, ErrBaseMismatch) {
+				t.Errorf("apply failed with untyped error: %v", err)
+			}
+			return
+		}
+		if h, err := bs.Hash(); err != nil || h != hashBefore {
+			t.Errorf("Apply mutated its base: hash %s -> %s (err %v)", hashBefore, h, err)
+		}
+		wire, err := out.Encode()
+		if err != nil {
+			t.Errorf("applied snapshot failed to encode: %v", err)
+			return
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			t.Errorf("applied snapshot failed to re-decode: %v", err)
+			return
+		}
+		h1, err := out.Hash()
+		if err != nil {
+			t.Errorf("applied snapshot failed to hash: %v", err)
+			return
+		}
+		if h2, err := back.Hash(); err != nil || h1 != h2 {
+			t.Errorf("apply result changed identity across a round trip: %s vs %s (err %v)", h1, h2, err)
+		}
+		out2, err := dd.Apply(bs)
+		if err != nil {
+			t.Errorf("second apply of the same delta failed: %v", err)
+			return
+		}
+		if h3, err := out2.Hash(); err != nil || h3 != h1 {
+			t.Errorf("apply is not deterministic: %s vs %s (err %v)", h1, h3, err)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // bufPools recycles float32 scratch buffers in power-of-two size classes.
@@ -10,6 +11,27 @@ import (
 // allocates its arenas (ping-pong intermediates, im2col scratch) through
 // this pool so steady-state inference performs no large allocations.
 var bufPools [33]sync.Pool
+
+// poolGets and poolPuts count pool traffic for leak accounting: the
+// difference is how many pooled buffers are currently held by callers.
+// Holders with retained scratch (pooled ExecContexts) keep the difference
+// legitimately above zero, so leak checks assert bounded growth over a
+// repeated workload rather than a zero balance.
+var poolGets, poolPuts atomic.Int64
+
+// PoolStats reports cumulative pool traffic. Outstanding is Gets-Puts: the
+// number of pooled buffers currently checked out.
+type PoolStats struct {
+	Gets, Puts int64
+}
+
+// Outstanding is the number of buffers currently held by callers.
+func (s PoolStats) Outstanding() int64 { return s.Gets - s.Puts }
+
+// ReadPoolStats returns the current cumulative pool counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{Gets: poolGets.Load(), Puts: poolPuts.Load()}
+}
 
 // GetBuf returns a float32 buffer with len n from the pool, allocating a
 // power-of-two-capacity slice when the pool is empty. Contents are
@@ -23,6 +45,7 @@ func GetBuf(n int) []float32 {
 	if class >= len(bufPools) {
 		return make([]float32, n)
 	}
+	poolGets.Add(1)
 	if v := bufPools[class].Get(); v != nil {
 		return v.([]float32)[:n]
 	}
@@ -40,5 +63,6 @@ func PutBuf(s []float32) {
 	if class >= len(bufPools) {
 		return
 	}
+	poolPuts.Add(1)
 	bufPools[class].Put(s[:c]) //nolint:staticcheck // slice header, not pointer: the value is small
 }

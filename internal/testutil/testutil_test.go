@@ -1,0 +1,96 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"websnap/internal/tensor"
+)
+
+// fakeTB records failures and lets the test drive cleanup explicitly.
+type fakeTB struct {
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, strings.TrimSpace(format))
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckGoroutinesDetectsLeak(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutines(ft, 50*time.Millisecond)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // the leak: parked until stop closes
+		defer close(done)
+		<-stop
+	}()
+	ft.runCleanups()
+	close(stop)
+	<-done
+	if len(ft.errors) == 0 {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(ft.errors[0], "goroutine leak") {
+		t.Errorf("error = %q", ft.errors[0])
+	}
+}
+
+func TestCheckGoroutinesPassesWhenClean(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutines(ft, 50*time.Millisecond)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Fatalf("clean run reported: %v", ft.errors)
+	}
+}
+
+func TestCheckGoroutinesWaitsForShutdown(t *testing.T) {
+	// A goroutine that exits within the grace window must not be reported.
+	ft := &fakeTB{}
+	CheckGoroutines(ft, time.Second)
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Fatalf("slow-exiting goroutine reported as leak: %v", ft.errors)
+	}
+}
+
+func TestCheckPoolBalance(t *testing.T) {
+	ft := &fakeTB{}
+	CheckPoolBalance(ft, 2)
+	// Within allowance: two buffers retained.
+	a, b := tensor.GetBuf(64), tensor.GetBuf(64)
+	ft.runCleanups()
+	if len(ft.errors) != 0 {
+		t.Fatalf("growth within allowance reported: %v", ft.errors)
+	}
+	// Beyond allowance: leak detected.
+	ft = &fakeTB{}
+	CheckPoolBalance(ft, 2)
+	var held [][]float32
+	for i := 0; i < 5; i++ {
+		held = append(held, tensor.GetBuf(64))
+	}
+	ft.runCleanups()
+	if len(ft.errors) == 0 {
+		t.Fatal("pool growth beyond allowance not detected")
+	}
+	tensor.PutBuf(a)
+	tensor.PutBuf(b)
+	for _, s := range held {
+		tensor.PutBuf(s)
+	}
+}
