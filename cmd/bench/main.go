@@ -9,13 +9,17 @@
 //	bench -experiment featsize feature data size per offloading point (§IV.B)
 //	bench -experiment load     edge scheduler under concurrent clients
 //	bench -experiment engine   planned execution engine vs per-layer path
+//	bench -experiment fleet    placement policies over multi-server fleets
 //	bench -experiment all      everything
 //
 // The engine experiment additionally writes BENCH_engine.json with the raw
-// before/after numbers (ns/op, allocs/op, B/op).
+// before/after numbers (ns/op, allocs/op, B/op); the fleet experiment
+// writes BENCH_fleet.json with per-(policy, fleet size) tail latency,
+// decision mix, and re-upload bytes saved.
 //
 // The load experiment takes the scheduler knobs -workers, -queue and
-// -batch, mirroring cmd/edged's flags.
+// -batch, mirroring cmd/edged's flags. The fleet experiment takes
+// -fleet-clients, the number of roaming closed-loop sessions per cell.
 package main
 
 import (
@@ -34,12 +38,13 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, all")
 	format := flag.String("format", "table", "output format: table, csv")
 	var lc sim.LoadConfig
 	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
 	flag.IntVar(&lc.QueueDepth, "queue", 0, "load experiment: admission queue depth (0 = default)")
 	flag.IntVar(&lc.MaxBatch, "batch", 8, "load experiment: max coalesced batch size")
+	flag.IntVar(&fleetClients, "fleet-clients", fleetClients, "fleet experiment: closed-loop sessions per cell")
 	flag.Parse()
 	if err := run(*experiment, *format, lc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -62,8 +67,9 @@ func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 		"sweep":    sweep,
 		"load":     func(w io.Writer) error { return load(w, lc) },
 		"engine":   engine,
+		"fleet":    fleetExp,
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order

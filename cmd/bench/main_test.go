@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -63,18 +65,69 @@ func TestRunCSVFormat(t *testing.T) {
 	}
 }
 
+// TestRunFleet runs the fleet experiment at smoke scale and checks both
+// the table and the BENCH_fleet.json schema the CI artifact promises:
+// >= 2 placement policies x >= 3 fleet sizes, p95/p99 latency and
+// re-upload bytes saved per cell.
+func TestRunFleet(t *testing.T) {
+	oldFile, oldClients := fleetJSONFile, fleetClients
+	fleetJSONFile = filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	fleetClients = 64
+	defer func() { fleetJSONFile, fleetClients = oldFile, oldClients }()
+	var sb strings.Builder
+	if err := run("fleet", "table", sim.LoadConfig{}, &sb); err != nil {
+		t.Fatalf("run(fleet): %v", err)
+	}
+	for _, want := range []string{"Fleet sweep", "hash", "load", "Saved (MB)", "Exec per server"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(fleetJSONFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string           `json:"experiment"`
+		Rows       []sim.FleetPoint `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_fleet.json: %v", err)
+	}
+	if doc.Experiment != "fleet" {
+		t.Errorf("experiment = %q, want fleet", doc.Experiment)
+	}
+	policies := map[string]bool{}
+	sizes := map[int]bool{}
+	for _, r := range doc.Rows {
+		policies[r.Policy] = true
+		sizes[r.Servers] = true
+		if r.P95Millis <= 0 || r.P99Millis <= 0 {
+			t.Errorf("row %s/%d: missing tail latency: %+v", r.Policy, r.Servers, r)
+		}
+		if r.ReuploadBytesSaved <= 0 {
+			t.Errorf("row %s/%d: no re-upload bytes saved recorded", r.Policy, r.Servers)
+		}
+	}
+	if len(policies) < 2 || len(sizes) < 3 {
+		t.Errorf("sweep covers %d policies x %d fleet sizes, want >= 2 x >= 3", len(policies), len(sizes))
+	}
+}
+
 func TestRunAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
 	}
 	old := engineJSONFile
 	engineJSONFile = filepath.Join(t.TempDir(), "BENCH_engine.json")
-	defer func() { engineJSONFile = old }()
+	oldFleet := fleetJSONFile
+	fleetJSONFile = filepath.Join(t.TempDir(), "BENCH_fleet.json")
+	defer func() { engineJSONFile, fleetJSONFile = old, oldFleet }()
 	var sb strings.Builder
 	if err := run("all", "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
-	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points"} {
+	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points", "Fleet sweep"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("missing %q", want)
 		}

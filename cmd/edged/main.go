@@ -6,6 +6,13 @@
 //	edged -listen :7080 -on-demand        # require VM-synthesis installation first
 //	edged -listen :7080 -metrics-addr :7081 -pprof -log-json
 //	                                      # metrics + health probes + profiler, JSON logs
+//	edged -listen :7080 -advertise 10.0.0.5:7080 -registry 10.0.0.2:7090
+//	                                      # join a fleet: heartbeat into the registry and
+//	                                      # share content-addressed blobs with peers
+//
+// -advertise is the address peers and roaming clients dial, which may
+// differ from -listen behind NAT or a container port map; it must not be
+// a wildcard address.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"websnap/internal/core"
 	"websnap/internal/edge"
+	"websnap/internal/fleet"
 	"websnap/internal/obs"
 	"websnap/internal/sched"
 	"websnap/internal/vmsynth"
@@ -63,13 +71,21 @@ func main() {
 			"block full-queue submissions up to -queue-wait instead of rejecting them")
 		queueWait = flag.Duration("queue-wait", 0,
 			"how long -queue-block waits for queue space (0 = default)")
+
+		registry = flag.String("registry", "",
+			"fleet registry address to heartbeat into (empty = standalone server)")
+		advertise = flag.String("advertise", "",
+			"dialable address advertised to the fleet; may differ from -listen behind NAT (default: the -listen address if it names a concrete host)")
+		registryTTL = flag.Duration("registry-ttl", 0,
+			"registration lifetime named on each heartbeat (0 = registry default)")
 	)
 	flag.Parse()
 	sc := schedConfig{
 		workers: *workers, queue: *queue, batch: *batch,
 		batchWindow: *batchWindow, block: *block, queueWait: *queueWait,
 	}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc); err != nil {
+	fc := fleetConfig{registry: *registry, advertise: *advertise, ttl: *registryTTL}
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -82,7 +98,45 @@ type schedConfig struct {
 	block                  bool
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig) error {
+// fleetConfig bundles the fleet flags.
+type fleetConfig struct {
+	registry, advertise string
+	ttl                 time.Duration
+}
+
+// resolveAdvertise validates the fleet-advertised address: an explicit
+// -advertise wins, otherwise the listener's address is used when it names
+// a concrete host. Wildcard hosts are rejected — the advertised address is
+// what peers and roaming clients dial, so it must be dialable as written.
+func resolveAdvertise(advertise string, lnAddr net.Addr) (string, error) {
+	addr := advertise
+	if addr == "" {
+		addr = lnAddr.String()
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("-advertise %q: %w", addr, err)
+	}
+	wildcard := host == ""
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		wildcard = true
+	}
+	if wildcard {
+		if advertise != "" {
+			return "", fmt.Errorf("-advertise %q is a wildcard address; peers and clients must be able to dial it", advertise)
+		}
+		return "", fmt.Errorf("-registry requires -advertise when -listen binds the wildcard address %q", lnAddr)
+	}
+	return net.JoinHostPort(host, port), nil
+}
+
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig) error {
+	if fc.registry == "" && fc.advertise != "" {
+		return fmt.Errorf("-advertise requires -registry (nothing to advertise to)")
+	}
+	if fc.registry == "" && fc.ttl != 0 {
+		return fmt.Errorf("-registry-ttl requires -registry")
+	}
 	catalog, err := core.DefaultCatalog()
 	if err != nil {
 		return err
@@ -119,15 +173,48 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 	if onDemand {
 		cfg.Synthesizer = vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: baseImage, Bytes: 8 << 30})
 	}
-	srv, err := edge.NewServer(cfg)
-	if err != nil {
-		return err
-	}
+	// The listener comes up before the server so a fleet-joined instance
+	// can resolve its advertised address even when -listen picks the port
+	// (":0").
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
+	var rc *fleet.RegistryClient
+	if fc.registry != "" {
+		adv, err := resolveAdvertise(fc.advertise, ln.Addr())
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		rc = fleet.NewRegistryClient(fc.registry, fleet.ClientOptions{})
+		cfg.AdvertiseAddr = adv
+		cfg.Blobs = fleet.NewBlobStore()
+		cfg.Locator = rc
+	}
+	srv, err := edge.NewServer(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	log.Printf("edged: listening on %s (installed=%v)", ln.Addr(), !onDemand)
+	if rc != nil {
+		agent, err := fleet.StartAgent(fleet.AgentConfig{
+			Client:   rc,
+			Addr:     cfg.AdvertiseAddr,
+			Capacity: sc.workers,
+			TTL:      fc.ttl,
+			Load:     srv.LoadHint,
+			Blobs:    srv.BlobKeys,
+			Logger:   cfg.Logger,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer agent.Close()
+		log.Printf("edged: joined fleet via %s as %s (ttl=%v)", fc.registry, cfg.AdvertiseAddr, fc.ttl)
+	}
 
 	var metricsSrv *http.Server
 	if metricsAddr != "" {

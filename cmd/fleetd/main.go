@@ -1,0 +1,102 @@
+// Command fleetd runs the fleet registry: the membership and
+// blob-location authority edge servers heartbeat into and clients fetch
+// placement views from. It speaks the same binary frame protocol as the
+// offload path, keeps no durable state (membership is rebuilt by
+// heartbeats within one TTL after a restart), and needs no coordination
+// with the edge servers it tracks — a dead registry degrades clients to
+// their cached last-known-good views, it never stops the data plane.
+//
+//	fleetd -listen :7090
+//	fleetd -listen :7090 -ttl 10s -metrics-addr :7091 -log-json
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"websnap/internal/fleet"
+	"websnap/internal/obs"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":7090", "address to listen on")
+		ttl    = flag.Duration("ttl", fleet.DefaultTTL,
+			"default registration lifetime; servers missing heartbeats this long are dropped")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve GET /metrics (Prometheus text) on this address (empty = disabled)")
+		logJSON = flag.Bool("log-json", false,
+			"emit structured JSON-line logs on stderr instead of plain text")
+	)
+	flag.Parse()
+	if err := run(*listen, *metricsAddr, *ttl, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "fleetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, metricsAddr string, ttl time.Duration, logJSON bool) error {
+	if ttl <= 0 {
+		return fmt.Errorf("-ttl must be positive, got %v", ttl)
+	}
+	var logger *obs.Logger
+	if logJSON {
+		logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	}
+	metrics := obs.NewRegistry()
+	reg := fleet.NewRegistry(fleet.RegistryOptions{
+		TTL: ttl, Metrics: metrics, Logger: logger,
+	})
+	srv := fleet.NewRegistryServer(reg, logger)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("fleetd: registry listening on %s (ttl=%v)", ln.Addr(), ttl)
+
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := metrics.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		metricsSrv = &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("fleetd: metrics server: %v", err)
+			}
+		}()
+		log.Printf("fleetd: metrics on http://%s/metrics", metricsAddr)
+	}
+	defer func() {
+		if metricsSrv != nil {
+			metricsSrv.Close()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return err
+	case s := <-sig:
+		log.Printf("fleetd: %v, shutting down", s)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsNonPositiveTTL(t *testing.T) {
+	if err := run(":0", "", 0, false); err == nil || !strings.Contains(err.Error(), "-ttl") {
+		t.Errorf("zero ttl: err = %v, want -ttl mention", err)
+	}
+	if err := run(":0", "", -1, false); err == nil {
+		t.Error("negative ttl should fail")
+	}
+}

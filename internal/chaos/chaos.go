@@ -70,6 +70,13 @@ const (
 	// FaultDuplicate re-delivers the Dup bytes preceding Offset (write
 	// direction only), modeling duplicated segment delivery.
 	FaultDuplicate
+	// FaultOutage models a service-level outage: a FlapListener drops every
+	// connection accepted while its schedule says the service is down — the
+	// dialer sees a successful connect followed by an immediate close, which
+	// is how a crashed or partitioned registry looks from outside. It is
+	// never drawn by GenPlan (randomized per-connection schedules keep their
+	// seed-stable draw); soaks install it deliberately at the listener.
+	FaultOutage
 )
 
 func (k FaultKind) String() string {
@@ -84,6 +91,8 @@ func (k FaultKind) String() string {
 		return "truncate"
 	case FaultDuplicate:
 		return "duplicate"
+	case FaultOutage:
+		return "outage"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(k))
 	}
@@ -395,6 +404,69 @@ func (l *listener) Accept() (net.Conn, error) {
 		}
 		return NewConn(c, p), nil
 	}
+}
+
+// FlapListener wraps a listener with a deterministic outage schedule —
+// the registry-outage/flap fault. Connections accepted while Down reports
+// true are closed immediately (recorded as FaultOutage drops); the rest
+// pass through untouched. The schedule is defined over accept indices
+// rather than wall time, so a soak's outage windows replay exactly
+// regardless of machine speed: flapping is "down for the next k dials",
+// not "down for the next k milliseconds".
+type FlapListener struct {
+	net.Listener
+	down func(accept int) bool
+
+	mu    sync.Mutex
+	next  int
+	drops []Fault
+}
+
+// NewFlapListener wraps ln; down decides per accept index (0-based,
+// counting every inbound connection) whether the service is in an outage
+// window. A nil down never flaps.
+func NewFlapListener(ln net.Listener, down func(accept int) bool) *FlapListener {
+	return &FlapListener{Listener: ln, down: down}
+}
+
+// Accept returns the next connection accepted during an up window,
+// silently dropping those that land in outage windows.
+func (l *FlapListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		idx := l.next
+		l.next++
+		isDown := l.down != nil && l.down(idx)
+		if isDown {
+			l.drops = append(l.drops, Fault{Kind: FaultOutage, Dir: DirWrite, Offset: int64(idx)})
+		}
+		l.mu.Unlock()
+		if isDown {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// Drops returns the outage schedule's refusals so far, one FaultOutage per
+// dropped connection with Offset holding its accept index — for failure
+// messages and for asserting the soak actually exercised the outage.
+func (l *FlapListener) Drops() []Fault {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Fault(nil), l.drops...)
+}
+
+// Accepts returns how many connections have arrived, dropped or not.
+func (l *FlapListener) Accepts() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
 }
 
 // Conn applies one Plan to a wrapped net.Conn. Faults trigger at

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -288,4 +289,64 @@ func TestFaultScheduleChunkingIndependence(t *testing.T) {
 	if !bytes.Equal(whole, want) {
 		t.Errorf("delivered %q, want %q", whole, want)
 	}
+}
+
+// TestFlapListener pins the outage fault: connections landing in a down
+// window are dropped (dial succeeds, then immediate close), up windows pass
+// traffic, and every drop is recorded as a FaultOutage at its accept index.
+func TestFlapListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accepts 1 and 2 land in the outage window.
+	flap := NewFlapListener(ln, func(i int) bool { return i == 1 || i == 2 })
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		for {
+			c, err := flap.Accept()
+			if err != nil {
+				return
+			}
+			c.Write([]byte("ok"))
+			c.Close()
+		}
+	}()
+	dial := func() (string, error) {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 2)
+		n, err := io.ReadFull(c, buf)
+		return string(buf[:n]), err
+	}
+	for i := 0; i < 4; i++ {
+		got, err := dial()
+		if down := i == 1 || i == 2; down {
+			if err == nil {
+				t.Errorf("dial %d: served %q during outage window", i, got)
+			}
+		} else if err != nil || got != "ok" {
+			t.Errorf("dial %d: got %q, %v; want ok", i, got, err)
+		}
+	}
+	drops := flap.Drops()
+	if len(drops) != 2 || flap.Accepts() != 4 {
+		t.Fatalf("drops = %v, accepts = %d; want 2 drops of 4 accepts", drops, flap.Accepts())
+	}
+	for i, f := range drops {
+		if f.Kind != FaultOutage || f.Offset != int64(i+1) {
+			t.Errorf("drop %d = %v, want outage at accept %d", i, f, i+1)
+		}
+	}
+	if s := drops[0].String(); !strings.Contains(s, "outage") {
+		t.Errorf("outage fault renders as %q", s)
+	}
+	ln.Close()
+	<-served
 }

@@ -280,6 +280,56 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 	return nil
 }
 
+// PreSendModelRef offers a model to the edge server by content reference:
+// the header carries the spec and the model's fleet blob key
+// (nn.Fingerprint), but no weight bytes. A fleet server resolves the blob
+// from its cache or a peer and ACKs like a full pre-send; needBlob=true
+// means it could not (client should retry with PreSendModel). Servers that
+// predate the extension fail to decode the empty body and answer an error
+// frame, which is reported as needBlob too — the reference attempt is
+// always safe, it just wastes one round trip against an old server.
+func (c *Conn) PreSendModelRef(appID, name string, model *nn.Network, partial bool) (needBlob bool, err error) {
+	spec, err := nn.EncodeSpec(model)
+	if err != nil {
+		return false, fmt.Errorf("client: model %q: %w", name, err)
+	}
+	key := nn.Fingerprint(model)
+	if key == "" {
+		return true, nil
+	}
+	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
+		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
+		Hints:   protocol.HintFleetV1,
+		BlobKey: key,
+		RefOnly: true,
+	}, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		if errors.Is(err, ErrServerError) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrConnBroken) {
+			// A clean error frame: an old server choked on the empty body
+			// (or refused the reference). The stream is intact — fall back
+			// to a full upload.
+			return true, nil
+		}
+		return false, fmt.Errorf("client: ref pre-send %q: %w", name, err)
+	}
+	if resp.Type != protocol.MsgAck {
+		return false, fmt.Errorf("client: ref pre-send %q: unexpected response %s", name, resp.Type)
+	}
+	var ack protocol.AckHeader
+	if err := protocol.DecodeHeader(resp, &ack); err != nil {
+		return false, err
+	}
+	c.noteLoad(ack.Load)
+	if ack.ModelName != name {
+		return false, fmt.Errorf("client: ref pre-send %q: ACK names %q", name, ack.ModelName)
+	}
+	return ack.NeedBlob, nil
+}
+
 // OffloadSnapshot ships an encoded snapshot and returns the encoded result
 // snapshot. With compress set, the snapshot text travels DEFLATE-compressed
 // and the server mirrors the encoding in its response; the returned bytes

@@ -79,6 +79,23 @@ type Options struct {
 	// decisions so the audit can quantify prediction error. Zero means no
 	// prediction available.
 	PredictedOffload time.Duration
+	// BlobRefPreSend offers each model to the server by content reference
+	// (nn.Fingerprint) before uploading bytes. A fleet server that holds
+	// the blob — or can fetch it from a peer — ACKs without the upload, so
+	// a roaming client never re-ships a model the fleet already has; a
+	// NeedBlob answer (or an old server's error) falls back to the full
+	// upload at the cost of one extra round trip.
+	BlobRefPreSend bool
+	// FleetSync keeps the delta sync point across Retarget: in a fleet the
+	// new server recovers the base state from the blob index (published by
+	// the previous server), so the first post-handoff offload ships as a
+	// delta instead of a full snapshot. Leave false against non-fleet
+	// servers, where the base would be unrecoverable and the first delta
+	// attempt wasted.
+	FleetSync bool
+	// Placement names the fleet placement policy that selected this
+	// session's server; recorded on every audit decision.
+	Placement string
 }
 
 // DefaultLoadHintTTL is how long a load hint stays fresh for shedding
@@ -116,6 +133,15 @@ type Stats struct {
 	// Redials counts successful in-place reconnects after the connection
 	// was marked broken (ErrConnBroken).
 	Redials int
+	// PreSendBytes is the total model weight bytes actually uploaded
+	// (background pre-sends and inline sends; reference hits ship none).
+	PreSendBytes int64
+	// RefPreSendHits counts model pre-sends satisfied by content
+	// reference — the fleet already held the blob, zero bytes shipped.
+	RefPreSendHits int
+	// RefPreSendMisses counts reference attempts answered NeedBlob (or
+	// refused by an old server), each followed by a full upload.
+	RefPreSendMisses int
 	// LastTiming is the wall-clock phase breakdown of the last offload —
 	// the real-path counterpart of the paper's Fig 7.
 	LastTiming Timing
@@ -225,7 +251,13 @@ func (o *Offloader) Retarget(conn *Conn) error {
 	o.conn = conn
 	o.acked = make(map[string]bool)
 	o.ackErrs = nil
-	o.lastSync = nil
+	if !o.opts.FleetSync {
+		// Outside a fleet the new server cannot know the old sync point.
+		// With FleetSync the base survives: the previous server published
+		// it to the blob index, and the new one recovers it on the first
+		// delta.
+		o.lastSync = nil
+	}
 	restart := o.presendStarted
 	o.presendStarted = false
 	o.mu.Unlock()
@@ -258,7 +290,7 @@ func (o *Offloader) StartPreSend() {
 	go func() {
 		defer o.presendWG.Done()
 		for _, m := range o.opts.Models {
-			err := o.conn.PreSendModel(o.app.ID(), m.Name, m.Net, m.Partial)
+			_, err := o.preSend(m.Name, m.Net, m.Partial)
 			o.mu.Lock()
 			if err != nil {
 				o.ackErrs = append(o.ackErrs, fmt.Errorf("pre-send %q: %w", m.Name, err))
@@ -268,6 +300,35 @@ func (o *Offloader) StartPreSend() {
 			o.mu.Unlock()
 		}
 	}()
+}
+
+// preSend ships one model to the current server, by content reference
+// first when BlobRefPreSend is on, and returns the weight bytes actually
+// uploaded (zero on a reference hit).
+func (o *Offloader) preSend(name string, model *nn.Network, partial bool) (int64, error) {
+	if o.opts.BlobRefPreSend {
+		needBlob, err := o.conn.PreSendModelRef(o.app.ID(), name, model, partial)
+		if err != nil {
+			return 0, err
+		}
+		if !needBlob {
+			o.mu.Lock()
+			o.stats.RefPreSendHits++
+			o.mu.Unlock()
+			return 0, nil
+		}
+		o.mu.Lock()
+		o.stats.RefPreSendMisses++
+		o.mu.Unlock()
+	}
+	if err := o.conn.PreSendModel(o.app.ID(), name, model, partial); err != nil {
+		return 0, err
+	}
+	sent := model.ModelBytes()
+	o.mu.Lock()
+	o.stats.PreSendBytes += sent
+	o.mu.Unlock()
+	return sent, nil
 }
 
 // WaitForAcks blocks until every configured model pre-send has completed
@@ -380,6 +441,7 @@ func (o *Offloader) decide(d obs.Decision) {
 	if d.Server == "" {
 		d.Server = o.serverAddr()
 	}
+	d.Placement = o.opts.Placement
 	d.HintAge = o.hintAge()
 	o.opts.Audit.Record(d)
 }
@@ -527,11 +589,14 @@ func (o *Offloader) offload(ev webapp.Event) (offloadOutcome, error) {
 			continue
 		}
 		model, _ := o.app.Model(name)
-		if err := o.conn.PreSendModel(o.app.ID(), name, model, false); err != nil {
+		sent, err := o.preSend(name, model, false)
+		if err != nil {
 			return offloadOutcome{}, fmt.Errorf("client: inline model send %q: %w", name, err)
 		}
-		modelIncluded = true
-		inlineBytes += model.ModelBytes()
+		if sent > 0 {
+			modelIncluded = true
+			inlineBytes += sent
+		}
 		o.mu.Lock()
 		o.acked[name] = true
 		o.mu.Unlock()

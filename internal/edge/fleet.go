@@ -1,0 +1,244 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"websnap/internal/nn"
+	"websnap/internal/protocol"
+	"websnap/internal/snapshot"
+)
+
+// The edge server participates in a fleet through two narrow interfaces
+// instead of importing the fleet package (whose tests import edge): a
+// content-addressed cache it publishes into and serves peers from, and a
+// locator that maps blob keys to peer addresses. cmd/edged wires these to
+// fleet.BlobStore and fleet.RegistryClient.
+
+// BlobCache is a content-addressed blob cache (fleet.BlobStore implements
+// it). Keys are nn.Fingerprint for model weight blobs and Snapshot.Hash
+// for synced-state blobs.
+type BlobCache interface {
+	Put(key string, data []byte)
+	Get(key string) ([]byte, bool)
+	Keys() []string
+}
+
+// BlobLocator reports which fleet peers hold each blob key
+// (fleet.RegistryClient implements it).
+type BlobLocator interface {
+	Locate(keys []string) (map[string][]string, error)
+}
+
+// peerFetchTimeout bounds one peer-to-peer blob fetch (dial + request +
+// transfer).
+const peerFetchTimeout = 5 * time.Second
+
+// errBlobUnavailable reports a blob neither cached locally nor fetchable
+// from any peer; the pre-send path answers it with a NeedBlob ack so the
+// client re-sends the bytes.
+var errBlobUnavailable = errors.New("edge: blob unavailable in fleet")
+
+// fleetEnabled reports whether this server shares blobs with a fleet.
+func (s *Server) fleetEnabled() bool { return s.cfg.Blobs != nil }
+
+// LoadHint returns the server's current scheduling load, as advertised on
+// response headers and registry heartbeats.
+func (s *Server) LoadHint() *protocol.LoadHint { return s.loadHint() }
+
+// BlobKeys returns the content-addressed keys this server currently holds
+// — the set a registry heartbeat advertises. Nil when fleet sharing is
+// disabled.
+func (s *Server) BlobKeys() []string {
+	if !s.fleetEnabled() {
+		return nil
+	}
+	return s.cfg.Blobs.Keys()
+}
+
+// resolveBlob returns the blob for key from the local cache or, failing
+// that, from a fleet peer found through the locator. Peer-fetched blobs
+// are cached, so the next heartbeat advertises them and later requests and
+// peers are served locally.
+func (s *Server) resolveBlob(key string) ([]byte, error) {
+	if !s.fleetEnabled() {
+		return nil, errBlobUnavailable
+	}
+	if data, ok := s.cfg.Blobs.Get(key); ok {
+		return data, nil
+	}
+	if s.cfg.Locator == nil {
+		return nil, errBlobUnavailable
+	}
+	holders, err := s.cfg.Locator.Locate([]string{key})
+	if err != nil {
+		return nil, fmt.Errorf("%w: locate: %v", errBlobUnavailable, err)
+	}
+	var lastErr error
+	for _, addr := range holders[key] {
+		if addr == s.cfg.AdvertiseAddr {
+			continue // the index may lag our own evictions
+		}
+		data, err := s.fetchBlobFromPeer(addr, key)
+		if err != nil {
+			lastErr = err
+			s.logf("edge: blob %s from peer %s: %v", key, addr, err)
+			continue
+		}
+		s.cfg.Blobs.Put(key, data)
+		s.blobPeerFetches.Inc()
+		s.blobPeerFetchBytes.Add(int64(len(data)))
+		return data, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %v", errBlobUnavailable, lastErr)
+	}
+	return nil, errBlobUnavailable
+}
+
+// fetchBlobFromPeer performs one MsgBlobGet round trip against another
+// edge server and verifies the returned bytes against the frame checksum.
+// Content identity (the bytes actually hashing to key) is verified by the
+// caller where the decoded form is at hand.
+func (s *Server) fetchBlobFromPeer(addr, key string) ([]byte, error) {
+	dial := s.cfg.PeerDial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(addr, peerFetchTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(peerFetchTimeout)); err != nil {
+		return nil, err
+	}
+	req, err := protocol.Encode(protocol.MsgBlobGet,
+		protocol.BlobGetHeader{Key: key, Hints: protocol.HintFleetV1}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := protocol.Write(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := protocol.Read(conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == protocol.MsgError {
+		var eh protocol.ErrorHeader
+		if err := protocol.DecodeHeader(resp, &eh); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("peer %s: %s", addr, eh.Message)
+	}
+	if resp.Type != protocol.MsgBlobData {
+		return nil, fmt.Errorf("peer %s: unexpected reply %s", addr, resp.Type)
+	}
+	var hdr protocol.BlobDataHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr.Key != key {
+		return nil, fmt.Errorf("peer %s: sent blob %s, want %s", addr, hdr.Key, key)
+	}
+	if err := protocol.VerifyBody(resp.Body, hdr.BodyCRC); err != nil {
+		return nil, fmt.Errorf("peer %s: %w", addr, err)
+	}
+	return resp.Body, nil
+}
+
+// handleBlobGet serves a peer's content-addressed fetch from the local
+// blob cache.
+func (s *Server) handleBlobGet(msg protocol.Message) (protocol.Message, error) {
+	var hdr protocol.BlobGetHeader
+	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	if !s.fleetEnabled() {
+		return protocol.Message{}, errors.New("blob sharing not enabled on this edge server")
+	}
+	data, ok := s.cfg.Blobs.Get(hdr.Key)
+	if !ok {
+		return protocol.Message{}, fmt.Errorf("blob %s not held here", hdr.Key)
+	}
+	s.blobsServed.Inc()
+	return protocol.Encode(protocol.MsgBlobData, protocol.BlobDataHeader{
+		Key:     hdr.Key,
+		BodyCRC: protocol.BodyChecksum(data),
+	}, data)
+}
+
+// publishStateBlob records a synchronized post-offload state in the blob
+// cache under its content hash, so a peer this session roams to can
+// recover the delta base without the client re-uploading it.
+func (s *Server) publishStateBlob(snap *snapshot.Snapshot) {
+	if !s.fleetEnabled() {
+		return
+	}
+	hash, err := snap.Hash()
+	if err != nil {
+		s.logf("edge: hash state blob: %v", err)
+		return
+	}
+	bare := *snap
+	bare.Models = nil
+	data, err := bare.Encode()
+	if err != nil {
+		s.logf("edge: encode state blob: %v", err)
+		return
+	}
+	s.cfg.Blobs.Put(hash, data)
+}
+
+// recoverBase resolves a delta's base snapshot from the fleet blob index:
+// the session's previous server published the synced state under its
+// content hash. The decoded snapshot is verified against the requested
+// hash before being adopted.
+func (s *Server) recoverBase(appID, baseHash string) (*snapshot.Snapshot, error) {
+	data, err := s.resolveBlob(baseHash)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("decode fleet base %s: %w", baseHash, err)
+	}
+	hash, err := snap.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if hash != baseHash {
+		return nil, fmt.Errorf("fleet base %s decoded to %s", baseHash, hash)
+	}
+	s.basesRecovered.Inc()
+	s.states.Put(appID, snap)
+	s.logf("edge: recovered delta base %s for app %q from fleet", baseHash, appID)
+	return snap, nil
+}
+
+// resolveModelBlob resolves a reference-only model pre-send: the weight
+// bytes come from the local cache or a peer, and the rebuilt model must
+// hash back to the advertised key (spec and weights both feed
+// nn.Fingerprint, so a wrong or tampered blob cannot be installed).
+func (s *Server) resolveModelBlob(hdr protocol.ModelPreSendHeader) ([]byte, *nn.Network, error) {
+	if hdr.BlobKey == "" {
+		return nil, nil, errors.New("reference pre-send without blob key")
+	}
+	body, err := s.resolveBlob(hdr.BlobKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := decodeModel(hdr, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := nn.Fingerprint(net); got != hdr.BlobKey {
+		return nil, nil, fmt.Errorf("blob %s rebuilt model fingerprints to %s", hdr.BlobKey, got)
+	}
+	return body, net, nil
+}

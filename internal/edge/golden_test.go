@@ -50,25 +50,37 @@ func fetchMetrics(t *testing.T, srv *Server, url string) []byte {
 // names, ordering, HELP text, and value formatting are scrape contract:
 // dashboards and recording rules depend on them.
 func TestMetricsGoldenPrometheus(t *testing.T) {
-	want, err := os.ReadFile(filepath.Join("testdata", "metrics.prom"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	got := fetchMetrics(t, goldenServer(t), "/metrics?format=prometheus")
+	want := readGolden(t, "metrics.prom", got)
 	if string(got) != string(want) {
 		t.Errorf("prometheus exposition diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
+}
+
+// readGolden loads a golden file; with UPDATE_GOLDEN set it first rewrites
+// the file from got (for deliberate exposition extensions — new families
+// must append after the existing prefix, never reorder it).
+func readGolden(t *testing.T, name string, got []byte) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
 }
 
 // TestMetricsGoldenJSON pins the JSON payload of a fresh server
 // byte-for-byte: field names, order, and zero-value shapes must survive the
 // registry refactor.
 func TestMetricsGoldenJSON(t *testing.T) {
-	want, err := os.ReadFile(filepath.Join("testdata", "metrics.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
 	got := fetchMetrics(t, goldenServer(t), "/metrics")
+	want := readGolden(t, "metrics.json", got)
 	if string(got) != string(want) {
 		t.Errorf("JSON payload diverged from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}

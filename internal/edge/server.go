@@ -69,7 +69,7 @@ func (s *ModelStore) Put(appID, name string, net *nn.Network) error {
 }
 
 func (s *ModelStore) putMemory(appID, name string, net *nn.Network) {
-	fp := fingerprint(net)
+	fp := nn.Fingerprint(net)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.models[appID] == nil {
@@ -78,19 +78,6 @@ func (s *ModelStore) putMemory(appID, name string, net *nn.Network) {
 	}
 	s.models[appID][name] = net
 	s.prints[appID][name] = fp
-}
-
-// fingerprint hashes a model's architecture and weights. Equal fingerprints
-// mean byte-identical models.
-func fingerprint(net *nn.Network) string {
-	h := sha256.New()
-	if spec, err := nn.EncodeSpec(net); err == nil {
-		h.Write(spec)
-	}
-	if err := net.EncodeWeights(h); err != nil {
-		return ""
-	}
-	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
 // FingerprintSet returns a stable summary of every model stored for an app:
@@ -228,6 +215,20 @@ type Config struct {
 	// offload request with the server-side span breakdown (decode, queue,
 	// execute, encode) — the structured feed behind `edged -trace-log`.
 	TraceLog io.Writer
+	// Blobs, when non-nil, enables fleet blob sharing: pre-sent model
+	// weights and synced snapshot states are published here under their
+	// content hashes, advertised on registry heartbeats, and served to
+	// peers via MsgBlobGet. cmd/edged wires a fleet.BlobStore.
+	Blobs BlobCache
+	// Locator finds fleet peers holding a blob (typically a
+	// fleet.RegistryClient); nil limits resolution to the local cache.
+	Locator BlobLocator
+	// AdvertiseAddr is this server's own fleet-advertised address; the
+	// peer-fetch path skips it when the blob index lists us as a holder.
+	AdvertiseAddr string
+	// PeerDial overrides the transport for peer blob fetches (tests and
+	// chaos injection); nil means TCP.
+	PeerDial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // DefaultWorkers is the worker-pool size when Config.Workers is zero.
@@ -285,6 +286,10 @@ type Server struct {
 	modelsStored                      *obs.Counter
 	snapshotsExecuted, deltasExecuted *obs.Counter
 	installs, errorsAnswered          *obs.Counter
+	// Fleet blob-sharing counters (zero outside a fleet).
+	refPreSendHits, refPreSendMisses    *obs.Counter
+	blobPeerFetches, blobPeerFetchBytes *obs.Counter
+	blobsServed, basesRecovered         *obs.Counter
 }
 
 // Metrics is a snapshot of the server's operation counters.
@@ -364,6 +369,20 @@ func (s *Server) initMetrics() {
 	for _, stage := range trace.AllStages() {
 		stages.Attach(s.rec.Stage(stage), string(stage))
 	}
+	// Fleet families register after everything above: the pre-fleet
+	// exposition prefix stays byte-identical for existing scrapes.
+	s.refPreSendHits = r.Counter("websnap_ref_presend_hits_total",
+		"Reference-only model pre-sends resolved without the client's bytes.")
+	s.refPreSendMisses = r.Counter("websnap_ref_presend_misses_total",
+		"Reference-only model pre-sends answered NeedBlob (client re-sent in full).")
+	s.blobPeerFetches = r.Counter("websnap_blob_peer_fetches_total",
+		"Blobs fetched from fleet peers.")
+	s.blobPeerFetchBytes = r.Counter("websnap_blob_peer_fetch_bytes_total",
+		"Bytes fetched from fleet peers.")
+	s.blobsServed = r.Counter("websnap_blobs_served_total",
+		"Blob fetches served to fleet peers.")
+	s.basesRecovered = r.Counter("websnap_bases_recovered_total",
+		"Delta bases recovered from the fleet blob index.")
 }
 
 // NewServer creates an offloading server.
@@ -689,6 +708,8 @@ func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
 		return s.handleSnapshotDelta(msg)
 	case protocol.MsgInstallOverlay:
 		return s.handleInstall(msg)
+	case protocol.MsgBlobGet:
+		return s.handleBlobGet(msg)
 	default:
 		return protocol.Message{}, fmt.Errorf("unexpected message %s", msg.Type)
 	}
@@ -704,35 +725,77 @@ func (s *Server) handlePing(msg protocol.Message) (protocol.Message, error) {
 	return protocol.Encode(protocol.MsgPong, protocol.PongHeader{
 		Installed: s.Installed(),
 		Load:      s.hintFor(hdr.Hints),
+		Fleet:     hdr.Hints >= protocol.HintFleetV1 && s.fleetEnabled(),
 	}, nil)
+}
+
+// decodeModel rebuilds a network from a pre-send header's spec and a
+// weight blob.
+func decodeModel(hdr protocol.ModelPreSendHeader, weights []byte) (*nn.Network, error) {
+	net, err := nn.DecodeSpec(hdr.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("model %q: %w", hdr.ModelName, err)
+	}
+	if err := net.DecodeWeights(bytes.NewReader(weights)); err != nil {
+		return nil, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
+	}
+	return net, nil
 }
 
 // handleModelPreSend stores the client's model files and acknowledges, per
 // §III.B.1: "The server saves the files and sends an acknowledgement (ACK)
-// message to the client."
+// message to the client." A fleet client may send a reference instead of
+// the bytes (RefOnly + BlobKey): the server then resolves the blob from
+// its cache or a peer, and answers NeedBlob when it cannot, telling the
+// client to retry with the full upload.
 func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, error) {
 	var hdr protocol.ModelPreSendHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
-	if err := protocol.VerifyBody(msg.Body, hdr.BodyCRC); err != nil {
-		return protocol.Message{}, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
-	}
-	net, err := nn.DecodeSpec(hdr.Spec)
-	if err != nil {
-		return protocol.Message{}, fmt.Errorf("model %q: %w", hdr.ModelName, err)
-	}
-	if err := net.DecodeWeights(bytes.NewReader(msg.Body)); err != nil {
-		return protocol.Message{}, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
+	var (
+		weights []byte
+		net     *nn.Network
+		err     error
+	)
+	if hdr.RefOnly {
+		weights, net, err = s.resolveModelBlob(hdr)
+		if err != nil {
+			s.refPreSendMisses.Inc()
+			s.logf("edge: ref pre-send %q (blob %s) unresolved: %v", hdr.ModelName, hdr.BlobKey, err)
+			return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
+				AppID:     hdr.AppID,
+				ModelName: hdr.ModelName,
+				Load:      s.hintFor(hdr.Hints),
+				NeedBlob:  true,
+			}, nil)
+		}
+		s.refPreSendHits.Inc()
+	} else {
+		if err := protocol.VerifyBody(msg.Body, hdr.BodyCRC); err != nil {
+			return protocol.Message{}, fmt.Errorf("model %q weights: %w", hdr.ModelName, err)
+		}
+		weights = msg.Body
+		net, err = decodeModel(hdr, weights)
+		if err != nil {
+			return protocol.Message{}, err
+		}
 	}
 	if err := s.store.Put(hdr.AppID, hdr.ModelName, net); err != nil {
 		// The in-memory copy is in place; persistence failure only
 		// affects restarts. Log and keep serving.
 		s.logf("edge: persist model %q: %v", hdr.ModelName, err)
 	}
+	if s.fleetEnabled() {
+		key := hdr.BlobKey
+		if key == "" {
+			key = nn.Fingerprint(net)
+		}
+		s.cfg.Blobs.Put(key, weights)
+	}
 	s.modelsStored.Inc()
-	s.logf("edge: stored model %q for app %q (%d params, partial=%v)",
-		hdr.ModelName, hdr.AppID, net.TotalParams(), hdr.Partial)
+	s.logf("edge: stored model %q for app %q (%d params, partial=%v, ref=%v)",
+		hdr.ModelName, hdr.AppID, net.TotalParams(), hdr.Partial, hdr.RefOnly)
 	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
 		AppID:     hdr.AppID,
 		ModelName: hdr.ModelName,
@@ -772,6 +835,7 @@ func (s *Server) captureResult(app *webapp.App, appID string) (*snapshot.Snapsho
 		return nil, err
 	}
 	s.states.Put(appID, result)
+	s.publishStateBlob(result)
 	return result, nil
 }
 
@@ -1121,11 +1185,27 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 		return protocol.Message{}, err
 	}
 	base, ok := s.states.Get(delta.AppID)
+	if !ok && s.fleetEnabled() {
+		// A roaming session's previous server published the synced state
+		// under its content hash; adopt it instead of failing the delta.
+		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash); rerr == nil {
+			base, ok = recovered, true
+		} else {
+			s.logf("edge: delta base %s for app %q not in fleet: %v", delta.BaseHash, delta.AppID, rerr)
+		}
+	}
 	if !ok {
 		return protocol.Message{}, fmt.Errorf("%w: no state for app %q at this server",
 			snapshot.ErrBaseMismatch, delta.AppID)
 	}
 	preExec, err := delta.Apply(base)
+	if err != nil && s.fleetEnabled() && errors.Is(err, snapshot.ErrBaseMismatch) {
+		// The stored state is from another session generation; the fleet
+		// may hold the exact base this delta wants.
+		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash); rerr == nil {
+			preExec, err = delta.Apply(recovered)
+		}
+	}
 	if err != nil {
 		return protocol.Message{}, err
 	}

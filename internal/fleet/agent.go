@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"websnap/internal/obs"
+	"websnap/internal/protocol"
+)
+
+// AgentConfig configures a registration agent.
+type AgentConfig struct {
+	// Client talks to the registry.
+	Client *RegistryClient
+	// Addr is the server's advertised offload address (cmd/edged
+	// -advertise), which peers and clients dial. It may differ from the
+	// listen address behind NAT or a container port map.
+	Addr string
+	// Capacity is the server's worker-pool size.
+	Capacity int
+	// TTL is the registration lifetime named on each heartbeat (registry
+	// default when zero).
+	TTL time.Duration
+	// Interval is the heartbeat period; defaults to TTL/3 (or one third
+	// of the registry default) so two consecutive losses still leave the
+	// registration live.
+	Interval time.Duration
+	// Load, when set, supplies the live load hint for each heartbeat.
+	Load func() *protocol.LoadHint
+	// Blobs, when set, supplies the content-addressed keys the server
+	// currently holds.
+	Blobs func() []string
+	// Logger records heartbeat failures.
+	Logger *obs.Logger
+}
+
+// Agent keeps an edge server registered: one registration up front, then a
+// heartbeat loop until Close. Heartbeat failures are logged and retried on
+// the next tick — a registry outage degrades the fleet view, it never
+// takes the server down.
+type Agent struct {
+	cfg      AgentConfig
+	interval time.Duration
+	quit     chan struct{}
+	done     sync.WaitGroup
+	once     sync.Once
+}
+
+// StartAgent registers immediately and starts the heartbeat loop. The
+// initial registration failing is an error (the operator pointed at a dead
+// registry); later failures are not.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("fleet: agent without registry client")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("fleet: agent without advertised address")
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		ttl := cfg.TTL
+		if ttl <= 0 {
+			ttl = DefaultTTL
+		}
+		interval = ttl / 3
+	}
+	a := &Agent{cfg: cfg, interval: interval, quit: make(chan struct{})}
+	if err := a.heartbeat(); err != nil {
+		return nil, err
+	}
+	a.done.Add(1)
+	go a.run()
+	return a, nil
+}
+
+// heartbeat sends one registration.
+func (a *Agent) heartbeat() error {
+	hdr := protocol.FleetRegisterHeader{
+		Addr:      a.cfg.Addr,
+		Capacity:  a.cfg.Capacity,
+		TTLMillis: a.cfg.TTL.Milliseconds(),
+	}
+	if a.cfg.Load != nil {
+		hdr.Load = a.cfg.Load()
+	}
+	if a.cfg.Blobs != nil {
+		hdr.Blobs = a.cfg.Blobs()
+	}
+	_, err := a.cfg.Client.Register(hdr)
+	return err
+}
+
+func (a *Agent) run() {
+	defer a.done.Done()
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case <-ticker.C:
+			if err := a.heartbeat(); err != nil {
+				a.cfg.Logger.Warn("fleet: heartbeat failed", obs.Err(err))
+			}
+		}
+	}
+}
+
+// Close stops the heartbeat loop. The registration then lapses at its TTL.
+func (a *Agent) Close() {
+	a.once.Do(func() { close(a.quit) })
+	a.done.Wait()
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+)
+
+// BlobStore is an in-memory content-addressed blob cache. Edge servers
+// publish model weight blobs (keyed by nn.Fingerprint) and synced snapshot
+// encodings (keyed by Snapshot.Hash) into it, advertise the key set on
+// registry heartbeats, and serve peers' MsgBlobGet requests from it. Keys
+// are opaque here; callers are responsible for key↔content integrity
+// (verified on the fetch path via CRC plus fingerprint recomputation).
+type BlobStore struct {
+	mu    sync.RWMutex
+	blobs map[string][]byte
+	bytes int64
+}
+
+// NewBlobStore builds an empty store.
+func NewBlobStore() *BlobStore {
+	return &BlobStore{blobs: make(map[string][]byte)}
+}
+
+// Put stores data under key. Content addressing makes overwrites
+// idempotent: a key collision means identical bytes, so the first copy is
+// kept.
+func (b *BlobStore) Put(key string, data []byte) {
+	if key == "" {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.blobs[key]; ok {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.blobs[key] = cp
+	b.bytes += int64(len(cp))
+}
+
+// Get returns the blob for key. The returned slice is shared; callers must
+// not mutate it.
+func (b *BlobStore) Get(key string) ([]byte, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.blobs[key]
+	return data, ok
+}
+
+// Has reports whether the store holds key.
+func (b *BlobStore) Has(key string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.blobs[key]
+	return ok
+}
+
+// Keys returns all stored keys, sorted — the set a registry heartbeat
+// advertises.
+func (b *BlobStore) Keys() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	keys := make([]string, 0, len(b.blobs))
+	for k := range b.blobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of stored blobs.
+func (b *BlobStore) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.blobs)
+}
+
+// Bytes returns the total stored payload size.
+func (b *BlobStore) Bytes() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.bytes
+}

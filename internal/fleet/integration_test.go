@@ -1,0 +1,341 @@
+package fleet_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"net"
+
+	"websnap/internal/client"
+	"websnap/internal/edge"
+	"websnap/internal/fleet"
+	"websnap/internal/mlapp"
+	"websnap/internal/models"
+	"websnap/internal/nn"
+	"websnap/internal/obs"
+	"websnap/internal/roam"
+	"websnap/internal/testutil"
+	"websnap/internal/webapp"
+)
+
+// The fleet integration test drives the whole subsystem end to end:
+// registry + agents + placement-fed roaming + content-addressed blob
+// sharing, asserting the tentpole's acceptance criteria — a client roaming
+// A→B→C re-uploads zero model bytes after the first upload, every result
+// is bit-identical to a local twin, and every event gets exactly one
+// terminal audit decision.
+
+// startRegistry runs a wire registry for integration tests.
+func startRegistry(t *testing.T, ttl time.Duration) string {
+	t.Helper()
+	srv := fleet.NewRegistryServer(fleet.NewRegistry(fleet.RegistryOptions{TTL: ttl}), nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// startFleetEdge runs one fleet-enabled edge server: its own blob store, a
+// registry client as blob locator, and a heartbeat agent advertising load
+// and held blob keys.
+func startFleetEdge(t *testing.T, registryAddr string) (*edge.Server, string) {
+	t.Helper()
+	cat := webapp.NewCatalog()
+	if err := cat.Add(mlapp.FullRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	rc := fleet.NewRegistryClient(registryAddr, fleet.ClientOptions{})
+	srv, err := edge.NewServer(edge.Config{
+		Catalog:       cat,
+		Installed:     true,
+		Workers:       2,
+		AdvertiseAddr: addr,
+		Blobs:         fleet.NewBlobStore(),
+		Locator:       rc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	agent, err := fleet.StartAgent(fleet.AgentConfig{
+		Client:   rc,
+		Addr:     addr,
+		Capacity: 2,
+		TTL:      2 * time.Second,
+		Interval: 20 * time.Millisecond,
+		Load:     srv.LoadHint,
+		Blobs:    srv.BlobKeys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		agent.Close()
+		srv.Close()
+		<-done
+	})
+	return srv, addr
+}
+
+// waitForIndexedBlobs blocks until the registry's blob index covers every
+// key the server currently holds (one heartbeat interval, bounded).
+func waitForIndexedBlobs(t *testing.T, rc *fleet.RegistryClient, srv *edge.Server) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		keys := srv.BlobKeys()
+		holders, err := rc.Locate(keys)
+		ok := err == nil && len(keys) > 0
+		for _, k := range keys {
+			if len(holders[k]) == 0 {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never indexed blobs %v (err %v)", keys, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// localResult computes the ground-truth result for one image seed on a
+// local twin of the app.
+func localResult(t *testing.T, model *nn.Network, labels []string, seed uint64) string {
+	t.Helper()
+	app, err := mlapp.NewFullApp("fleet-ref", "tiny", model, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, seed)); err != nil {
+		t.Fatal(err)
+	}
+	app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+	if _, err := app.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	res := mlapp.Result(app)
+	if res == "" {
+		t.Fatalf("local twin produced no result for seed %d", seed)
+	}
+	return res
+}
+
+// TestFleetRoamingNoModelReupload is the headline acceptance test: three
+// fleet-enabled edge servers, a client whose candidate set comes from the
+// registry through a placement policy, roaming A→B→C. After the first
+// upload, handoffs transfer zero model bytes from the client — each new
+// server resolves the model by content reference, fetching the blob from a
+// peer — while results stay bit-identical to a local twin and every event
+// records exactly one audit decision carrying the placement policy.
+func TestFleetRoamingNoModelReupload(t *testing.T) {
+	testutil.LeakCheck(t)
+	regAddr := startRegistry(t, 2*time.Second)
+	srvA, addrA := startFleetEdge(t, regAddr)
+	srvB, addrB := startFleetEdge(t, regAddr)
+	srvC, addrC := startFleetEdge(t, regAddr)
+	servers := map[string]*edge.Server{addrA: srvA, addrB: srvB, addrC: srvC}
+
+	model, err := models.BuildTinyNet("tiny", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []string{"cat", "dog", "bird"}
+	modelKey := nn.Fingerprint(model)
+	if modelKey == "" {
+		t.Fatal("model has no fingerprint")
+	}
+
+	// The roamer's membership comes exclusively from the registry (no
+	// static server list), ranked by the hash placement policy; a scripted
+	// probe steers which server wins so the A→B→C itinerary is
+	// deterministic.
+	var mu sync.Mutex
+	preferred := addrA
+	setPreferred := func(addr string) {
+		mu.Lock()
+		preferred = addr
+		mu.Unlock()
+	}
+	probe := func(addr string) (time.Duration, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if addr == preferred {
+			return time.Millisecond, nil
+		}
+		return 100 * time.Millisecond, nil
+	}
+	rc := fleet.NewRegistryClient(regAddr, fleet.ClientOptions{})
+	var switchLog strings.Builder
+	roamer, err := roam.New(roam.Config{
+		FleetView: fleet.PlacementView(rc, fleet.PolicyHash, "fleet-app"),
+		Probe:     probe,
+		Logger:    obs.NewLogger(&switchLog, obs.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := roamer.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer roamer.Close()
+	if addr, _ := roamer.Current(); addr != addrA {
+		t.Fatalf("connected to %q, want A=%q", addr, addrA)
+	}
+	if src := roamer.ViewSource(); src != "registry" {
+		t.Errorf("view source = %q, want registry", src)
+	}
+
+	app, err := mlapp.NewFullApp("fleet-app", "tiny", model, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor := obs.NewAuditor(obs.AuditorOptions{Keep: 16})
+	off, err := client.NewOffloader(app, conn, client.Options{
+		OffloadEventTypes: []string{mlapp.EventClick},
+		Models:            []client.ModelToSend{{Name: "tiny", Net: model}},
+		EnableDelta:       true,
+		BlobRefPreSend:    true,
+		FleetSync:         true,
+		Placement:         string(fleet.PolicyHash),
+		Audit:             auditor,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.StartPreSend()
+	if err := off.WaitForAcks(); err != nil {
+		t.Fatal(err)
+	}
+
+	runOnce := func(seed uint64) string {
+		t.Helper()
+		if err := mlapp.LoadImage(app, mlapp.SyntheticImage(3*16*16, seed)); err != nil {
+			t.Fatal(err)
+		}
+		app.DispatchEvent(webapp.Event{Target: mlapp.ButtonID, Type: mlapp.EventClick})
+		if _, err := off.Run(10); err != nil {
+			t.Fatal(err)
+		}
+		return mlapp.Result(app)
+	}
+	checkResult := func(stage string, seed uint64, got string) {
+		t.Helper()
+		if want := localResult(t, model, labels, seed); got != want {
+			t.Errorf("%s: result %q, want %q (bit-identical to local twin)", stage, got, want)
+		}
+	}
+
+	// First upload lands on A: the fleet holds nothing yet, so the
+	// reference offer misses and the bytes go up exactly once.
+	checkResult("A seed 1", 1, runOnce(1))
+	st := off.Stats()
+	if st.RefPreSendMisses != 1 || st.PreSendBytes != model.ModelBytes() {
+		t.Fatalf("first upload: misses=%d bytes=%d, want 1 miss / %d bytes",
+			st.RefPreSendMisses, st.PreSendBytes, model.ModelBytes())
+	}
+
+	// Roam A→B→C. Before each handoff, wait for the previous server's
+	// heartbeat to advertise its blobs (model weights + synced state), so
+	// the handoff exercises the index rather than racing it.
+	hop := func(from, to string) {
+		t.Helper()
+		waitForIndexedBlobs(t, rc, servers[from])
+		setPreferred(to)
+		newConn, switched, err := roamer.Evaluate()
+		if err != nil || !switched {
+			t.Fatalf("hop %s→%s: switched=%v err=%v", from, to, switched, err)
+		}
+		if err := off.Retarget(newConn); err != nil {
+			t.Fatal(err)
+		}
+		if err := off.WaitForAcks(); err != nil {
+			t.Fatalf("pre-send after hop %s→%s: %v", from, to, err)
+		}
+	}
+
+	hop(addrA, addrB)
+	checkResult("B seed 2", 2, runOnce(2))
+	hop(addrB, addrC)
+	checkResult("C seed 3", 3, runOnce(3))
+	// Same input as the very first event: C must answer exactly what A did.
+	checkResult("C seed 1 (vs A)", 1, runOnce(1))
+
+	// Zero model re-upload after the first: both handoffs resolved the
+	// model by reference, and the servers hold the blob without the client
+	// ever re-sending it.
+	st = off.Stats()
+	if st.PreSendBytes != model.ModelBytes() {
+		t.Errorf("total pre-send bytes = %d, want %d (a single upload)", st.PreSendBytes, model.ModelBytes())
+	}
+	if st.RefPreSendHits != 2 || st.RefPreSendMisses != 1 {
+		t.Errorf("ref pre-sends: hits=%d misses=%d, want 2 hits / 1 miss", st.RefPreSendHits, st.RefPreSendMisses)
+	}
+	for name, srv := range map[string]*edge.Server{"B": srvB, "C": srvC} {
+		held := false
+		for _, k := range srv.BlobKeys() {
+			if k == modelKey {
+				held = true
+			}
+		}
+		if !held {
+			t.Errorf("server %s does not hold model blob %s after handoff", name, modelKey)
+		}
+	}
+
+	// Exactly-once execution: 4 events, one server execution each, split
+	// 1/1/2 across the itinerary.
+	if st.Offloads != 4 {
+		t.Errorf("offloads = %d, want 4", st.Offloads)
+	}
+	wantExec := map[string]int64{addrA: 1, addrB: 1, addrC: 2}
+	for addr, srv := range servers {
+		m := srv.Metrics()
+		if got := m.SnapshotsExecuted + m.DeltasExecuted; got != wantExec[addr] {
+			t.Errorf("server %s executed %d events, want %d", addr, got, wantExec[addr])
+		}
+	}
+	// FleetSync kept the delta sync point across the handoff: B's first
+	// event arrived as a delta against a base it never saw, recovered from
+	// the fleet's state blob rather than re-uploaded.
+	if got := srvB.Metrics().DeltasExecuted; got < 1 {
+		t.Errorf("B executed %d deltas, want >=1 (delta base recovered across handoff)", got)
+	}
+
+	// Exactly one terminal audit decision per event, each stamped with the
+	// placement policy that chose the target.
+	if got := auditor.Total(); got != 4 {
+		t.Errorf("audit decisions = %d, want 4 (one per event)", got)
+	}
+	for _, d := range auditor.Recent() {
+		if d.Path != obs.PathFull {
+			t.Errorf("decision path = %s, want full", d.Path)
+		}
+		if d.Placement != string(fleet.PolicyHash) {
+			t.Errorf("decision placement = %q, want %q", d.Placement, fleet.PolicyHash)
+		}
+	}
+
+	// The switch audit trail names the live registry as the view source.
+	if !strings.Contains(switchLog.String(), `"view":"registry"`) {
+		t.Errorf("switch log lacks the registry view source:\n%s", switchLog.String())
+	}
+}

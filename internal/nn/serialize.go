@@ -2,7 +2,9 @@ package nn
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -181,6 +183,22 @@ func DecodeSpec(data []byte) (*Network, error) {
 		return nil, fmt.Errorf("nn: decode spec: %w", err)
 	}
 	return Build(spec)
+}
+
+// Fingerprint hashes a model's architecture and weights into its stable
+// content identity: sha256 over the encoded spec followed by the encoded
+// weights, truncated to 24 hex chars. Equal fingerprints mean
+// byte-identical models; the fleet blob index and the cross-server model
+// transfer path key blobs by this value.
+func Fingerprint(n *Network) string {
+	h := sha256.New()
+	if spec, err := EncodeSpec(n); err == nil {
+		h.Write(spec)
+	}
+	if err := n.EncodeWeights(h); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
 // EncodeWeights writes all parameter tensors as little-endian float32,

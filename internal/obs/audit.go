@@ -70,6 +70,9 @@ type Decision struct {
 	// BatchSize is the server-side execution batch the request rode in
 	// (0 when unknown or local).
 	BatchSize int `json:"batchSize,omitempty"`
+	// Placement names the fleet placement policy that chose the target
+	// server ("hash", "load"); empty outside a fleet.
+	Placement string `json:"placement,omitempty"`
 }
 
 // MarshalJSON renders durations in the units the field names promise
@@ -87,12 +90,13 @@ func (d Decision) MarshalJSON() ([]byte, error) {
 		Measured   int64        `json:"measuredMicros,omitempty"`
 		HintAge    *int64       `json:"hintAgeMillis,omitempty"`
 		BatchSize  int          `json:"batchSize,omitempty"`
+		Placement  string       `json:"placement,omitempty"`
 	}
 	a := alias{
 		TraceID: d.TraceID, AppID: d.AppID, Path: d.Path, Reason: d.Reason,
 		SplitLabel: d.SplitLabel, Delta: d.Delta, Server: d.Server,
 		Predicted: d.Predicted.Microseconds(), Measured: d.Measured.Microseconds(),
-		BatchSize: d.BatchSize,
+		BatchSize: d.BatchSize, Placement: d.Placement,
 	}
 	if d.HintAge >= 0 {
 		ms := d.HintAge.Milliseconds()

@@ -67,6 +67,25 @@ const (
 	MsgPing
 	// MsgPong answers a ping with the server's install state and load.
 	MsgPong
+	// MsgFleetRegister announces an edge server to a fleet registry:
+	// address, capacity, current load, and the content-addressed blob keys
+	// it holds. Re-sent periodically as a liveness heartbeat.
+	MsgFleetRegister
+	// MsgFleetRegistered acknowledges a registration.
+	MsgFleetRegistered
+	// MsgFleetList asks the registry for the current fleet view.
+	MsgFleetList
+	// MsgFleetView answers with the live (non-expired) fleet members.
+	MsgFleetView
+	// MsgBlobLocate asks the registry which servers hold the given
+	// content-addressed blobs (model weights, synced snapshot states).
+	MsgBlobLocate
+	// MsgBlobLocation answers with the holders per blob key.
+	MsgBlobLocation
+	// MsgBlobGet asks a peer edge server for one blob by content key.
+	MsgBlobGet
+	// MsgBlobData answers a blob fetch with the blob bytes in the body.
+	MsgBlobData
 )
 
 func (t MsgType) String() string {
@@ -93,6 +112,22 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgFleetRegister:
+		return "fleet-register"
+	case MsgFleetRegistered:
+		return "fleet-registered"
+	case MsgFleetList:
+		return "fleet-list"
+	case MsgFleetView:
+		return "fleet-view"
+	case MsgBlobLocate:
+		return "blob-locate"
+	case MsgBlobLocation:
+		return "blob-location"
+	case MsgBlobGet:
+		return "blob-get"
+	case MsgBlobData:
+		return "blob-data"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -154,6 +189,14 @@ const (
 	// advertised at least this version, keeping old-client response
 	// headers byte-identical.
 	HintCRCV1 = 3
+	// HintFleetV1 gates the fleet extension: pongs advertise fleet
+	// membership (Fleet field), and model pre-sends may ship a
+	// content-addressed BlobKey reference instead of the weight bytes; a
+	// fleet-capable server resolves the blob from its cache or a peer and
+	// answers NeedBlob when it cannot, telling the client to re-send in
+	// full. Servers that predate the extension answer a reference-only
+	// pre-send with a decode error, which clients treat like NeedBlob.
+	HintFleetV1 = 4
 )
 
 // LoadHint is the edge server's advertised scheduling load, attached to
@@ -226,6 +269,16 @@ type ModelPreSendHeader struct {
 	// BodyCRC is the weight blob's integrity checksum (BodyChecksum);
 	// zero means unchecked (old peer or empty body).
 	BodyCRC uint32 `json:"bodyCrc,omitempty"`
+	// BlobKey is the model's content-addressed fleet identity
+	// (nn.Fingerprint over spec+weights). Senders that advertised
+	// HintFleetV1 attach it so the server can index the blob fleet-wide.
+	BlobKey string `json:"blobKey,omitempty"`
+	// RefOnly marks a reference-only pre-send: the body is empty and the
+	// server must resolve BlobKey from its own cache or a fleet peer. A
+	// server that cannot answers NeedBlob on the ack (or, if it predates
+	// the extension, a decode error — clients treat both as "send the
+	// bytes").
+	RefOnly bool `json:"refOnly,omitempty"`
 }
 
 // AckHeader is the JSON header of MsgAck.
@@ -235,6 +288,10 @@ type AckHeader struct {
 	// Load is the server's scheduling load; present only when the request
 	// advertised HintLoadV1.
 	Load *LoadHint `json:"load,omitempty"`
+	// NeedBlob rejects a reference-only pre-send: the server could not
+	// resolve the BlobKey locally or from a peer, and the client must
+	// retry with the full weight bytes.
+	NeedBlob bool `json:"needBlob,omitempty"`
 }
 
 // SnapshotHeader is the JSON header of MsgSnapshot, MsgResultSnapshot,
@@ -288,6 +345,10 @@ type PingHeader struct {
 type PongHeader struct {
 	Installed bool      `json:"installed"`
 	Load      *LoadHint `json:"load,omitempty"`
+	// Fleet advertises that the server participates in a fleet (blob
+	// sharing + registry); attached only when the ping advertised
+	// HintFleetV1.
+	Fleet bool `json:"fleet,omitempty"`
 }
 
 // InstallOverlayHeader is the JSON header of MsgInstallOverlay; the
@@ -301,6 +362,96 @@ type InstallDoneHeader struct {
 	BaseImage string `json:"baseImage"`
 	// SynthesisMillis reports how long VM synthesis took on the server.
 	SynthesisMillis int64 `json:"synthesisMillis"`
+}
+
+// FleetServer is one fleet member as seen in a registry view.
+type FleetServer struct {
+	// Addr is the server's advertised (dialable) offload address.
+	Addr string `json:"addr"`
+	// Capacity is the server's worker-pool size, the static weight the
+	// placement layer blends with the live load hint.
+	Capacity int `json:"capacity"`
+	// Load is the member's last registered scheduling load, if any.
+	Load *LoadHint `json:"load,omitempty"`
+	// AgeMillis is how old this member's last heartbeat was when the view
+	// was served (registry clock; lets clients judge hint freshness
+	// without trusting their own clock against the registry's).
+	AgeMillis int64 `json:"ageMillis"`
+}
+
+// FleetRegisterHeader is the JSON header of MsgFleetRegister, an edge
+// server's registration/heartbeat with the registry.
+type FleetRegisterHeader struct {
+	// Addr is the server's advertised offload address (see cmd/edged
+	// -advertise; may differ from the listen address behind NAT).
+	Addr string `json:"addr"`
+	// Capacity is the server's worker-pool size.
+	Capacity int `json:"capacity"`
+	// TTLMillis is how long the registration stays live without a fresh
+	// heartbeat; 0 means the registry default.
+	TTLMillis int64 `json:"ttlMillis,omitempty"`
+	// Load is the server's current scheduling load.
+	Load *LoadHint `json:"load,omitempty"`
+	// Blobs lists content-addressed blob keys the server holds (models by
+	// nn.Fingerprint, synced snapshots by Snapshot.Hash), merged into the
+	// fleet blob index.
+	Blobs []string `json:"blobs,omitempty"`
+	// Hints advertises the extension versions the sender understands.
+	Hints int `json:"hints,omitempty"`
+}
+
+// FleetRegisteredHeader is the JSON header of MsgFleetRegistered.
+type FleetRegisteredHeader struct {
+	// Servers is the number of live fleet members after this registration.
+	Servers int `json:"servers"`
+	// Version is the registry's monotonically increasing view version.
+	Version uint64 `json:"version"`
+}
+
+// FleetListHeader is the JSON header of MsgFleetList, a client's request
+// for the current fleet view.
+type FleetListHeader struct {
+	Hints int `json:"hints,omitempty"`
+}
+
+// FleetViewHeader is the JSON header of MsgFleetView.
+type FleetViewHeader struct {
+	// Version is the registry's view version; it increases whenever
+	// membership or registered state changes.
+	Version uint64 `json:"version"`
+	// Servers lists the live fleet members.
+	Servers []FleetServer `json:"servers"`
+}
+
+// BlobLocateHeader is the JSON header of MsgBlobLocate, asking the
+// registry which fleet members hold the given content-addressed blobs.
+type BlobLocateHeader struct {
+	Keys  []string `json:"keys"`
+	Hints int      `json:"hints,omitempty"`
+}
+
+// BlobLocationHeader is the JSON header of MsgBlobLocation. Keys absent
+// from Holders are unknown to the fleet.
+type BlobLocationHeader struct {
+	// Holders maps each located blob key to the advertised addresses of
+	// live servers holding it.
+	Holders map[string][]string `json:"holders,omitempty"`
+}
+
+// BlobGetHeader is the JSON header of MsgBlobGet, a peer-to-peer fetch of
+// a content-addressed blob from another edge server.
+type BlobGetHeader struct {
+	Key   string `json:"key"`
+	Hints int    `json:"hints,omitempty"`
+}
+
+// BlobDataHeader is the JSON header of MsgBlobData; the blob bytes travel
+// in the body.
+type BlobDataHeader struct {
+	Key string `json:"key"`
+	// BodyCRC is the blob's integrity checksum (BodyChecksum); receivers
+	// verify whenever it is non-zero.
+	BodyCRC uint32 `json:"bodyCrc,omitempty"`
 }
 
 // Message is one framed message.
@@ -356,7 +507,7 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	msg := Message{Type: MsgType(hdr[5])}
-	if msg.Type < MsgModelPreSend || msg.Type > MsgPong {
+	if msg.Type < MsgModelPreSend || msg.Type > MsgBlobData {
 		return Message{}, fmt.Errorf("%w: %d", ErrUnknownType, hdr[5])
 	}
 	hdrLen := binary.LittleEndian.Uint32(hdr[6:10])

@@ -29,6 +29,20 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{"error", mustEncode(t, MsgError, ErrorHeader{Message: "boom"}, nil), nil},
 		{"overlay", mustEncode(t, MsgInstallOverlay, InstallOverlayHeader{BaseImage: "ubuntu"}, []byte{9}), nil},
 		{"done", mustEncode(t, MsgInstallDone, InstallDoneHeader{SynthesisMillis: 1900}, nil), nil},
+		{"fleet-register", mustEncode(t, MsgFleetRegister,
+			FleetRegisterHeader{Addr: "10.0.0.1:9000", Capacity: 4, TTLMillis: 3000,
+				Load: &LoadHint{Workers: 4, Busy: 2}, Blobs: []string{"abc123", "def456"}, Hints: HintFleetV1},
+			nil), nil},
+		{"fleet-registered", mustEncode(t, MsgFleetRegistered, FleetRegisteredHeader{Servers: 3, Version: 17}, nil), nil},
+		{"fleet-list", mustEncode(t, MsgFleetList, FleetListHeader{Hints: HintFleetV1}, nil), nil},
+		{"fleet-view", mustEncode(t, MsgFleetView,
+			FleetViewHeader{Version: 17, Servers: []FleetServer{{Addr: "10.0.0.1:9000", Capacity: 4, AgeMillis: 120}}},
+			nil), nil},
+		{"blob-locate", mustEncode(t, MsgBlobLocate, BlobLocateHeader{Keys: []string{"abc123"}}, nil), nil},
+		{"blob-location", mustEncode(t, MsgBlobLocation,
+			BlobLocationHeader{Holders: map[string][]string{"abc123": {"10.0.0.1:9000"}}}, nil), nil},
+		{"blob-get", mustEncode(t, MsgBlobGet, BlobGetHeader{Key: "abc123"}, nil), nil},
+		{"blob-data", mustEncode(t, MsgBlobData, BlobDataHeader{Key: "abc123", BodyCRC: 7}, []byte{4, 5, 6}), nil},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -170,6 +184,47 @@ func TestMsgTypeString(t *testing.T) {
 	}
 	if MsgType(99).String() != "unknown(99)" {
 		t.Errorf("unknown = %q", MsgType(99))
+	}
+	for typ, want := range map[MsgType]string{
+		MsgFleetRegister:   "fleet-register",
+		MsgFleetRegistered: "fleet-registered",
+		MsgFleetList:       "fleet-list",
+		MsgFleetView:       "fleet-view",
+		MsgBlobLocate:      "blob-locate",
+		MsgBlobLocation:    "blob-location",
+		MsgBlobGet:         "blob-get",
+		MsgBlobData:        "blob-data",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", typ, typ, want)
+		}
+	}
+}
+
+// TestRefPreSendHeaderCompat checks that the fleet extension fields stay
+// invisible to old peers: a header without BlobKey/RefOnly/NeedBlob/Fleet
+// encodes byte-identically to the pre-extension layout.
+func TestRefPreSendHeaderCompat(t *testing.T) {
+	plain, err := json.Marshal(ModelPreSendHeader{AppID: "a", ModelName: "m", Spec: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "blobKey") || strings.Contains(string(plain), "refOnly") {
+		t.Errorf("unset fleet fields leaked into header: %s", plain)
+	}
+	ack, err := json.Marshal(AckHeader{AppID: "a", ModelName: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(ack), "needBlob") {
+		t.Errorf("unset NeedBlob leaked into ack header: %s", ack)
+	}
+	pong, err := json.Marshal(PongHeader{Installed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(pong), "fleet") {
+		t.Errorf("unset Fleet leaked into pong header: %s", pong)
 	}
 }
 

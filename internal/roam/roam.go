@@ -70,8 +70,20 @@ func (i ServerInfo) better(j ServerInfo) bool {
 
 // Config parametrizes a Roamer.
 type Config struct {
-	// Servers lists candidate edge server addresses.
+	// Servers lists candidate edge server addresses. May be empty when
+	// FleetView supplies membership dynamically.
 	Servers []string
+	// FleetView, when non-nil, supplies the candidate set dynamically —
+	// typically a fleet registry view ranked by a placement policy (see
+	// fleet.PlacementView). It returns candidate addresses in placement-
+	// preference order plus a source tag: "registry" for a live view,
+	// "registry-cached" when the client serves its last-known-good cached
+	// view during a registry outage. The roamer refreshes membership at
+	// the start of every probe round; a FleetView error keeps the previous
+	// membership and records source "last-known-good". The source tag is
+	// attached to switch audit logs so degraded placement is visible in
+	// the decision record.
+	FleetView func() (addrs []string, source string, err error)
 	// SwitchMargin is the relative RTT advantage a candidate needs
 	// before the roamer abandons a healthy current server (0.3 = 30%
 	// faster). Zero selects a default of 0.3; hysteresis avoids
@@ -116,6 +128,10 @@ type Roamer struct {
 	currentAddr string
 	currentConn *client.Conn
 	switches    int
+	// viewSource records where the current membership came from ("" for a
+	// static server list; "registry", "registry-cached", or
+	// "last-known-good" under a FleetView).
+	viewSource string
 }
 
 // TraceRecorder exposes the roamer's probe-latency histograms.
@@ -123,7 +139,7 @@ func (r *Roamer) TraceRecorder() *trace.Recorder { return r.rec }
 
 // New creates a roamer over the configured candidate servers.
 func New(cfg Config) (*Roamer, error) {
-	if len(cfg.Servers) == 0 {
+	if len(cfg.Servers) == 0 && cfg.FleetView == nil {
 		return nil, ErrNoServers
 	}
 	if cfg.SwitchMargin <= 0 {
@@ -187,9 +203,78 @@ func PingProbe(addr string) (time.Duration, *protocol.LoadHint, error) {
 	return rtt, nil, nil
 }
 
-// ProbeAll probes every candidate and returns their states sorted by
-// (healthy first, then RTT).
+// refreshMembership pulls the candidate set from the fleet view, keeping
+// probe state for servers that persist across refreshes. A view error
+// keeps the previous membership (degrade to last-known-good) rather than
+// stranding the roamer: a dead registry must not take down clients that
+// already know where the fleet is.
+func (r *Roamer) refreshMembership() {
+	if r.cfg.FleetView == nil {
+		return
+	}
+	addrs, source, err := r.cfg.FleetView()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.viewSource = "last-known-good"
+		r.cfg.Logger.Warn("roam: fleet view unavailable, keeping last-known-good membership",
+			obs.F("error", err.Error()), obs.F("servers", len(r.order)))
+		return
+	}
+	r.viewSource = source
+	seen := make(map[string]bool, len(addrs))
+	order := make([]string, 0, len(addrs)+1)
+	servers := make(map[string]*ServerInfo, len(addrs)+1)
+	added := 0
+	for _, addr := range addrs {
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		if info, ok := r.servers[addr]; ok {
+			servers[addr] = info
+		} else {
+			servers[addr] = &ServerInfo{Addr: addr}
+			added++
+		}
+		order = append(order, addr)
+	}
+	// The current server stays a candidate even when the view drops it:
+	// selection quality, not membership churn, decides when to abandon a
+	// live connection.
+	if r.currentAddr != "" && !seen[r.currentAddr] {
+		if info, ok := r.servers[r.currentAddr]; ok {
+			servers[r.currentAddr] = info
+			order = append(order, r.currentAddr)
+		}
+	}
+	removed := 0
+	for addr := range r.servers {
+		if _, ok := servers[addr]; !ok {
+			removed++
+		}
+	}
+	if added > 0 || removed > 0 {
+		r.cfg.Logger.Info("roam: fleet membership changed",
+			obs.F("added", added), obs.F("removed", removed),
+			obs.F("servers", len(order)), obs.F("view", source))
+	}
+	r.order, r.servers = order, servers
+}
+
+// ViewSource reports where the current candidate membership came from: ""
+// for a static server list; "registry", "registry-cached", or
+// "last-known-good" when a FleetView feeds the roamer.
+func (r *Roamer) ViewSource() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewSource
+}
+
+// ProbeAll refreshes fleet membership, probes every candidate, and returns
+// their states sorted by (healthy first, then RTT).
 func (r *Roamer) ProbeAll() []ServerInfo {
+	r.refreshMembership()
 	r.mu.Lock()
 	addrs := append([]string(nil), r.order...)
 	r.mu.Unlock()
@@ -219,6 +304,11 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 	now := r.cfg.Now()
 	for _, res := range results {
 		info := r.servers[res.addr]
+		if info == nil {
+			// A concurrent membership refresh dropped this server while it
+			// was being probed.
+			continue
+		}
 		info.LastProbe = now
 		info.Healthy = res.err == nil
 		if res.err == nil {
@@ -244,6 +334,13 @@ func (r *Roamer) ProbeAll() []ServerInfo {
 	return out
 }
 
+// stale reports whether the server's last probe predates the staleness
+// window: everything it told us (RTT, queue depth, saturation) describes a
+// state that may no longer exist.
+func (r *Roamer) stale(info *ServerInfo, now time.Time) bool {
+	return now.Sub(info.LastProbe) > r.cfg.HintStaleness
+}
+
 // freshView returns info with a stale load hint stripped: once the hint is
 // older than the staleness window, the score falls back to RTT alone and
 // the saturation flag no longer repels selection — the queue that hint
@@ -258,28 +355,44 @@ func (r *Roamer) freshView(info ServerInfo, now time.Time) ServerInfo {
 
 // Best returns the healthiest candidate with the lowest effective cost
 // (RTT plus advertised queueing delay) from the most recent probes; lightly
-// loaded servers beat equally near saturated ones. Load hints older than
-// the staleness window are ignored and those servers compete on RTT alone.
+// loaded servers beat equally near saturated ones.
+//
+// Servers whose last probe is older than the staleness window are excluded
+// outright while any freshly probed server remains: a stale probe is a
+// measurement of a server state that no longer exists, and letting it
+// compete on its old RTT shadows live measurements (historically it kept
+// its RTT score after losing only its load hint, so a long-unprobed server
+// could outrank a just-probed one). Only when every healthy server is
+// stale does selection degrade to last-known-good, scored by RTT alone.
 func (r *Roamer) Best() (ServerInfo, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.cfg.Now()
-	found := false
-	var best ServerInfo
+	var best, lastKnown ServerInfo
+	found, foundStale := false, false
 	for _, addr := range r.order {
 		info := r.servers[addr]
 		if !info.Healthy {
 			continue
 		}
-		v := r.freshView(*info, now)
-		if !found || v.better(best) {
-			best, found = v, true
+		if r.stale(info, now) {
+			v := r.freshView(*info, now)
+			if !foundStale || v.better(lastKnown) {
+				lastKnown, foundStale = v, true
+			}
+			continue
+		}
+		if !found || info.better(best) {
+			best, found = *info, true
 		}
 	}
-	if !found {
-		return ServerInfo{}, ErrNoReachable
+	if found {
+		return best, nil
 	}
-	return best, nil
+	if foundStale {
+		return lastKnown, nil
+	}
+	return ServerInfo{}, ErrNoReachable
 }
 
 // Current returns the current server address and connection ("" and nil
@@ -326,12 +439,19 @@ func (r *Roamer) SwitchTo(addr string) (*client.Conn, error) {
 	r.currentAddr = addr
 	r.switches++
 	switches := r.switches
+	viewSource := r.viewSource
 	r.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
-	r.cfg.Logger.Info("roam: switched edge server",
-		obs.F("from", oldAddr), obs.F("to", addr), obs.F("switches", switches))
+	fields := []obs.Field{obs.F("from", oldAddr), obs.F("to", addr), obs.F("switches", switches)}
+	if viewSource != "" {
+		// Audit where the membership behind this switch came from, so a
+		// placement decision made on a degraded (cached or last-known-good)
+		// view is distinguishable from one made on live registry data.
+		fields = append(fields, obs.F("view", viewSource))
+	}
+	r.cfg.Logger.Info("roam: switched edge server", fields...)
 	return conn, nil
 }
 

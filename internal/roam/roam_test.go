@@ -421,6 +421,140 @@ func TestEvaluateLeavesSaturatedServer(t *testing.T) {
 	}
 }
 
+// TestStaleProbeExcluded is the regression test for stale-hint handling:
+// a server whose probe has aged past HintStaleness used to keep competing
+// on its (equally stale) RTT after only its load hint was dropped, letting
+// a long-unprobed nearby server outrank a freshly probed one. Stale
+// servers must be excluded outright while any fresh server exists, and
+// selection must degrade to last-known-good only when every healthy server
+// is stale.
+func TestStaleProbeExcluded(t *testing.T) {
+	probe := newLoadProbe()
+	probe.set("staleFast", time.Millisecond, &protocol.LoadHint{})
+	probe.set("fresh", 20*time.Millisecond, &protocol.LoadHint{})
+	r, err := New(Config{Servers: []string{"staleFast", "fresh"}, ProbeLoad: probe.probe, Dial: fakeDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ProbeAll()
+
+	// Age one server's probe past the staleness window.
+	r.mu.Lock()
+	r.servers["staleFast"].LastProbe = r.cfg.Now().Add(-r.cfg.HintStaleness - time.Second)
+	r.mu.Unlock()
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Addr != "fresh" {
+		t.Errorf("best = %q, want the freshly probed server (stale probe must not compete on old RTT)", best.Addr)
+	}
+
+	// Every healthy server stale: degrade to last-known-good (RTT alone)
+	// instead of reporting the fleet unreachable.
+	r.mu.Lock()
+	r.servers["fresh"].LastProbe = r.cfg.Now().Add(-r.cfg.HintStaleness - time.Second)
+	r.mu.Unlock()
+	best, err = r.Best()
+	if err != nil {
+		t.Fatalf("all-stale fleet should fall back to last-known-good, got %v", err)
+	}
+	if best.Addr != "staleFast" {
+		t.Errorf("last-known-good best = %q, want the lowest-RTT server", best.Addr)
+	}
+	if best.Load != nil {
+		t.Error("last-known-good view should carry no stale load hint")
+	}
+}
+
+// TestFleetViewMembership covers the dynamic candidate source: membership
+// follows the fleet view across refreshes, the current server survives
+// being dropped from the view, and a view outage degrades to the previous
+// membership with the source recorded for audit.
+func TestFleetViewMembership(t *testing.T) {
+	probe := &fakeProbe{rtts: map[string]time.Duration{
+		"a": time.Millisecond,
+		"b": 2 * time.Millisecond,
+		"c": 3 * time.Millisecond,
+	}}
+	var mu sync.Mutex
+	addrs := []string{"a", "b"}
+	var viewErr error
+	view := func() ([]string, string, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if viewErr != nil {
+			return nil, "", viewErr
+		}
+		return append([]string(nil), addrs...), "registry", nil
+	}
+	var logBuf strings.Builder
+	r, err := New(Config{
+		FleetView: view,
+		Probe:     probe.probe,
+		Dial:      fakeDial,
+		Logger:    obs.NewLogger(&logBuf, obs.LevelInfo),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if addr, _ := r.Current(); addr != "a" {
+		t.Fatalf("connected to %q, want a", addr)
+	}
+	if src := r.ViewSource(); src != "registry" {
+		t.Errorf("view source = %q, want registry", src)
+	}
+	if !strings.Contains(logBuf.String(), `"view":"registry"`) {
+		t.Errorf("switch log should audit the view source:\n%s", logBuf.String())
+	}
+
+	// The view drops the current server and adds a new one: the candidate
+	// set follows, but the live connection's server stays a candidate.
+	mu.Lock()
+	addrs = []string{"c", "b"}
+	mu.Unlock()
+	infos := r.ProbeAll()
+	got := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		got[info.Addr] = true
+	}
+	if !got["a"] || !got["b"] || !got["c"] {
+		t.Fatalf("candidates after refresh = %v, want a (current), b, c", got)
+	}
+	best, err := r.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Addr != "a" {
+		t.Errorf("best = %q, want the retained current server (lowest RTT)", best.Addr)
+	}
+
+	// Registry outage: membership freezes at last-known-good and the
+	// degraded source is recorded.
+	mu.Lock()
+	viewErr = errors.New("registry unreachable")
+	mu.Unlock()
+	infos = r.ProbeAll()
+	if len(infos) != 3 {
+		t.Errorf("candidates during outage = %d, want 3 (last-known-good)", len(infos))
+	}
+	if src := r.ViewSource(); src != "last-known-good" {
+		t.Errorf("view source during outage = %q, want last-known-good", src)
+	}
+}
+
+// TestNewFleetViewOnly checks that a dynamic view stands in for a static
+// server list at construction time.
+func TestNewFleetViewOnly(t *testing.T) {
+	if _, err := New(Config{FleetView: func() ([]string, string, error) { return nil, "registry", nil }}); err != nil {
+		t.Errorf("New with FleetView and no static servers: %v", err)
+	}
+}
+
 func TestPingProbeAgainstRealServer(t *testing.T) {
 	srv, err := core.NewEdgeServer(nil)
 	if err != nil {

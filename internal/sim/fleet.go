@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"websnap/internal/fleet"
+	"websnap/internal/obs"
+	"websnap/internal/protocol"
+)
+
+// FleetConfig parameterizes the fleet sweep: many heterogeneous edge
+// servers, thousands of closed-loop full-offload clients, and a placement
+// policy deciding which server each session lands on.
+type FleetConfig struct {
+	// RequestsPerClient is how many closed-loop inferences each client
+	// session performs.
+	RequestsPerClient int
+	// RoamEvery forces a handoff after this many requests: the client
+	// leaves its current server's coverage and the placement policy
+	// re-places the session among the remaining members. 0 disables
+	// roaming.
+	RoamEvery int
+	// QueueDepth is each server's admission queue capacity; arrivals
+	// beyond it are rejected and the client falls back to full local
+	// execution.
+	QueueDepth int
+	// Capacities cycles worker counts across the fleet, making it
+	// heterogeneous (e.g. {2, 1, 4}: server 0 has 2 workers, server 1
+	// has 1, server 2 has 4, server 3 has 2 again, ...).
+	Capacities []int
+	// BackhaulFactor is how much faster the wired server-to-server link
+	// is than the client's wireless uplink. Peer blob fetches (a server
+	// pulling a model it lacks from the fleet member that holds it) ride
+	// the backhaul instead of the client link.
+	BackhaulFactor float64
+	// ThinkMax is the upper bound of each client's uniform think time
+	// between inferences. Fleet clients are interactive web apps that
+	// infer occasionally, not hot loops; the default scales to 100x the
+	// per-request service time, which puts a thousand-session fleet near
+	// its saturation knee at the top of the default server-count sweep.
+	ThinkMax time.Duration
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 6
+	}
+	if c.RoamEvery < 0 {
+		c.RoamEvery = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if len(c.Capacities) == 0 {
+		c.Capacities = []int{2, 1, 4}
+	}
+	if c.BackhaulFactor <= 0 {
+		c.BackhaulFactor = 10
+	}
+	return c
+}
+
+// FleetPoint is one (policy, fleet size) cell's outcome.
+type FleetPoint struct {
+	// Policy is the placement policy that chose every session's server.
+	Policy string `json:"policy"`
+	// Servers is the fleet size; Clients the closed-loop session count.
+	Servers int `json:"servers"`
+	Clients int `json:"clients"`
+	// Completed counts finished inferences (offloaded + local fallback);
+	// Fallbacks the subset a saturated server rejected; Handoffs the
+	// mid-session placements forced by roaming.
+	Completed int `json:"completed"`
+	Fallbacks int `json:"fallbacks"`
+	Handoffs  int `json:"handoffs"`
+	// Throughput is completed inferences per simulated second across the
+	// whole fleet.
+	Throughput float64 `json:"throughputPerSec"`
+	// P50/P95/P99 are client-observed latency percentiles in
+	// milliseconds, measured from the user event to the result on screen.
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
+	// Mix is the decision mix (full offloads vs overload fallbacks) in
+	// the client audit vocabulary.
+	Mix []obs.PathCount `json:"mix"`
+	// ExecPerServer is each server's completed-execution count, in server
+	// order — the placement spread. Consistent hashing ignores capacity,
+	// so heterogeneous fleets show up here as load imbalance.
+	ExecPerServer []int `json:"execPerServer"`
+	// ClientModelUploadBytes is what clients actually shipped over the
+	// wireless link to seed models. With content-addressed sharing the
+	// whole fleet needs exactly one client upload per distinct model.
+	ClientModelUploadBytes int64 `json:"clientModelUploadBytes"`
+	// ReuploadBytesSaved is the wireless bytes the blob index avoided:
+	// every (session, new server) pair that would have re-uploaded the
+	// model without sharing, resolved instead by reference.
+	ReuploadBytesSaved int64 `json:"reuploadBytesSaved"`
+	// PeerFetchBytes is backhaul traffic spent pulling blobs between
+	// servers — the wired cost that buys the wireless savings.
+	PeerFetchBytes int64 `json:"peerFetchBytes"`
+}
+
+// FallbackRate is the fraction of inferences that fell back to local
+// execution.
+func (p FleetPoint) FallbackRate() float64 {
+	if p.Completed == 0 {
+		return 0
+	}
+	return float64(p.Fallbacks) / float64(p.Completed)
+}
+
+// fleetSim is the deterministic discrete-event model of a fleet of edge
+// servers shared by roaming full-offload clients. Placement runs the real
+// policy code (fleet.Rank over protocol.FleetServer views with live load
+// hints); the wire registry's TTL/staleness behavior is exercised by the
+// integration tests — the sim isolates what the policies do at scale.
+type fleetSim struct {
+	sc  *Scenario
+	cfg FleetConfig
+	// clientPrep: full app-state capture + upload. service: one worker's
+	// occupancy per request (restore + full forward pass + result
+	// capture). clientPost: result download + restore. localFull: the
+	// whole model on the client device, the fallback path.
+	clientPrep time.Duration
+	service    time.Duration
+	clientPost time.Duration
+	localFull  time.Duration
+	// modelUp is the wireless model pre-send time; peerFetch the same
+	// bytes over the inter-server backhaul.
+	modelUp    time.Duration
+	peerFetch  time.Duration
+	modelBytes int64
+	thinkMax   time.Duration
+}
+
+// newFleetSim derives all segment durations from the scenario's calibrated
+// cost models for full offloading (the fleet ships whole snapshots; the
+// partial-split regime is LoadSweep's subject).
+func newFleetSim(sc *Scenario, cfg FleetConfig) (*fleetSim, error) {
+	cfg = cfg.withDefaults()
+	infos, err := sc.Net.Describe()
+	if err != nil {
+		return nil, err
+	}
+	serverExec, err := sc.Server.RangeTime(infos, 0, len(infos))
+	if err != nil {
+		return nil, err
+	}
+	clientExec, err := sc.Client.RangeTime(infos, 0, len(infos))
+	if err != nil {
+		return nil, err
+	}
+	upBytes := sc.StateBytes + sc.InputTextBytes
+	downBytes := sc.StateBytes + sc.ResultTextBytes
+	fs := &fleetSim{
+		sc:         sc,
+		cfg:        cfg,
+		clientPrep: sc.Client.SnapshotTime(upBytes) + sc.Network.TransferTime(upBytes),
+		service:    sc.Server.SnapshotTime(upBytes) + serverExec + sc.Server.SnapshotTime(downBytes),
+		clientPost: sc.Network.TransferTime(downBytes) + sc.Client.SnapshotTime(downBytes),
+		localFull:  clientExec,
+		modelBytes: sc.ModelUploadBytes(),
+	}
+	fs.modelUp = sc.Network.TransferTime(fs.modelBytes)
+	fs.peerFetch = time.Duration(float64(fs.modelUp) / cfg.BackhaulFactor)
+	fs.thinkMax = cfg.ThinkMax
+	if fs.thinkMax <= 0 {
+		fs.thinkMax = 100 * fs.service
+	}
+	return fs, nil
+}
+
+// evPlace is a fleet-only event kind: the user event fired and the client
+// asks the placement policy for a server before shipping the snapshot.
+const evPlace = evDone + 1
+
+// fleetSrv is one simulated edge server.
+type fleetSrv struct {
+	addr     string
+	capacity int // worker-pool size
+	busy     int
+	queue    []pendingReq
+	hasBlob  bool // content-addressed model blob present
+	executed int
+}
+
+// run simulates nServers heterogeneous servers under clients closed-loop
+// roaming sessions and returns the resulting FleetPoint.
+func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
+	var (
+		events    eventHeap
+		seq       int
+		srvs      = make([]fleetSrv, nServers)
+		cur       = make([]int, clients) // each client's current server
+		visited   = make([][]bool, clients)
+		remaining = make([]int, clients)
+		rngs      = make([]xorshift, clients)
+		latencies []time.Duration
+		fallbacks int
+		handoffs  int
+		makespan  time.Duration
+		audit     = obs.NewAuditor(obs.AuditorOptions{})
+		anyBlob   bool
+		uploaded  int64 // actual client model bytes
+		would     int64 // what a sharing-free fleet would have uploaded
+		peer      int64 // backhaul blob-fetch bytes
+	)
+	for i := range srvs {
+		srvs[i] = fleetSrv{
+			addr:     fmt.Sprintf("edge-%d", i),
+			capacity: fs.cfg.Capacities[i%len(fs.cfg.Capacities)],
+		}
+	}
+	push := func(ev *simEvent) {
+		ev.seq = seq
+		seq++
+		heap.Push(&events, ev)
+	}
+	// view snapshots the fleet as a registry view would serve it:
+	// advertised capacity plus a live load hint (queueing estimate and
+	// saturation), excluding the server the roaming client just left.
+	view := func(exclude int) []protocol.FleetServer {
+		out := make([]protocol.FleetServer, 0, nServers)
+		for i := range srvs {
+			if i == exclude {
+				continue
+			}
+			s := &srvs[i]
+			qms := float64(len(s.queue)) * fs.service.Seconds() * 1000 / float64(s.capacity)
+			out = append(out, protocol.FleetServer{
+				Addr:     s.addr,
+				Capacity: s.capacity,
+				Load: &protocol.LoadHint{
+					Workers:        s.capacity,
+					Busy:           s.busy,
+					QueueDepth:     len(s.queue),
+					QueueCap:       fs.cfg.QueueDepth,
+					QueueingMillis: qms,
+					Saturated:      len(s.queue) >= fs.cfg.QueueDepth,
+				},
+			})
+		}
+		return out
+	}
+	byAddr := make(map[string]int, nServers)
+	for i := range srvs {
+		byAddr[srvs[i].addr] = i
+	}
+	place := func(c, exclude int) int {
+		target, ok := fleet.Pick(policy, fmt.Sprintf("session-%d", c), view(exclude))
+		if !ok {
+			return 0 // single-server fleet with that server excluded
+		}
+		return byAddr[target.Addr]
+	}
+	// preSend models the content-addressed pre-send when client c meets
+	// server s for the first time in its session, returning the extra
+	// time the first request waits on the model transfer. Sharing is
+	// always on; the no-sharing baseline is accounted in `would`.
+	preSend := func(c, s int) time.Duration {
+		if visited[c][s] {
+			return 0
+		}
+		visited[c][s] = true
+		would += fs.modelBytes
+		if !anyBlob {
+			// Cold fleet: someone has to pay the wireless upload once.
+			anyBlob = true
+			srvs[s].hasBlob = true
+			uploaded += fs.modelBytes
+			return fs.modelUp
+		}
+		if !srvs[s].hasBlob {
+			// Reference hit: the server pulls the blob from a peer over
+			// the backhaul instead of the client re-uploading it.
+			srvs[s].hasBlob = true
+			peer += fs.modelBytes
+			return fs.peerFetch
+		}
+		return 0 // server already holds the blob: ref hit, no transfer
+	}
+	think := func(c int) time.Duration {
+		return time.Duration(rngs[c].next() % uint64(fs.thinkMax))
+	}
+	// startRequest begins client c's next inference after time t. When the
+	// request needs a placement (session start, or the roaming schedule
+	// forces a handoff), an evPlace fires at the user-event time so the
+	// policy sees the fleet's live queue state then — not the state when
+	// the previous request finished. ev.worker carries the server to
+	// exclude (-1 at session start, the abandoned server on a handoff).
+	startRequest := func(c int, t time.Duration) {
+		reqIdx := fs.cfg.RequestsPerClient - remaining[c]
+		remaining[c]--
+		start := t + think(c)
+		req := pendingReq{client: c, start: start}
+		if reqIdx == 0 {
+			push(&simEvent{at: start, kind: evPlace, worker: -1, req: req})
+			return
+		}
+		if fs.cfg.RoamEvery > 0 && reqIdx%fs.cfg.RoamEvery == 0 {
+			handoffs++
+			push(&simEvent{at: start, kind: evPlace, worker: cur[c], req: req})
+			return
+		}
+		push(&simEvent{at: start + fs.clientPrep, kind: evArrive, worker: cur[c], req: req})
+	}
+	finish := func(req pendingReq, t time.Duration) {
+		latencies = append(latencies, t-req.start)
+		if t > makespan {
+			makespan = t
+		}
+		if remaining[req.client] > 0 {
+			startRequest(req.client, t)
+		}
+	}
+	dispatch := func(s int, t time.Duration) {
+		srv := &srvs[s]
+		for srv.busy < srv.capacity && len(srv.queue) > 0 {
+			req := srv.queue[0]
+			srv.queue = srv.queue[1:]
+			srv.busy++
+			push(&simEvent{at: t + fs.service, kind: evDone, worker: s,
+				batch: []pendingReq{req}})
+		}
+	}
+
+	for c := 0; c < clients; c++ {
+		remaining[c] = fs.cfg.RequestsPerClient
+		visited[c] = make([]bool, nServers)
+		rngs[c] = xorshift{s: uint64(c)*2654435761 + 0x9e3779b97f4a7c15}
+		startRequest(c, 0)
+	}
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(*simEvent)
+		if ev.kind == evPlace {
+			c := ev.req.client
+			cur[c] = place(c, ev.worker)
+			prep := fs.clientPrep + preSend(c, cur[c])
+			push(&simEvent{at: ev.at + prep, kind: evArrive, worker: cur[c], req: ev.req})
+			continue
+		}
+		srv := &srvs[ev.worker]
+		switch ev.kind {
+		case evArrive:
+			if srv.busy >= srv.capacity && len(srv.queue) >= fs.cfg.QueueDepth {
+				// Queue full: the server sheds, the client runs the whole
+				// model locally.
+				fallbacks++
+				done := ev.at + fs.localFull
+				audit.Record(obs.Decision{
+					Path: obs.PathFallback, Reason: "overloaded",
+					Server: srv.addr, Placement: string(policy),
+					Measured: done - ev.req.start, HintAge: -1,
+				})
+				finish(ev.req, done)
+				break
+			}
+			ev.req.arrive = ev.at
+			srv.queue = append(srv.queue, ev.req)
+			dispatch(ev.worker, ev.at)
+		case evDone:
+			srv.busy--
+			for _, req := range ev.batch {
+				srv.executed++
+				done := ev.at + fs.clientPost
+				audit.Record(obs.Decision{
+					Path: obs.PathFull, Server: srv.addr,
+					Placement: string(policy),
+					Measured:  done - req.start, HintAge: -1,
+				})
+				finish(req, done)
+			}
+			dispatch(ev.worker, ev.at)
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pt := FleetPoint{
+		Policy:                 string(policy),
+		Servers:                nServers,
+		Clients:                clients,
+		Completed:              len(latencies),
+		Fallbacks:              fallbacks,
+		Handoffs:               handoffs,
+		P50Millis:              millis(percentile(latencies, 0.50)),
+		P95Millis:              millis(percentile(latencies, 0.95)),
+		P99Millis:              millis(percentile(latencies, 0.99)),
+		Mix:                    audit.Summary().Mix,
+		ExecPerServer:          make([]int, nServers),
+		ClientModelUploadBytes: uploaded,
+		ReuploadBytesSaved:     would - uploaded,
+		PeerFetchBytes:         peer,
+	}
+	for i := range srvs {
+		pt.ExecPerServer[i] = srvs[i].executed
+	}
+	if makespan > 0 {
+		pt.Throughput = float64(pt.Completed) / makespan.Seconds()
+	}
+	return pt
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// FleetSweep simulates roaming full-offload clients of one model against
+// fleets of increasing size under each placement policy. The same client
+// population is replayed against every (policy, fleet size) cell, so the
+// cells differ only in what the policy decided — the comparison the
+// placement layer is designed around: consistent hashing gives stable,
+// capacity-blind placement; load-weighted placement trades some stability
+// for tail latency on heterogeneous fleets. Roaming handoffs exercise the
+// content-addressed blob index: only the first client upload of the model
+// rides the wireless link, every later (session, server) encounter
+// resolves by reference.
+func FleetSweep(modelName string, serverCounts []int, clients int, policies []fleet.Policy, cfg FleetConfig) ([]FleetPoint, error) {
+	if len(serverCounts) == 0 {
+		return nil, fmt.Errorf("sim: empty server-count list")
+	}
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("sim: empty policy list")
+	}
+	if clients <= 0 {
+		return nil, fmt.Errorf("sim: non-positive client count %d", clients)
+	}
+	sc, err := NewScenario(modelName)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := newFleetSim(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]FleetPoint, 0, len(serverCounts)*len(policies))
+	for _, p := range policies {
+		for _, n := range serverCounts {
+			if n <= 0 {
+				return nil, fmt.Errorf("sim: non-positive server count %d", n)
+			}
+			points = append(points, fs.run(n, clients, p))
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"websnap/internal/fleet"
+	"websnap/internal/obs"
+)
+
+func fleetPoints(t *testing.T, serverCounts []int, clients int, policies []fleet.Policy, cfg FleetConfig) []FleetPoint {
+	t.Helper()
+	pts, err := FleetSweep("googlenet", serverCounts, clients, policies, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func TestFleetSweepValidation(t *testing.T) {
+	pols := []fleet.Policy{fleet.PolicyHash}
+	if _, err := FleetSweep("googlenet", nil, 8, pols, FleetConfig{}); err == nil {
+		t.Error("empty server-count list should fail")
+	}
+	if _, err := FleetSweep("googlenet", []int{0}, 8, pols, FleetConfig{}); err == nil {
+		t.Error("zero servers should fail")
+	}
+	if _, err := FleetSweep("googlenet", []int{2}, 0, pols, FleetConfig{}); err == nil {
+		t.Error("zero clients should fail")
+	}
+	if _, err := FleetSweep("googlenet", []int{2}, 8, nil, FleetConfig{}); err == nil {
+		t.Error("empty policy list should fail")
+	}
+	if _, err := FleetSweep("no-such-model", []int{2}, 8, pols, FleetConfig{}); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestFleetSweepDeterministic(t *testing.T) {
+	cfg := FleetConfig{RequestsPerClient: 4, RoamEvery: 2}
+	a := fleetPoints(t, []int{3}, 32, []fleet.Policy{fleet.PolicyLoadWeighted}, cfg)
+	b := fleetPoints(t, []int{3}, 32, []fleet.Policy{fleet.PolicyLoadWeighted}, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("simulation not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFleetAllRequestsComplete: every inference finishes exactly once —
+// offloaded or fallback, never lost, never duplicated — and the per-server
+// execution counts reconcile with the total.
+func TestFleetAllRequestsComplete(t *testing.T) {
+	const clients, reqs = 48, 5
+	cfg := FleetConfig{RequestsPerClient: reqs, RoamEvery: 2}
+	for _, p := range []fleet.Policy{fleet.PolicyHash, fleet.PolicyLoadWeighted} {
+		pt := fleetPoints(t, []int{4}, clients, []fleet.Policy{p}, cfg)[0]
+		if got, want := pt.Completed, clients*reqs; got != want {
+			t.Errorf("%s: completed = %d, want %d", p, got, want)
+		}
+		executed := 0
+		for _, n := range pt.ExecPerServer {
+			executed += n
+		}
+		if executed+pt.Fallbacks != pt.Completed {
+			t.Errorf("%s: executed %d + fallbacks %d != completed %d",
+				p, executed, pt.Fallbacks, pt.Completed)
+		}
+		var mixTotal int64
+		for _, pc := range pt.Mix {
+			mixTotal += pc.Count
+			if pc.Path != obs.PathFull && pc.Path != obs.PathFallback {
+				t.Errorf("%s: unexpected decision path %q in mix", p, pc.Path)
+			}
+		}
+		if mixTotal != int64(pt.Completed) {
+			t.Errorf("%s: audit decisions = %d, want %d (exactly one per inference)",
+				p, mixTotal, pt.Completed)
+		}
+	}
+}
+
+// TestFleetReuploadAccounting: with the content-addressed blob index the
+// whole fleet needs exactly one wireless model upload, and every later
+// (session, server) encounter is bytes saved.
+func TestFleetReuploadAccounting(t *testing.T) {
+	pt := fleetPoints(t, []int{4}, 32, []fleet.Policy{fleet.PolicyHash},
+		FleetConfig{RequestsPerClient: 6, RoamEvery: 2})[0]
+	sc, err := NewScenario("googlenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelBytes := sc.ModelUploadBytes()
+	if pt.ClientModelUploadBytes != modelBytes {
+		t.Errorf("client model upload = %d bytes, want exactly one upload of %d",
+			pt.ClientModelUploadBytes, modelBytes)
+	}
+	if pt.Handoffs == 0 {
+		t.Fatal("no handoffs; the roaming path was never exercised")
+	}
+	// 32 sessions each meet at least their first server; every encounter
+	// after the very first upload is saved wireless bytes.
+	if pt.ReuploadBytesSaved < int64(31)*modelBytes {
+		t.Errorf("re-upload bytes saved = %d, want >= %d (31 first encounters alone)",
+			pt.ReuploadBytesSaved, int64(31)*modelBytes)
+	}
+	if pt.ReuploadBytesSaved%modelBytes != 0 {
+		t.Errorf("saved bytes %d not a multiple of the model size %d",
+			pt.ReuploadBytesSaved, modelBytes)
+	}
+	// Peer fetches cover at most one copy per remaining server.
+	if pt.PeerFetchBytes > int64(3)*modelBytes {
+		t.Errorf("peer fetch bytes = %d, want <= %d (3 servers fetch once each)",
+			pt.PeerFetchBytes, int64(3)*modelBytes)
+	}
+}
+
+// TestFleetLoadPolicySpreadsByCapacity: on a heterogeneous fleet the
+// load-weighted policy sends more sessions to bigger servers, while pure
+// consistent hashing is capacity-blind. Compare how much work the
+// 1-worker runts absorb under each policy.
+func TestFleetLoadPolicySpreadsByCapacity(t *testing.T) {
+	cfg := FleetConfig{RequestsPerClient: 4, Capacities: []int{4, 1}}
+	runtShare := func(p fleet.Policy) float64 {
+		pt := fleetPoints(t, []int{4}, 64, []fleet.Policy{p}, cfg)[0]
+		runt, total := 0, 0
+		for i, n := range pt.ExecPerServer {
+			total += n
+			if cfg.Capacities[i%len(cfg.Capacities)] == 1 {
+				runt += n
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no executions", p)
+		}
+		return float64(runt) / float64(total)
+	}
+	hash, load := runtShare(fleet.PolicyHash), runtShare(fleet.PolicyLoadWeighted)
+	if load >= hash {
+		t.Errorf("1-worker servers absorbed %.2f of work under load policy, %.2f under hash; load-weighted placement should shift work to big servers",
+			load, hash)
+	}
+}
