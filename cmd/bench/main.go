@@ -10,12 +10,15 @@
 //	bench -experiment load     edge scheduler under concurrent clients
 //	bench -experiment engine   planned execution engine vs per-layer path
 //	bench -experiment fleet    placement policies over multi-server fleets
+//	bench -experiment mux      multiplexed streams vs one connection per session
 //	bench -experiment all      everything
 //
 // The engine experiment additionally writes BENCH_engine.json with the raw
 // before/after numbers (ns/op, allocs/op, B/op); the fleet experiment
 // writes BENCH_fleet.json with per-(policy, fleet size) tail latency,
-// decision mix, and re-upload bytes saved.
+// decision mix, and re-upload bytes saved; the mux experiment writes
+// BENCH_mux.json with per-stream latency percentiles and connection
+// counts for both topologies, measured over real sockets.
 //
 // The load experiment takes the scheduler knobs -workers, -queue and
 // -batch, mirroring cmd/edged's flags. The fleet experiment takes
@@ -38,7 +41,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, mux, all")
 	format := flag.String("format", "table", "output format: table, csv")
 	var lc sim.LoadConfig
 	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
@@ -68,8 +71,9 @@ func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 		"load":     func(w io.Writer) error { return load(w, lc) },
 		"engine":   engine,
 		"fleet":    fleetExp,
+		"mux":      muxExp,
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet", "mux"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order

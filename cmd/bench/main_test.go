@@ -114,6 +114,64 @@ func TestRunFleet(t *testing.T) {
 	}
 }
 
+// TestRunMux runs the mux experiment at smoke scale and checks the table
+// and BENCH_mux.json schema: both topologies per stream count, tail
+// latency per cell, and the connection-count contrast the tentpole
+// promises (conn-per-session uses N, mux uses exactly 1).
+func TestRunMux(t *testing.T) {
+	oldFile, oldCounts, oldEvents := muxJSONFile, muxStreamCounts, muxEventsPerStream
+	muxJSONFile = filepath.Join(t.TempDir(), "BENCH_mux.json")
+	muxStreamCounts = []int{4, 8}
+	muxEventsPerStream = 2
+	defer func() { muxJSONFile, muxStreamCounts, muxEventsPerStream = oldFile, oldCounts, oldEvents }()
+	var sb strings.Builder
+	if err := run("mux", "table", sim.LoadConfig{}, &sb); err != nil {
+		t.Fatalf("run(mux): %v", err)
+	}
+	for _, want := range []string{"Mux sweep", "conn-per-session", "mux-one-conn"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(muxJSONFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string   `json:"experiment"`
+		Rows       []muxRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_mux.json: %v", err)
+	}
+	if doc.Experiment != "mux" {
+		t.Errorf("experiment = %q, want mux", doc.Experiment)
+	}
+	if len(doc.Rows) != 2*len(muxStreamCounts) {
+		t.Fatalf("rows = %d, want %d (both modes per stream count)", len(doc.Rows), 2*len(muxStreamCounts))
+	}
+	for _, r := range doc.Rows {
+		if r.P50Millis <= 0 || r.P99Millis <= 0 {
+			t.Errorf("row %s/%d: missing latency percentiles: %+v", r.Mode, r.Streams, r)
+		}
+		if r.Requests != r.Streams*muxEventsPerStream {
+			t.Errorf("row %s/%d: %d requests, want %d", r.Mode, r.Streams, r.Requests, r.Streams*muxEventsPerStream)
+		}
+		switch r.Mode {
+		case "conn-per-session":
+			if r.Conns != r.Streams {
+				t.Errorf("baseline at %d streams used %d conns, want one per session", r.Streams, r.Conns)
+			}
+		case "mux-one-conn":
+			if r.Conns != 1 {
+				t.Errorf("mux cell at %d streams used %d conns, want exactly 1", r.Streams, r.Conns)
+			}
+		default:
+			t.Errorf("unknown mode %q", r.Mode)
+		}
+	}
+}
+
 func TestRunAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -122,12 +180,14 @@ func TestRunAll(t *testing.T) {
 	engineJSONFile = filepath.Join(t.TempDir(), "BENCH_engine.json")
 	oldFleet := fleetJSONFile
 	fleetJSONFile = filepath.Join(t.TempDir(), "BENCH_fleet.json")
-	defer func() { engineJSONFile, fleetJSONFile = old, oldFleet }()
+	oldMux := muxJSONFile
+	muxJSONFile = filepath.Join(t.TempDir(), "BENCH_mux.json")
+	defer func() { engineJSONFile, fleetJSONFile, muxJSONFile = old, oldFleet, oldMux }()
 	var sb strings.Builder
 	if err := run("all", "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
-	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points", "Fleet sweep"} {
+	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points", "Fleet sweep", "Mux sweep"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("missing %q", want)
 		}

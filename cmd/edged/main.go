@@ -71,6 +71,13 @@ func main() {
 			"block full-queue submissions up to -queue-wait instead of rejecting them")
 		queueWait = flag.Duration("queue-wait", 0,
 			"how long -queue-block waits for queue space (0 = default)")
+		maxQueueBytes = flag.Int64("max-queue-bytes", 0,
+			"max total snapshot bytes admitted to the scheduler queue (0 = unlimited)")
+
+		maxStoreBytes = flag.Int64("max-store-bytes", 0,
+			"session-store byte cap: models and synced states beyond it are evicted LRU (0 = unbounded)")
+		maxStreams = flag.Int("max-streams", 0,
+			"max concurrent multiplexed logical streams per client connection (0 = default 256)")
 
 		registry = flag.String("registry", "",
 			"fleet registry address to heartbeat into (empty = standalone server)")
@@ -83,9 +90,11 @@ func main() {
 	sc := schedConfig{
 		workers: *workers, queue: *queue, batch: *batch,
 		batchWindow: *batchWindow, block: *block, queueWait: *queueWait,
+		maxQueueBytes: *maxQueueBytes,
 	}
 	fc := fleetConfig{registry: *registry, advertise: *advertise, ttl: *registryTTL}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc); err != nil {
+	bc := boundsConfig{storeBytes: *maxStoreBytes, streams: *maxStreams}
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc, bc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -96,12 +105,19 @@ type schedConfig struct {
 	workers, queue, batch  int
 	batchWindow, queueWait time.Duration
 	block                  bool
+	maxQueueBytes          int64
 }
 
 // fleetConfig bundles the fleet flags.
 type fleetConfig struct {
 	registry, advertise string
 	ttl                 time.Duration
+}
+
+// boundsConfig bundles the memory/stream bound flags.
+type boundsConfig struct {
+	storeBytes int64
+	streams    int
 }
 
 // resolveAdvertise validates the fleet-advertised address: an explicit
@@ -130,7 +146,7 @@ func resolveAdvertise(advertise string, lnAddr net.Addr) (string, error) {
 	return net.JoinHostPort(host, port), nil
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig) error {
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig, bc boundsConfig) error {
 	if fc.registry == "" && fc.advertise != "" {
 		return fmt.Errorf("-advertise requires -registry (nothing to advertise to)")
 	}
@@ -146,7 +162,8 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		MaxConns: maxConns, IdleTimeout: idle, TransferTimeout: transfer,
 		Workers: sc.workers, QueueDepth: sc.queue,
 		MaxBatch: sc.batch, BatchWindow: sc.batchWindow,
-		QueueWait: sc.queueWait,
+		QueueWait: sc.queueWait, MaxQueueBytes: sc.maxQueueBytes,
+		MaxStoreBytes: bc.storeBytes, MaxStreams: bc.streams,
 	}
 	if sc.block {
 		cfg.QueuePolicy = sched.PolicyBlock
@@ -189,7 +206,10 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		}
 		rc = fleet.NewRegistryClient(fc.registry, fleet.ClientOptions{})
 		cfg.AdvertiseAddr = adv
-		cfg.Blobs = fleet.NewBlobStore()
+		// The peer blob cache shares the session store's byte budget: both
+		// hold the same content (models, synced states), so one knob bounds
+		// the server's whole content footprint.
+		cfg.Blobs = fleet.NewBlobStoreCap(bc.storeBytes)
 		cfg.Locator = rc
 	}
 	srv, err := edge.NewServer(cfg)

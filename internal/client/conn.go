@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -17,6 +18,10 @@ import (
 	"websnap/internal/protocol"
 	"websnap/internal/trace"
 )
+
+// DefaultMaxStreams is the concurrent logical-stream cap NegotiateMux
+// applies when the caller does not name one.
+const DefaultMaxStreams = 64
 
 // ErrServerError wraps a MsgError response from the edge server.
 var ErrServerError = errors.New("client: edge server error")
@@ -58,9 +63,30 @@ type Conn struct {
 	// broken marks a desynced frame stream (see ErrConnBroken).
 	broken bool
 
+	// mux, once NegotiateMux succeeds, switches the Conn to multiplexed
+	// operation: every request carries HintMuxV1 plus a unique Seq, writes
+	// are serialized under mu but responses are read by a single reader
+	// goroutine and routed to the waiting request by Seq, so many logical
+	// streams share this one connection concurrently.
+	mux bool
+	// muxSlots bounds in-flight logical streams (per-stream flow control);
+	// acquiring a slot blocks when the window is full.
+	muxSlots chan struct{}
+	// pending maps an in-flight request's Seq to its reply channel.
+	pending map[uint64]chan muxReply
+	// readerDone is closed when the current reader goroutine exits.
+	readerDone chan struct{}
+
 	loadMu   sync.Mutex
 	lastLoad *protocol.LoadHint
 	loadAt   time.Time
+}
+
+// muxReply is one demultiplexed response (or the terminal error that
+// killed the stream).
+type muxReply struct {
+	msg protocol.Message
+	err error
 }
 
 // noteLoad records a load hint found in a response header.
@@ -131,11 +157,18 @@ func DialWrapped(addr string, wrap func(net.Conn) net.Conn) (*Conn, error) {
 // connection.
 func (c *Conn) Addr() string { return c.addr }
 
-// Close closes the underlying connection.
+// Close closes the underlying connection. On a multiplexed Conn it also
+// joins the reader goroutine, so callers (and goroutine-leak checks) see
+// a fully quiesced Conn when Close returns.
 func (c *Conn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.rw.Close()
+	err := c.rw.Close()
+	done := c.readerDone
+	c.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return err
 }
 
 // Broken reports whether the connection has been marked desynced; all
@@ -161,10 +194,44 @@ func (c *Conn) markBroken() {
 // connection, so it survives the reconnect.
 func (c *Conn) Redial() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.addr == "" {
+		c.mu.Unlock()
 		return fmt.Errorf("client: cannot redial a wrapped connection: %w", ErrConnBroken)
 	}
+	if !c.mux {
+		// Serial Conns swap the socket entirely under the lock, mutually
+		// exclusive with any in-flight round trip.
+		defer c.mu.Unlock()
+		fresh, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return fmt.Errorf("client: redial %s: %w", c.addr, err)
+		}
+		if c.wrap != nil {
+			fresh = c.wrap(fresh)
+		}
+		c.rw.Close() //nolint:errcheck // the old socket is already suspect
+		c.rw = fresh
+		c.broken = false
+		return nil
+	}
+	if !c.broken {
+		// On a shared multiplexed Conn many streams race to recover; the
+		// first Redial to finish heals the connection for all of them.
+		c.mu.Unlock()
+		return nil
+	}
+	old := c.rw
+	oldDone := c.readerDone
+	c.mu.Unlock()
+
+	// Retire the old socket's reader before splicing in a fresh socket:
+	// closing the socket fails its pending streams and stops the reader, so
+	// no goroutine is still draining stale frames when the new one starts.
+	old.Close() //nolint:errcheck // the old socket is already suspect
+	if oldDone != nil {
+		<-oldDone
+	}
+
 	fresh, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return fmt.Errorf("client: redial %s: %w", c.addr, err)
@@ -172,9 +239,17 @@ func (c *Conn) Redial() error {
 	if c.wrap != nil {
 		fresh = c.wrap(fresh)
 	}
-	c.rw.Close() //nolint:errcheck // the old socket is already suspect
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rw != old && !c.broken {
+		// A concurrent Redial already installed a healthy socket; keep it.
+		fresh.Close() //nolint:errcheck // redundant socket
+		return nil
+	}
 	c.rw = fresh
 	c.broken = false
+	c.readerDone = make(chan struct{})
+	go c.readLoop(fresh, c.readerDone)
 	return nil
 }
 
@@ -206,28 +281,233 @@ func (c *Conn) roundTrip(req protocol.Message) (protocol.Message, error) {
 		c.broken = true
 		return protocol.Message{}, fmt.Errorf("%w: %w", ErrConnBroken, err)
 	}
-	if resp.Type == protocol.MsgError {
-		var hdr protocol.ErrorHeader
-		if err := protocol.DecodeHeader(resp, &hdr); err != nil {
-			return protocol.Message{}, err
-		}
-		c.noteLoad(hdr.Load)
-		if hdr.Overloaded {
-			return protocol.Message{}, fmt.Errorf("%w: %w: %s", ErrServerError, ErrOverloaded, hdr.Message)
-		}
-		return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
+	return c.checkError(resp)
+}
+
+// checkError turns a MsgError response into the matching client error; any
+// other response passes through. A clean error frame is a complete frame,
+// so it never breaks the connection.
+func (c *Conn) checkError(resp protocol.Message) (protocol.Message, error) {
+	if resp.Type != protocol.MsgError {
+		return resp, nil
 	}
-	return resp, nil
+	var hdr protocol.ErrorHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return protocol.Message{}, err
+	}
+	c.noteLoad(hdr.Load)
+	if hdr.Overloaded {
+		return protocol.Message{}, fmt.Errorf("%w: %w: %s", ErrServerError, ErrOverloaded, hdr.Message)
+	}
+	return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
+}
+
+// Muxed reports whether stream multiplexing has been negotiated on this
+// connection.
+func (c *Conn) Muxed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mux
+}
+
+// nextSeq allocates a fresh logical-stream ID.
+func (c *Conn) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// NegotiateMux probes the server for the stream-multiplexing extension
+// (HintMuxV1) with one ping and, when the pong advertises support, switches
+// the Conn to multiplexed operation: requests from any number of goroutines
+// are interleaved on this one connection, each as its own logical stream,
+// with at most maxStreams (default DefaultMaxStreams) in flight at once.
+// Returns false against servers that predate the extension — the Conn then
+// keeps its serial one-request-at-a-time behavior, byte-identical to a
+// client that never negotiated.
+//
+// Negotiate before sharing the Conn across goroutines; the probe itself
+// uses the serial path.
+func (c *Conn) NegotiateMux(maxStreams int) (bool, error) {
+	if maxStreams <= 0 {
+		maxStreams = DefaultMaxStreams
+	}
+	req, err := protocol.Encode(protocol.MsgPing, protocol.PingHeader{Hints: protocol.HintMuxV1}, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return false, fmt.Errorf("client: mux negotiate: %w", err)
+	}
+	if resp.Type != protocol.MsgPong {
+		return false, fmt.Errorf("client: mux negotiate: unexpected response %s", resp.Type)
+	}
+	var hdr protocol.PongHeader
+	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
+		return false, err
+	}
+	c.noteLoad(hdr.Load)
+	if !hdr.Mux {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.mux {
+		c.mux = true
+		c.muxSlots = make(chan struct{}, maxStreams)
+		c.pending = make(map[uint64]chan muxReply)
+		c.readerDone = make(chan struct{})
+		go c.readLoop(c.rw, c.readerDone)
+	}
+	return true, nil
+}
+
+// readLoop is the multiplexed Conn's single reader: it decodes each
+// response's stream ID (every response header carries the shared "seq" key)
+// and hands the frame to the waiting request. A read error, an undecodable
+// header, or a response for no pending stream all mean the frame stream can
+// no longer be trusted, so every pending request fails and the loop exits;
+// Redial starts a fresh loop on the replacement socket.
+func (c *Conn) readLoop(rw net.Conn, done chan struct{}) {
+	defer close(done)
+	for {
+		resp, err := protocol.Read(rw)
+		if err != nil {
+			c.failPending(rw, fmt.Errorf("%w: %w", ErrConnBroken, err))
+			return
+		}
+		var env protocol.MuxEnvelope
+		if err := json.Unmarshal(resp.Header, &env); err != nil {
+			c.failPending(rw, fmt.Errorf("%w: undecodable response header: %w", ErrConnBroken, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[env.Seq]
+		if ok {
+			delete(c.pending, env.Seq)
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.failPending(rw, fmt.Errorf("%w: response for unknown stream %d", ErrConnBroken, env.Seq))
+			return
+		}
+		ch <- muxReply{msg: resp}
+	}
+}
+
+// failPending marks the Conn broken and delivers err to every in-flight
+// stream. rw names the socket the failure belongs to: a failure reported
+// for an already-retired socket is a no-op — its streams were drained when
+// its reader exited, and the streams now pending belong to the healthy
+// replacement a concurrent Redial installed.
+func (c *Conn) failPending(rw net.Conn, err error) {
+	c.mu.Lock()
+	if c.rw != rw {
+		c.mu.Unlock()
+		return
+	}
+	c.broken = true
+	pending := c.pending
+	c.pending = make(map[uint64]chan muxReply)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- muxReply{err: err}
+	}
+}
+
+// muxRoundTrip runs one logical stream on a multiplexed Conn: acquire a
+// stream slot, register the reply channel under seq, write the frame (writes
+// stay serialized under mu), then wait for the reader to deliver the
+// matching response. A request timeout conservatively breaks the whole
+// connection — the response may still arrive later, and with it any frame
+// boundary guarantee for the siblings — exactly the serial path's deadline
+// semantics.
+func (c *Conn) muxRoundTrip(req protocol.Message, seq uint64) (protocol.Message, error) {
+	c.muxSlots <- struct{}{}
+	defer func() { <-c.muxSlots }()
+
+	ch := make(chan muxReply, 1)
+	c.mu.Lock()
+	if c.broken {
+		c.mu.Unlock()
+		return protocol.Message{}, ErrConnBroken
+	}
+	c.pending[seq] = ch
+	timeout := c.timeout
+	rw := c.rw
+	err := protocol.Write(rw, req)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		// A short write desyncs the shared stream for every sibling too:
+		// close the socket this frame went out on (not c.rw, which a
+		// concurrent Redial may have already replaced) so its reader
+		// unwinds them all.
+		rw.Close() //nolint:errcheck // already failing
+		c.failPending(rw, fmt.Errorf("%w: %w", ErrConnBroken, err))
+		return protocol.Message{}, fmt.Errorf("%w: %w", ErrConnBroken, err)
+	}
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return protocol.Message{}, r.err
+		}
+		return c.checkError(r.msg)
+	case <-expired:
+		c.mu.Lock()
+		delete(c.pending, seq)
+		if c.rw == rw {
+			// Only break the connection the request is actually stuck on; a
+			// concurrent Redial may have installed a healthy replacement.
+			c.broken = true
+		}
+		c.mu.Unlock()
+		rw.Close() //nolint:errcheck // deliberate teardown
+		return protocol.Message{}, fmt.Errorf("%w: request %d timed out after %v", ErrConnBroken, seq, timeout)
+	}
+}
+
+// roundTripSeq dispatches one request: the multiplexed path when negotiated
+// (seq identifies the logical stream), the serial path otherwise.
+func (c *Conn) roundTripSeq(req protocol.Message, seq uint64) (protocol.Message, error) {
+	if c.Muxed() {
+		return c.muxRoundTrip(req, seq)
+	}
+	return c.roundTrip(req)
+}
+
+// streamHints resolves one request's hint level and stream ID: on a
+// multiplexed Conn every request advertises HintMuxV1 (which implies all
+// lower extensions) and carries a fresh stream ID; serially the request
+// keeps its historical hint level and the bytes stay identical to a client
+// that never negotiated.
+func (c *Conn) streamHints(serialHints int) (hints int, seq uint64) {
+	if c.Muxed() {
+		return protocol.HintMuxV1, c.nextSeq()
+	}
+	return serialHints, 0
 }
 
 // Ping probes the server's install state and, when the server supports the
 // load-hint extension, its current scheduling load.
 func (c *Conn) Ping() (installed bool, load *protocol.LoadHint, err error) {
-	req, err := protocol.Encode(protocol.MsgPing, protocol.PingHeader{Hints: protocol.HintLoadV1}, nil)
+	hints, seq := c.streamHints(protocol.HintLoadV1)
+	req, err := protocol.Encode(protocol.MsgPing, protocol.PingHeader{Hints: hints, Seq: seq}, nil)
 	if err != nil {
 		return false, nil, err
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTripSeq(req, seq)
 	if err != nil {
 		return false, nil, fmt.Errorf("client: ping: %w", err)
 	}
@@ -254,15 +534,16 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 	if err := model.EncodeWeights(&weights); err != nil {
 		return fmt.Errorf("client: model %q: %w", name, err)
 	}
+	hints, seq := c.streamHints(protocol.HintCRCV1)
 	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
 		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
-		Hints:   protocol.HintCRCV1,
+		Hints: hints, Seq: seq,
 		BodyCRC: protocol.BodyChecksum(weights.Bytes()),
 	}, weights.Bytes())
 	if err != nil {
 		return err
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTripSeq(req, seq)
 	if err != nil {
 		return fmt.Errorf("client: pre-send %q: %w", name, err)
 	}
@@ -297,16 +578,17 @@ func (c *Conn) PreSendModelRef(appID, name string, model *nn.Network, partial bo
 	if key == "" {
 		return true, nil
 	}
+	hints, seq := c.streamHints(protocol.HintFleetV1)
 	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
 		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
-		Hints:   protocol.HintFleetV1,
+		Hints: hints, Seq: seq,
 		BlobKey: key,
 		RefOnly: true,
 	}, nil)
 	if err != nil {
 		return false, err
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTripSeq(req, seq)
 	if err != nil {
 		if errors.Is(err, ErrServerError) && !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrConnBroken) {
 			// A clean error frame: an old server choked on the empty body
@@ -369,10 +651,11 @@ type offloadReply struct {
 }
 
 func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, encoded []byte, compress bool) (offloadReply, error) {
-	c.mu.Lock()
-	c.seq++
-	seq := c.seq
-	c.mu.Unlock()
+	seq := c.nextSeq()
+	hints := protocol.HintCRCV1
+	if c.Muxed() {
+		hints = protocol.HintMuxV1
+	}
 	var reply offloadReply
 	reply.TraceID = trace.NewID()
 	body := encoded
@@ -389,14 +672,14 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 	}
 	req, err := protocol.Encode(reqType, protocol.SnapshotHeader{
 		AppID: appID, Seq: seq, Encoding: encoding,
-		Hints: protocol.HintCRCV1, TraceID: reply.TraceID,
+		Hints: hints, TraceID: reply.TraceID,
 		BodyCRC: protocol.BodyChecksum(body),
 	}, body)
 	if err != nil {
 		return reply, err
 	}
 	rtStart := time.Now()
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTripSeq(req, seq)
 	reply.RoundTrip = time.Since(rtStart)
 	if err != nil {
 		return reply, fmt.Errorf("client: %s: %w", reqType, err)
@@ -439,12 +722,13 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 // InstallOverlay ships a compressed VM overlay for on-demand installation
 // and returns the server-reported synthesis time.
 func (c *Conn) InstallOverlay(baseImage string, blob []byte) (time.Duration, error) {
+	hints, seq := c.streamHints(0)
 	req, err := protocol.Encode(protocol.MsgInstallOverlay,
-		protocol.InstallOverlayHeader{BaseImage: baseImage}, blob)
+		protocol.InstallOverlayHeader{BaseImage: baseImage, Hints: hints, Seq: seq}, blob)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTripSeq(req, seq)
 	if err != nil {
 		return 0, fmt.Errorf("client: install: %w", err)
 	}

@@ -49,25 +49,43 @@ func (s *Server) fleetEnabled() bool { return s.cfg.Blobs != nil }
 func (s *Server) LoadHint() *protocol.LoadHint { return s.loadHint() }
 
 // BlobKeys returns the content-addressed keys this server currently holds
-// — the set a registry heartbeat advertises. Nil when fleet sharing is
-// disabled.
+// — the set a registry heartbeat advertises, hot (recently used) end
+// first so a capped advertisement keeps the keys peers most likely want.
+// Nil when fleet sharing is disabled.
 func (s *Server) BlobKeys() []string {
 	if !s.fleetEnabled() {
 		return nil
+	}
+	if mru, ok := s.cfg.Blobs.(interface{ KeysMRU(max int) []string }); ok {
+		return mru.KeysMRU(0)
 	}
 	return s.cfg.Blobs.Keys()
 }
 
 // resolveBlob returns the blob for key from the local cache or, failing
-// that, from a fleet peer found through the locator. Peer-fetched blobs
-// are cached, so the next heartbeat advertises them and later requests and
-// peers are served locally.
-func (s *Server) resolveBlob(key string) ([]byte, error) {
+// that, from a fleet peer found through the locator. verify (optional)
+// judges candidate bytes BEFORE they are cached or returned — content
+// verification must happen inside the holder loop, because the blob index
+// lags evictions and a stale or corrupt first holder must not end the
+// search while the remaining holders can still satisfy it. Peer-fetched
+// blobs are cached, so the next heartbeat advertises them and later
+// requests and peers are served locally.
+func (s *Server) resolveBlob(key string, verify func([]byte) error) ([]byte, error) {
 	if !s.fleetEnabled() {
 		return nil, errBlobUnavailable
 	}
 	if data, ok := s.cfg.Blobs.Get(key); ok {
-		return data, nil
+		if verify == nil {
+			return data, nil
+		}
+		if err := verify(data); err == nil {
+			return data, nil
+		} else {
+			// A local copy failing content verification should be
+			// impossible (keys are content hashes); fall through to the
+			// fleet rather than serving bytes we cannot vouch for.
+			s.logf("edge: local blob %s failed verification: %v", key, err)
+		}
 	}
 	if s.cfg.Locator == nil {
 		return nil, errBlobUnavailable
@@ -82,6 +100,9 @@ func (s *Server) resolveBlob(key string) ([]byte, error) {
 			continue // the index may lag our own evictions
 		}
 		data, err := s.fetchBlobFromPeer(addr, key)
+		if err == nil && verify != nil {
+			err = verify(data)
+		}
 		if err != nil {
 			lastErr = err
 			s.logf("edge: blob %s from peer %s: %v", key, addr, err)
@@ -173,50 +194,35 @@ func (s *Server) handleBlobGet(msg protocol.Message) (protocol.Message, error) {
 	}, data)
 }
 
-// publishStateBlob records a synchronized post-offload state in the blob
-// cache under its content hash, so a peer this session roams to can
-// recover the delta base without the client re-uploading it.
-func (s *Server) publishStateBlob(snap *snapshot.Snapshot) {
-	if !s.fleetEnabled() {
-		return
-	}
-	hash, err := snap.Hash()
-	if err != nil {
-		s.logf("edge: hash state blob: %v", err)
-		return
-	}
-	bare := *snap
-	bare.Models = nil
-	data, err := bare.Encode()
-	if err != nil {
-		s.logf("edge: encode state blob: %v", err)
-		return
-	}
-	s.cfg.Blobs.Put(hash, data)
-}
-
 // recoverBase resolves a delta's base snapshot from the fleet blob index:
 // the session's previous server published the synced state under its
-// content hash. The decoded snapshot is verified against the requested
-// hash before being adopted.
+// content hash. Each candidate's decoded snapshot is verified against the
+// requested hash inside the fetch loop, so a stale holder does not end the
+// search.
 func (s *Server) recoverBase(appID, baseHash string) (*snapshot.Snapshot, error) {
-	data, err := s.resolveBlob(baseHash)
+	var snap *snapshot.Snapshot
+	data, err := s.resolveBlob(baseHash, func(body []byte) error {
+		decoded, err := snapshot.Decode(body)
+		if err != nil {
+			return fmt.Errorf("decode fleet base %s: %w", baseHash, err)
+		}
+		hash, err := decoded.Hash()
+		if err != nil {
+			return err
+		}
+		if hash != baseHash {
+			return fmt.Errorf("fleet base %s decoded to %s", baseHash, hash)
+		}
+		snap = decoded
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	snap, err := snapshot.Decode(data)
-	if err != nil {
-		return nil, fmt.Errorf("decode fleet base %s: %w", baseHash, err)
-	}
-	hash, err := snap.Hash()
-	if err != nil {
-		return nil, err
-	}
-	if hash != baseHash {
-		return nil, fmt.Errorf("fleet base %s decoded to %s", baseHash, hash)
 	}
 	s.basesRecovered.Inc()
-	s.states.Put(appID, snap)
+	if _, err := s.store.PutState(appID, snap, int64(len(data))); err != nil {
+		return nil, err
+	}
 	s.logf("edge: recovered delta base %s for app %q from fleet", baseHash, appID)
 	return snap, nil
 }
@@ -224,21 +230,27 @@ func (s *Server) recoverBase(appID, baseHash string) (*snapshot.Snapshot, error)
 // resolveModelBlob resolves a reference-only model pre-send: the weight
 // bytes come from the local cache or a peer, and the rebuilt model must
 // hash back to the advertised key (spec and weights both feed
-// nn.Fingerprint, so a wrong or tampered blob cannot be installed).
+// nn.Fingerprint, so a wrong or tampered blob cannot be installed). The
+// check runs per candidate holder, so one bad or stale peer cannot end
+// the search while others still hold the real bytes.
 func (s *Server) resolveModelBlob(hdr protocol.ModelPreSendHeader) ([]byte, *nn.Network, error) {
 	if hdr.BlobKey == "" {
 		return nil, nil, errors.New("reference pre-send without blob key")
 	}
-	body, err := s.resolveBlob(hdr.BlobKey)
+	var net *nn.Network
+	body, err := s.resolveBlob(hdr.BlobKey, func(body []byte) error {
+		decoded, err := decodeModel(hdr, body)
+		if err != nil {
+			return err
+		}
+		if got := nn.Fingerprint(decoded); got != hdr.BlobKey {
+			return fmt.Errorf("blob %s rebuilt model fingerprints to %s", hdr.BlobKey, got)
+		}
+		net = decoded
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
-	}
-	net, err := decodeModel(hdr, body)
-	if err != nil {
-		return nil, nil, err
-	}
-	if got := nn.Fingerprint(net); got != hdr.BlobKey {
-		return nil, nil, fmt.Errorf("blob %s rebuilt model fingerprints to %s", hdr.BlobKey, got)
 	}
 	return body, net, nil
 }

@@ -15,7 +15,6 @@ import (
 	"net"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,127 +33,6 @@ import (
 // cannot wedge a server goroutine.
 const maxHandlerSteps = 1000
 
-// ModelStore holds models pre-sent by clients, keyed by app instance and
-// model name. It is safe for concurrent use.
-type ModelStore struct {
-	mu     sync.RWMutex
-	models map[string]map[string]*nn.Network
-	// prints holds a content fingerprint per stored model. Models are
-	// keyed per app instance, so two clients running "the same" model have
-	// distinct entries; the fingerprint proves the weights are
-	// byte-identical, which is what lets the scheduler batch their
-	// inference together.
-	prints map[string]map[string]string
-	// dir, when non-empty, persists model files to disk (see store.go).
-	dir string
-}
-
-// NewModelStore creates an empty store.
-func NewModelStore() *ModelStore {
-	return &ModelStore{
-		models: make(map[string]map[string]*nn.Network),
-		prints: make(map[string]map[string]string),
-	}
-}
-
-// Put stores a model for an app. With a directory-backed store the model
-// files are also written to disk; persistence failures are returned but the
-// in-memory copy is kept, so the current session still works.
-func (s *ModelStore) Put(appID, name string, net *nn.Network) error {
-	s.putMemory(appID, name, net)
-	if s.dir == "" {
-		return nil
-	}
-	return s.persist(appID, name, net)
-}
-
-func (s *ModelStore) putMemory(appID, name string, net *nn.Network) {
-	fp := nn.Fingerprint(net)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.models[appID] == nil {
-		s.models[appID] = make(map[string]*nn.Network)
-		s.prints[appID] = make(map[string]string)
-	}
-	s.models[appID][name] = net
-	s.prints[appID][name] = fp
-}
-
-// FingerprintSet returns a stable summary of every model stored for an app:
-// sorted "name=fingerprint" pairs. Two apps with equal sets hold
-// byte-identical model files under the same names.
-func (s *ModelStore) FingerprintSet(appID string) string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.prints[appID]))
-	for name := range s.prints[appID] {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for i, name := range names {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(name)
-		b.WriteByte('=')
-		b.WriteString(s.prints[appID][name])
-	}
-	return b.String()
-}
-
-// Get retrieves a model for an app.
-func (s *ModelStore) Get(appID, name string) (*nn.Network, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	net, ok := s.models[appID][name]
-	return net, ok
-}
-
-// Names returns the model names stored for an app, in sorted order.
-func (s *ModelStore) Names(appID string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.models[appID]))
-	for name := range s.models[appID] {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
-
-// Resolver returns a snapshot.ModelResolver scoped to one app.
-func (s *ModelStore) Resolver(appID string) snapshot.ModelResolver {
-	return snapshot.ResolverFunc(func(name string) (*nn.Network, bool) {
-		return s.Get(appID, name)
-	})
-}
-
-// stateStore remembers, per app, the last snapshot state both ends of a
-// session agreed on — "the data and code left at the server from the first
-// offloading" (§VI) — enabling delta offloads.
-type stateStore struct {
-	mu     sync.RWMutex
-	states map[string]*snapshot.Snapshot
-}
-
-func newStateStore() *stateStore {
-	return &stateStore{states: make(map[string]*snapshot.Snapshot)}
-}
-
-func (s *stateStore) Put(appID string, snap *snapshot.Snapshot) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.states[appID] = snap
-}
-
-func (s *stateStore) Get(appID string) (*snapshot.Snapshot, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap, ok := s.states[appID]
-	return snap, ok
-}
-
 // Config parametrizes a Server.
 type Config struct {
 	// Catalog resolves snapshot code hashes to app code bundles.
@@ -170,6 +48,18 @@ type Config struct {
 	// they survive server restarts ("the server saves the files",
 	// §III.B.1).
 	ModelDir string
+	// MaxStoreBytes bounds the session store (pre-sent models + synced
+	// delta bases) in bytes; least-recently-used entries are evicted at
+	// the cap. Zero means unbounded (the pre-bounded-store behavior).
+	MaxStoreBytes int64
+	// MaxStreams caps the concurrent logical offload streams one
+	// multiplexed connection may have in flight; further frames wait in
+	// the connection's read loop (TCP backpressure is the flow control).
+	// Zero selects DefaultMaxStreams.
+	MaxStreams int
+	// MaxQueueBytes bounds the summed decoded size of snapshots waiting
+	// in the admission queue; zero means slots-only admission.
+	MaxQueueBytes int64
 	// MaxConns caps concurrently served client connections; beyond it,
 	// new connections receive an error and are closed. Zero means
 	// unlimited.
@@ -234,15 +124,18 @@ type Config struct {
 // DefaultWorkers is the worker-pool size when Config.Workers is zero.
 const DefaultWorkers = 4
 
+// DefaultMaxStreams is the per-connection concurrent-stream cap when
+// Config.MaxStreams is zero.
+const DefaultMaxStreams = 256
+
 // Server is the edge server's offloading program.
 type Server struct {
-	cfg    Config
-	store  *ModelStore
-	states *stateStore
-	sched  *sched.Scheduler
-	logf   func(string, ...any)
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	cfg   Config
+	store *SessionStore
+	sched *sched.Scheduler
+	logf  func(string, ...any)
+	quit  chan struct{}
+	wg    sync.WaitGroup
 	// reqWG tracks requests between dispatch and response write, so Close
 	// can let in-flight sessions flush their final frames before
 	// terminating connections.
@@ -290,6 +183,10 @@ type Server struct {
 	refPreSendHits, refPreSendMisses    *obs.Counter
 	blobPeerFetches, blobPeerFetchBytes *obs.Counter
 	blobsServed, basesRecovered         *obs.Counter
+	// Multiplexing counters: requests dispatched concurrently off a mux
+	// connection, and the live concurrent-stream gauge behind them.
+	muxRequests *obs.Counter
+	muxActive   atomic.Int64
 }
 
 // Metrics is a snapshot of the server's operation counters.
@@ -308,6 +205,13 @@ type Metrics struct {
 	Installs int64
 	// Errors counts requests answered with MsgError.
 	Errors int64
+	// MuxRequests counts requests dispatched concurrently as multiplexed
+	// logical streams (HintMuxV1).
+	MuxRequests int64
+	// StoreBytes and StoreEvictions mirror the bounded session store: its
+	// current byte charge and how many entries the byte cap has evicted.
+	StoreBytes     int64
+	StoreEvictions int64
 }
 
 // Metrics returns a consistent-enough snapshot of the server's counters.
@@ -320,6 +224,9 @@ func (s *Server) Metrics() Metrics {
 		DeltasExecuted:    s.deltasExecuted.Value(),
 		Installs:          s.installs.Value(),
 		Errors:            s.errorsAnswered.Value(),
+		MuxRequests:       s.muxRequests.Value(),
+		StoreBytes:        s.store.Bytes(),
+		StoreEvictions:    s.store.Evictions(),
 	}
 }
 
@@ -383,6 +290,25 @@ func (s *Server) initMetrics() {
 		"Blob fetches served to fleet peers.")
 	s.basesRecovered = r.Counter("websnap_bases_recovered_total",
 		"Delta bases recovered from the fleet blob index.")
+	// Session-store and multiplexing families register after the fleet
+	// block for the same reason: the earlier exposition prefix stays
+	// byte-identical for existing scrapes.
+	r.GaugeFunc("websnap_store_bytes", "Session store payload bytes (models + synced delta bases).",
+		func() float64 { return float64(s.store.Bytes()) })
+	r.GaugeFunc("websnap_store_byte_cap", "Session store byte cap (0 = unbounded).",
+		func() float64 { return float64(s.store.MaxBytes()) })
+	r.GaugeFunc("websnap_store_entries", "Distinct content-addressed payloads in the session store.",
+		func() float64 { return float64(s.store.Entries()) })
+	r.CounterFunc("websnap_store_evictions_total", "Session-store entries evicted at the byte cap.",
+		func() int64 { return s.store.Evictions() })
+	r.CounterFunc("websnap_store_compactions_total", "Superseded delta bases released by chain compaction.",
+		func() int64 { return s.store.Compactions() })
+	r.GaugeFunc("websnap_queue_bytes", "Decoded snapshot bytes waiting in the admission queue.",
+		func() float64 { return float64(s.sched.Stats().QueueBytes) })
+	s.muxRequests = r.Counter("websnap_mux_requests_total",
+		"Requests dispatched concurrently off multiplexed connections.")
+	r.GaugeFunc("websnap_mux_streams", "Logical offload streams currently in flight across multiplexed connections.",
+		func() float64 { return float64(s.muxActive.Load()) })
 }
 
 // NewServer creates an offloading server.
@@ -401,10 +327,10 @@ func NewServer(cfg Config) (*Server, error) {
 			logf = func(string, ...any) {}
 		}
 	}
-	store := NewModelStore()
+	store := newSessionStore(cfg.MaxStoreBytes)
 	if cfg.ModelDir != "" {
 		var err error
-		store, err = NewModelStoreDir(cfg.ModelDir)
+		store, err = newSessionStoreDir(cfg.ModelDir, cfg.MaxStoreBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -412,7 +338,6 @@ func NewServer(cfg Config) (*Server, error) {
 	srv := &Server{
 		cfg:       cfg,
 		store:     store,
-		states:    newStateStore(),
 		logf:      logf,
 		log:       cfg.Logger,
 		quit:      make(chan struct{}),
@@ -429,19 +354,31 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	var err error
 	srv.sched, err = sched.New(sched.Config{
-		Workers:     workers,
-		QueueDepth:  cfg.QueueDepth,
-		Policy:      cfg.QueuePolicy,
-		QueueWait:   cfg.QueueWait,
-		MaxBatch:    cfg.MaxBatch,
-		BatchWindow: cfg.BatchWindow,
-		Logf:        logf,
+		Workers:       workers,
+		QueueDepth:    cfg.QueueDepth,
+		MaxQueueBytes: cfg.MaxQueueBytes,
+		Policy:        cfg.QueuePolicy,
+		QueueWait:     cfg.QueueWait,
+		MaxBatch:      cfg.MaxBatch,
+		BatchWindow:   cfg.BatchWindow,
+		Logf:          logf,
 	}, srv.execBatch)
 	if err != nil {
 		return nil, err
 	}
+	// A session-store eviction must also leave the fleet blob cache, or
+	// the next heartbeat would advertise a key we can no longer back.
+	store.onEvict = srv.onStoreEvict
 	srv.initMetrics()
 	return srv, nil
+}
+
+// onStoreEvict propagates a session-store eviction to the fleet blob
+// cache so evicted keys drop out of the next heartbeat's advertised set.
+func (s *Server) onStoreEvict(key string) {
+	if d, ok := s.cfg.Blobs.(interface{ Delete(key string) }); ok {
+		d.Delete(key)
+	}
 }
 
 // SchedStats returns the scheduler's current state and counters.
@@ -624,14 +561,46 @@ func (r *deadlineReader) Read(p []byte) (int, error) {
 // frameDone returns the reader to the idle clock for the next frame.
 func (r *deadlineReader) frameDone() { r.inFrame = false }
 
+// connWriter serializes response frames onto one connection: in mux mode
+// many handler goroutines finish in arbitrary order and interleave whole
+// frames under the mutex.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *connWriter) write(msg protocol.Message) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return protocol.Write(w.conn, msg)
+}
+
+// maxStreams resolves the per-connection concurrent-stream cap.
+func (s *Server) maxStreams() int {
+	if s.cfg.MaxStreams > 0 {
+		return s.cfg.MaxStreams
+	}
+	return DefaultMaxStreams
+}
+
 // handleConn serves one client connection: a sequence of framed requests,
-// each answered with exactly one response.
+// each answered with exactly one response. Requests advertising HintMuxV1
+// carry a stream id and are dispatched concurrently — the response order
+// then follows completion, not arrival, and the client demultiplexes by
+// the echoed Seq. Requests without the hint are handled inline, strictly
+// serially, exactly as before the extension.
 func (s *Server) handleConn(conn net.Conn) {
 	transfer := s.cfg.TransferTimeout
 	if transfer <= 0 {
 		transfer = s.cfg.IdleTimeout
 	}
 	dr := &deadlineReader{conn: conn, idle: s.cfg.IdleTimeout, transfer: transfer}
+	cw := &connWriter{conn: conn}
+	var streams sync.WaitGroup
+	// slots caps this connection's in-flight streams; a full window blocks
+	// the read loop, so flow control is the transport's backpressure.
+	var slots chan struct{}
+	defer streams.Wait()
 	for {
 		dr.frameDone()
 		msg, err := protocol.Read(dr)
@@ -641,7 +610,31 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		if err := s.serveRequest(conn, msg); err != nil {
+		var env protocol.MuxEnvelope
+		// An undecodable header dispatches serially; the handler reports
+		// the decode error on the connection's single in-order response.
+		_ = json.Unmarshal(msg.Header, &env)
+		if env.Muxed() {
+			if slots == nil {
+				slots = make(chan struct{}, s.maxStreams())
+			}
+			slots <- struct{}{}
+			s.muxRequests.Inc()
+			s.muxActive.Add(1)
+			streams.Add(1)
+			go func(msg protocol.Message, env protocol.MuxEnvelope) {
+				defer streams.Done()
+				defer s.muxActive.Add(-1)
+				defer func() { <-slots }()
+				if err := s.serveRequest(cw, msg, env); err != nil {
+					// The shared socket is broken; close it so the read
+					// loop and sibling streams unwind.
+					conn.Close()
+				}
+			}(msg, env)
+			continue
+		}
+		if err := s.serveRequest(cw, msg, env); err != nil {
 			return
 		}
 	}
@@ -650,7 +643,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // serveRequest dispatches one request and writes its response, tracked by
 // reqWG so Close lets the final frame flush before terminating the
 // connection.
-func (s *Server) serveRequest(conn net.Conn, msg protocol.Message) error {
+func (s *Server) serveRequest(cw *connWriter, msg protocol.Message, env protocol.MuxEnvelope) error {
 	s.reqWG.Add(1)
 	defer s.reqWG.Done()
 	resp, err := s.dispatch(msg)
@@ -658,6 +651,9 @@ func (s *Server) serveRequest(conn net.Conn, msg protocol.Message) error {
 		s.logf("edge: %s: %v", msg.Type, err)
 		s.errorsAnswered.Inc()
 		hdr := protocol.ErrorHeader{Message: err.Error()}
+		if env.Muxed() {
+			hdr.Seq = env.Seq
+		}
 		var oe *overloadError
 		if errors.As(err, &oe) {
 			hdr.Message = oe.err.Error()
@@ -670,7 +666,7 @@ func (s *Server) serveRequest(conn net.Conn, msg protocol.Message) error {
 			return err
 		}
 	}
-	if err := protocol.Write(conn, resp); err != nil {
+	if err := cw.write(resp); err != nil {
 		s.logf("edge: write response: %v", err)
 		return err
 	}
@@ -722,11 +718,16 @@ func (s *Server) handlePing(msg protocol.Message) (protocol.Message, error) {
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
 	}
-	return protocol.Encode(protocol.MsgPong, protocol.PongHeader{
+	pong := protocol.PongHeader{
 		Installed: s.Installed(),
 		Load:      s.hintFor(hdr.Hints),
 		Fleet:     hdr.Hints >= protocol.HintFleetV1 && s.fleetEnabled(),
-	}, nil)
+	}
+	if hdr.Hints >= protocol.HintMuxV1 {
+		pong.Mux = true
+		pong.Seq = hdr.Seq
+	}
+	return protocol.Encode(protocol.MsgPong, pong, nil)
 }
 
 // decodeModel rebuilds a network from a pre-send header's spec and a
@@ -766,6 +767,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 			return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
 				AppID:     hdr.AppID,
 				ModelName: hdr.ModelName,
+				Seq:       hdr.Seq,
 				Load:      s.hintFor(hdr.Hints),
 				NeedBlob:  true,
 			}, nil)
@@ -799,6 +801,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 	return protocol.Encode(protocol.MsgAck, protocol.AckHeader{
 		AppID:     hdr.AppID,
 		ModelName: hdr.ModelName,
+		Seq:       hdr.Seq,
 		Load:      s.hintFor(hdr.Hints),
 	}, nil)
 }
@@ -828,14 +831,29 @@ func (s *Server) restoreApp(snap *snapshot.Snapshot) (*webapp.App, *webapp.Regis
 }
 
 // captureResult captures the post-execution state and records it as the
-// app's synchronized server-side state for delta offloads.
+// app's synchronized server-side state for delta offloads: one encode
+// yields both the store's byte-cap charge and the fleet blob published
+// under the state's content hash.
 func (s *Server) captureResult(app *webapp.App, appID string) (*snapshot.Snapshot, error) {
 	result, err := snapshot.Capture(app, snapshot.Options{DefaultModelPolicy: snapshot.ModelOmit})
 	if err != nil {
 		return nil, err
 	}
-	s.states.Put(appID, result)
-	s.publishStateBlob(result)
+	bare := *result
+	bare.Models = nil
+	data, err := bare.Encode()
+	if err != nil {
+		s.logf("edge: encode state blob: %v", err)
+		return result, nil
+	}
+	key, err := s.store.PutState(appID, result, int64(len(data)))
+	if err != nil {
+		s.logf("edge: store state for app %q: %v", appID, err)
+		return result, nil
+	}
+	if s.fleetEnabled() {
+		s.cfg.Blobs.Put(key, data)
+	}
 	return result, nil
 }
 
@@ -1028,8 +1046,9 @@ type svcTiming struct {
 // errors so the connection handler can answer with the overload marker and
 // load hint that redirect the client to local execution. On success tm (when
 // non-nil) receives the task's queue wait, execution time, and batch size.
-func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.SnapshotHeader, tm *svcTiming) (*snapshot.Snapshot, error) {
+func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.SnapshotHeader, tm *svcTiming, size int64) (*snapshot.Snapshot, error) {
 	task := sched.NewTask(s.batchKey(snap), snap)
+	task.Bytes = size
 	if err := s.sched.Submit(task); err != nil {
 		return nil, &overloadError{
 			err:        err,
@@ -1073,7 +1092,7 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 		return protocol.Message{}, err
 	}
 	tm := &svcTiming{decode: time.Since(decodeStart)}
-	result, err := s.scheduleSnapshot(snap, hdr, tm)
+	result, err := s.scheduleSnapshot(snap, hdr, tm, int64(len(plain)))
 	if err != nil {
 		return protocol.Message{}, err
 	}
@@ -1184,7 +1203,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	base, ok := s.states.Get(delta.AppID)
+	base, ok := s.store.GetState(delta.AppID)
 	if !ok && s.fleetEnabled() {
 		// A roaming session's previous server published the synced state
 		// under its content hash; adopt it instead of failing the delta.
@@ -1210,7 +1229,7 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 		return protocol.Message{}, err
 	}
 	tm := &svcTiming{decode: time.Since(decodeStart)}
-	result, err := s.scheduleSnapshot(preExec, hdr, tm)
+	result, err := s.scheduleSnapshot(preExec, hdr, tm, int64(len(plain)))
 	if err != nil {
 		return protocol.Message{}, err
 	}
@@ -1231,13 +1250,13 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 // ships a VM overlay containing the offloading system; once synthesized,
 // the server is customized and starts serving offload requests (§III.B.3).
 func (s *Server) handleInstall(msg protocol.Message) (protocol.Message, error) {
-	if s.Installed() {
-		return protocol.Encode(protocol.MsgInstallDone,
-			protocol.InstallDoneHeader{SynthesisMillis: 0}, nil)
-	}
 	var hdr protocol.InstallOverlayHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
+	}
+	if s.Installed() {
+		return protocol.Encode(protocol.MsgInstallDone,
+			protocol.InstallDoneHeader{SynthesisMillis: 0, Seq: hdr.Seq}, nil)
 	}
 	if s.cfg.Synthesizer == nil {
 		return protocol.Message{}, errors.New("no synthesizer available")
@@ -1254,5 +1273,6 @@ func (s *Server) handleInstall(msg protocol.Message) (protocol.Message, error) {
 	return protocol.Encode(protocol.MsgInstallDone, protocol.InstallDoneHeader{
 		BaseImage:       hdr.BaseImage,
 		SynthesisMillis: res.SynthesisTime.Milliseconds(),
+		Seq:             hdr.Seq,
 	}, nil)
 }

@@ -1,0 +1,357 @@
+package edge
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"websnap/internal/nn"
+	"websnap/internal/snapshot"
+)
+
+// SessionStore is the server's single bounded home for per-session state:
+// pre-sent models and the synchronized post-offload snapshots that delta
+// offloads build on. Everything is content-addressed — models by
+// nn.Fingerprint, states by Snapshot.Hash — with per-app name indices on
+// top, so byte-identical payloads shared by many sessions are stored once
+// and a configurable byte cap holds regardless of how many sessions come
+// and go. It replaces the earlier trio of unbounded maps (models, prints,
+// states): a long-running edged now evicts least-recently-used entries at
+// the cap instead of growing until the process dies.
+//
+// Two bounding mechanisms work together:
+//
+//   - LRU eviction: when MaxBytes is set, storing a new entry evicts the
+//     least-recently-used entries until the new one fits. Eviction only
+//     ever loses a cache — an evicted model makes the next offload for
+//     that session fail over to the client's local execution (or a fresh
+//     pre-send), and an evicted state makes the next delta recover its
+//     base from the fleet or fall back to a full snapshot.
+//   - Delta-chain compaction: each app keeps exactly one synced state.
+//     Storing the next state in the chain releases the superseded base
+//     immediately (when no other app references it), so a session that
+//     offloads thousands of times occupies one state slot, not thousands.
+//
+// It is safe for concurrent use.
+type SessionStore struct {
+	mu      sync.Mutex
+	entries map[string]*sessionEntry
+	lru     *list.List                   // front = most recently used
+	models  map[string]map[string]string // appID -> model name -> content key
+	states  map[string]string            // appID -> content key
+
+	bytes    int64
+	maxBytes int64
+
+	evictions   int64
+	compactions int64
+
+	// onEvict observes cap evictions (not compactions) with the evicted
+	// content key. Called with mu held: it must not reenter the store.
+	// The server wires it to drop the key from the fleet blob cache, so
+	// the next heartbeat stops advertising what we no longer hold.
+	onEvict func(key string)
+
+	// dir, when non-empty, persists model files to disk (see store.go).
+	dir string
+}
+
+// sessionEntry is one content-addressed payload: a model or a synced
+// state, depending on which pointer is set.
+type sessionEntry struct {
+	key  string
+	size int64
+	net  *nn.Network
+	snap *snapshot.Snapshot
+	refs map[storeRef]struct{}
+	elem *list.Element
+}
+
+// storeRef is one index reference to an entry: a (app, model-name) pair
+// for models, or an app's synced-state slot when name is empty.
+type storeRef struct{ appID, name string }
+
+// ModelStore is the session store's historical name, kept for embedders
+// and tests that predate the unified store.
+type ModelStore = SessionStore
+
+// newSessionStore builds a store bounded to maxBytes (0 = unbounded).
+func newSessionStore(maxBytes int64) *SessionStore {
+	return &SessionStore{
+		entries:  make(map[string]*sessionEntry),
+		lru:      list.New(),
+		models:   make(map[string]map[string]string),
+		states:   make(map[string]string),
+		maxBytes: maxBytes,
+	}
+}
+
+// NewModelStore creates an empty, unbounded store.
+func NewModelStore() *SessionStore { return newSessionStore(0) }
+
+// Put stores a model for an app. With a directory-backed store the model
+// files are also written to disk; persistence failures are returned but the
+// in-memory copy is kept, so the current session still works.
+func (s *SessionStore) Put(appID, name string, net *nn.Network) error {
+	s.putModel(appID, name, net)
+	if s.dir == "" {
+		return nil
+	}
+	return s.persist(appID, name, net)
+}
+
+// putModel indexes a model under (appID, name). Byte-identical models
+// fingerprint to the same content key and share one stored copy.
+func (s *SessionStore) putModel(appID, name string, net *nn.Network) {
+	fp := nn.Fingerprint(net)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.models[appID] == nil {
+		s.models[appID] = make(map[string]string)
+	}
+	ref := storeRef{appID: appID, name: name}
+	if old, ok := s.models[appID][name]; ok {
+		if old == fp {
+			s.touchLocked(s.entries[old])
+			return
+		}
+		s.derefLocked(old, ref)
+	}
+	s.models[appID][name] = fp
+	s.refLocked(fp, ref, func() *sessionEntry {
+		return &sessionEntry{key: fp, size: modelSize(net), net: net}
+	})
+	s.enforceCapLocked(fp)
+}
+
+// modelSize is a model's byte-cap charge: the serialized weights dominate;
+// the spec is noise by comparison.
+func modelSize(net *nn.Network) int64 { return net.ModelBytes() }
+
+// PutState records snap as appID's synchronized server-side state — "the
+// data and code left at the server from the first offloading" (§VI) — and
+// compacts the delta chain: the superseded base is released as soon as no
+// app references it. size is the state's byte-cap charge (its encoded
+// length); the content key is returned for fleet publication.
+func (s *SessionStore) PutState(appID string, snap *snapshot.Snapshot, size int64) (string, error) {
+	key, err := snap.Hash()
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := storeRef{appID: appID}
+	if old, ok := s.states[appID]; ok {
+		if old == key {
+			s.touchLocked(s.entries[old])
+			return key, nil
+		}
+		s.derefLocked(old, ref)
+		s.compactions++
+	}
+	s.states[appID] = key
+	s.refLocked(key, ref, func() *sessionEntry {
+		return &sessionEntry{key: key, size: size, snap: snap}
+	})
+	s.enforceCapLocked(key)
+	return key, nil
+}
+
+// GetState returns appID's synced state, marking it recently used.
+func (s *SessionStore) GetState(appID string) (*snapshot.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.states[appID]
+	if !ok {
+		return nil, false
+	}
+	e := s.entries[key]
+	s.touchLocked(e)
+	return e.snap, true
+}
+
+// refLocked adds ref to key's entry, creating it via mk on first
+// reference, and marks the entry recently used.
+func (s *SessionStore) refLocked(key string, ref storeRef, mk func() *sessionEntry) {
+	e, ok := s.entries[key]
+	if !ok {
+		e = mk()
+		e.refs = make(map[storeRef]struct{}, 1)
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += e.size
+	} else {
+		s.touchLocked(e)
+	}
+	e.refs[ref] = struct{}{}
+}
+
+// derefLocked removes ref from key's entry and releases the entry when no
+// reference remains. A release is bookkeeping (replacement, compaction),
+// not an eviction: it does not notify onEvict — in-flight fleet copies of
+// a superseded base may still serve a roaming peer, and the fleet cache
+// ages them out on its own.
+func (s *SessionStore) derefLocked(key string, ref storeRef) {
+	e, ok := s.entries[key]
+	if !ok {
+		return
+	}
+	delete(e.refs, ref)
+	if len(e.refs) > 0 {
+		return
+	}
+	s.removeLocked(e)
+}
+
+// removeLocked drops an entry from the store (shared by release and
+// eviction; callers handle index cleanup and accounting beyond bytes).
+func (s *SessionStore) removeLocked(e *sessionEntry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+}
+
+// touchLocked marks an entry most recently used.
+func (s *SessionStore) touchLocked(e *sessionEntry) {
+	if e != nil {
+		s.lru.MoveToFront(e.elem)
+	}
+}
+
+// enforceCapLocked evicts least-recently-used entries until the store fits
+// its byte cap. The just-stored entry (protect) is never evicted — the
+// session that stored it needs it this instant, so a single entry larger
+// than the whole cap leaves the store briefly over budget rather than
+// broken.
+func (s *SessionStore) enforceCapLocked(protect string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	el := s.lru.Back()
+	for s.bytes > s.maxBytes && el != nil {
+		e := el.Value.(*sessionEntry)
+		el = el.Prev()
+		if e.key == protect {
+			continue
+		}
+		s.evictLocked(e)
+	}
+}
+
+// evictLocked drops an entry at the cap: every index reference to it is
+// unlinked (including any on-disk model files), and onEvict is told the
+// key so the fleet layer stops advertising it.
+func (s *SessionStore) evictLocked(e *sessionEntry) {
+	for ref := range e.refs {
+		if ref.name == "" {
+			delete(s.states, ref.appID)
+			continue
+		}
+		if m := s.models[ref.appID]; m != nil {
+			delete(m, ref.name)
+			if len(m) == 0 {
+				delete(s.models, ref.appID)
+			}
+		}
+		if s.dir != "" {
+			base := filepath.Join(s.dir, escape(ref.appID), escape(ref.name))
+			os.Remove(base + specSuffix)
+			os.Remove(base + weightsSuffix)
+		}
+	}
+	s.removeLocked(e)
+	s.evictions++
+	if s.onEvict != nil {
+		s.onEvict(e.key)
+	}
+}
+
+// Get retrieves a model for an app, marking it recently used.
+func (s *SessionStore) Get(appID, name string) (*nn.Network, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.models[appID][name]
+	if !ok {
+		return nil, false
+	}
+	e := s.entries[key]
+	s.touchLocked(e)
+	return e.net, true
+}
+
+// FingerprintSet returns a stable summary of every model stored for an app:
+// sorted "name=fingerprint" pairs. Two apps with equal sets hold
+// byte-identical model files under the same names.
+func (s *SessionStore) FingerprintSet(appID string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.models[appID]))
+	for name := range s.models[appID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(s.models[appID][name])
+	}
+	return b.String()
+}
+
+// Names returns the model names stored for an app, in sorted order.
+func (s *SessionStore) Names(appID string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.models[appID]))
+	for name := range s.models[appID] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolver returns a snapshot.ModelResolver scoped to one app.
+func (s *SessionStore) Resolver(appID string) snapshot.ModelResolver {
+	return snapshot.ResolverFunc(func(name string) (*nn.Network, bool) {
+		return s.Get(appID, name)
+	})
+}
+
+// Bytes returns the store's current byte-cap charge across models and
+// states.
+func (s *SessionStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// MaxBytes returns the configured byte cap (0 = unbounded).
+func (s *SessionStore) MaxBytes() int64 { return s.maxBytes }
+
+// Entries returns the number of distinct content-addressed payloads held.
+func (s *SessionStore) Entries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Evictions returns how many entries the byte cap has evicted.
+func (s *SessionStore) Evictions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Compactions returns how many superseded delta bases the store released.
+func (s *SessionStore) Compactions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
+}

@@ -24,10 +24,15 @@ const (
 // models already on disk are loaded eagerly, so a restarted edge server
 // still has the models earlier sessions uploaded.
 func NewModelStoreDir(dir string) (*ModelStore, error) {
+	return newSessionStoreDir(dir, 0)
+}
+
+// newSessionStoreDir builds a dir-persisted store bounded to maxBytes.
+func newSessionStoreDir(dir string, maxBytes int64) (*SessionStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("edge: model dir: %w", err)
 	}
-	s := NewModelStore()
+	s := newSessionStore(maxBytes)
 	s.dir = dir
 	if err := s.loadAll(); err != nil {
 		return nil, err
@@ -96,7 +101,7 @@ func (s *ModelStore) loadAll() error {
 			if err != nil {
 				return fmt.Errorf("edge: load model %q for app %q: %w", name, appID, err)
 			}
-			s.putMemory(appID, name, net)
+			s.putModel(appID, name, net)
 		}
 	}
 	return nil

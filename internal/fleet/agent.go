@@ -31,6 +31,14 @@ type AgentConfig struct {
 	// Blobs, when set, supplies the content-addressed keys the server
 	// currently holds.
 	Blobs func() []string
+	// MaxBlobs caps how many keys one heartbeat advertises (negative =
+	// unlimited; zero = DefaultMaxAdvertisedBlobs). The register frame's
+	// JSON header is bounded by protocol.MaxHeaderLen, so a server holding
+	// an unbounded blob set must truncate or its registration fails and it
+	// drops out of the fleet entirely. Suppliers aware of recency (see
+	// BlobStore.KeysMRU) should return the hot end first; the cap keeps
+	// whatever prefix the supplier ordered.
+	MaxBlobs int
 	// Logger records heartbeat failures.
 	Logger *obs.Logger
 }
@@ -86,9 +94,30 @@ func (a *Agent) heartbeat() error {
 	}
 	if a.cfg.Blobs != nil {
 		hdr.Blobs = a.cfg.Blobs()
+		if max := a.maxBlobs(); max > 0 && len(hdr.Blobs) > max {
+			hdr.Blobs = hdr.Blobs[:max]
+		}
 	}
 	_, err := a.cfg.Client.Register(hdr)
 	return err
+}
+
+// DefaultMaxAdvertisedBlobs is the default heartbeat advertisement cap.
+// Content keys are 64-hex strings (~70 bytes JSON-encoded), so 4096 keys
+// stay well under protocol.MaxHeaderLen (1 MiB) with room for the rest of
+// the register header.
+const DefaultMaxAdvertisedBlobs = 4096
+
+// maxBlobs resolves the advertisement cap (0 = default, <0 = unlimited).
+func (a *Agent) maxBlobs() int {
+	switch {
+	case a.cfg.MaxBlobs < 0:
+		return 0
+	case a.cfg.MaxBlobs == 0:
+		return DefaultMaxAdvertisedBlobs
+	default:
+		return a.cfg.MaxBlobs
+	}
 }
 
 func (a *Agent) run() {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"container/list"
 	"sort"
 	"sync"
 )
@@ -11,50 +12,124 @@ import (
 // registry heartbeats, and serve peers' MsgBlobGet requests from it. Keys
 // are opaque here; callers are responsible for key↔content integrity
 // (verified on the fetch path via CRC plus fingerprint recomputation).
+//
+// A store built with NewBlobStoreCap bounds the total payload bytes: Put
+// evicts least-recently-used blobs until the new one fits, and Get counts
+// as use. Content addressing makes eviction safe — a dropped blob is never
+// wrong, only absent, and the fetch path falls back to another holder or a
+// client re-upload. Heartbeats re-advertise the surviving key set, so
+// evicted keys drop out of the fleet index on the next beat.
 type BlobStore struct {
-	mu    sync.RWMutex
-	blobs map[string][]byte
-	bytes int64
+	mu       sync.RWMutex
+	blobs    map[string]*list.Element
+	lru      *list.List // front = most recently used
+	bytes    int64
+	maxBytes int64 // 0 = unbounded
+	evicted  int64
 }
 
-// NewBlobStore builds an empty store.
+// blobEntry is one cached blob, owned by its lru list element.
+type blobEntry struct {
+	key  string
+	data []byte
+}
+
+// NewBlobStore builds an empty, unbounded store.
 func NewBlobStore() *BlobStore {
-	return &BlobStore{blobs: make(map[string][]byte)}
+	return NewBlobStoreCap(0)
+}
+
+// NewBlobStoreCap builds an empty store bounded to maxBytes of payload
+// (0 = unbounded). A single blob larger than the whole cap is rejected
+// outright: storing it could only evict everything else and then exceed
+// the cap anyway.
+func NewBlobStoreCap(maxBytes int64) *BlobStore {
+	return &BlobStore{
+		blobs:    make(map[string]*list.Element),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+	}
 }
 
 // Put stores data under key. Content addressing makes overwrites
 // idempotent: a key collision means identical bytes, so the first copy is
-// kept.
+// kept (and refreshed in the LRU order). On a bounded store the put evicts
+// least-recently-used blobs until the new one fits; a blob larger than the
+// whole cap is dropped without disturbing the cache.
 func (b *BlobStore) Put(key string, data []byte) {
 	if key == "" {
 		return
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if _, ok := b.blobs[key]; ok {
+	if el, ok := b.blobs[key]; ok {
+		b.lru.MoveToFront(el)
 		return
+	}
+	if b.maxBytes > 0 && int64(len(data)) > b.maxBytes {
+		return
+	}
+	for b.maxBytes > 0 && b.bytes+int64(len(data)) > b.maxBytes {
+		if !b.evictOldestLocked() {
+			break
+		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	b.blobs[key] = cp
+	b.blobs[key] = b.lru.PushFront(&blobEntry{key: key, data: cp})
 	b.bytes += int64(len(cp))
 }
 
-// Get returns the blob for key. The returned slice is shared; callers must
-// not mutate it.
-func (b *BlobStore) Get(key string) ([]byte, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	data, ok := b.blobs[key]
-	return data, ok
+// evictOldestLocked drops the least-recently-used blob; false means the
+// store is already empty.
+func (b *BlobStore) evictOldestLocked() bool {
+	el := b.lru.Back()
+	if el == nil {
+		return false
+	}
+	e := el.Value.(*blobEntry)
+	b.lru.Remove(el)
+	delete(b.blobs, e.key)
+	b.bytes -= int64(len(e.data))
+	b.evicted++
+	return true
 }
 
-// Has reports whether the store holds key.
+// Get returns the blob for key, marking it recently used. The returned
+// slice is shared; callers must not mutate it.
+func (b *BlobStore) Get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.blobs[key]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(el)
+	return el.Value.(*blobEntry).data, true
+}
+
+// Has reports whether the store holds key (without touching LRU order).
 func (b *BlobStore) Has(key string) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	_, ok := b.blobs[key]
 	return ok
+}
+
+// Delete drops key from the store, if present. Used by tests and
+// operators to force the stale-holder path; normal turnover happens via
+// LRU eviction.
+func (b *BlobStore) Delete(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	el, ok := b.blobs[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*blobEntry)
+	b.lru.Remove(el)
+	delete(b.blobs, key)
+	b.bytes -= int64(len(e.data))
 }
 
 // Keys returns all stored keys, sorted — the set a registry heartbeat
@@ -70,6 +145,24 @@ func (b *BlobStore) Keys() []string {
 	return keys
 }
 
+// KeysMRU returns up to max keys in most-recently-used-first order (max
+// <= 0 means all). Heartbeats on stores holding more blobs than the
+// advertisement cap prefer the hot end: those are the keys peers are most
+// likely to want and least likely to be evicted before a fetch arrives.
+func (b *BlobStore) KeysMRU(max int) []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	n := b.lru.Len()
+	if max > 0 && max < n {
+		n = max
+	}
+	keys := make([]string, 0, n)
+	for el := b.lru.Front(); el != nil && len(keys) < n; el = el.Next() {
+		keys = append(keys, el.Value.(*blobEntry).key)
+	}
+	return keys
+}
+
 // Len returns the number of stored blobs.
 func (b *BlobStore) Len() int {
 	b.mu.RLock()
@@ -82,4 +175,16 @@ func (b *BlobStore) Bytes() int64 {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return b.bytes
+}
+
+// MaxBytes returns the configured byte cap (0 = unbounded).
+func (b *BlobStore) MaxBytes() int64 {
+	return b.maxBytes
+}
+
+// Evictions returns how many blobs the byte cap has evicted.
+func (b *BlobStore) Evictions() int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.evicted
 }

@@ -179,10 +179,13 @@ func (r *Registry) Servers() int {
 	return len(r.entries)
 }
 
-// Version returns the current view version.
+// Version returns the current view version. Expiry is lazy, so pending
+// TTL lapses are applied first — otherwise a freshly expired member would
+// leave Version behind the version a concurrent View reports.
 func (r *Registry) Version() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.pruneLocked(r.now())
 	return r.version
 }
 

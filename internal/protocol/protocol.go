@@ -197,6 +197,15 @@ const (
 	// full. Servers that predate the extension answer a reference-only
 	// pre-send with a decode error, which clients treat like NeedBlob.
 	HintFleetV1 = 4
+	// HintMuxV1 gates the stream-multiplexing extension: every request
+	// header carries a client-chosen Seq identifying its logical stream,
+	// the server dispatches requests from one connection concurrently and
+	// echoes the Seq on the matching response, and responses may arrive in
+	// any order. Pongs advertise the capability (Mux field) so clients
+	// only interleave against servers that demultiplex; against older
+	// servers the connection stays strictly serial and the wire bytes are
+	// identical to a pre-extension client.
+	HintMuxV1 = 5
 )
 
 // LoadHint is the edge server's advertised scheduling load, attached to
@@ -261,6 +270,9 @@ type ModelPreSendHeader struct {
 	AppID     string          `json:"appId"`
 	ModelName string          `json:"modelName"`
 	Spec      json.RawMessage `json:"spec"`
+	// Seq matches this request to its ack on a multiplexed connection
+	// (zero on serial connections, keeping old-peer bytes identical).
+	Seq uint64 `json:"seq,omitempty"`
 	// Partial marks a rear-only model pre-send: the front part is
 	// withheld for privacy (§III.B.2).
 	Partial bool `json:"partial,omitempty"`
@@ -285,6 +297,8 @@ type ModelPreSendHeader struct {
 type AckHeader struct {
 	AppID     string `json:"appId"`
 	ModelName string `json:"modelName"`
+	// Seq echoes the request's stream id on a multiplexed connection.
+	Seq uint64 `json:"seq,omitempty"`
 	// Load is the server's scheduling load; present only when the request
 	// advertised HintLoadV1.
 	Load *LoadHint `json:"load,omitempty"`
@@ -339,6 +353,8 @@ type ErrorHeader struct {
 // PingHeader is the JSON header of MsgPing.
 type PingHeader struct {
 	Hints int `json:"hints,omitempty"`
+	// Seq matches this ping to its pong on a multiplexed connection.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // PongHeader is the JSON header of MsgPong.
@@ -349,12 +365,21 @@ type PongHeader struct {
 	// sharing + registry); attached only when the ping advertised
 	// HintFleetV1.
 	Fleet bool `json:"fleet,omitempty"`
+	// Mux advertises that the server demultiplexes concurrent streams on
+	// one connection; attached only when the ping advertised HintMuxV1.
+	Mux bool `json:"mux,omitempty"`
+	// Seq echoes the ping's stream id on a multiplexed connection.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // InstallOverlayHeader is the JSON header of MsgInstallOverlay; the
 // compressed overlay bytes travel in the body.
 type InstallOverlayHeader struct {
 	BaseImage string `json:"baseImage"`
+	// Hints advertises the extension versions the sender understands.
+	Hints int `json:"hints,omitempty"`
+	// Seq matches this request to its done-ack on a multiplexed connection.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // InstallDoneHeader is the JSON header of MsgInstallDone.
@@ -362,7 +387,24 @@ type InstallDoneHeader struct {
 	BaseImage string `json:"baseImage"`
 	// SynthesisMillis reports how long VM synthesis took on the server.
 	SynthesisMillis int64 `json:"synthesisMillis"`
+	// Seq echoes the request's stream id on a multiplexed connection.
+	Seq uint64 `json:"seq,omitempty"`
 }
+
+// MuxEnvelope is the slice of every request header the demultiplexer
+// needs before type-specific dispatch: the advertised extension versions
+// and the logical stream id. All request headers above embed these two
+// fields under the same JSON keys, so a server peeks the envelope once,
+// decides serial vs concurrent dispatch, and re-decodes the full header
+// inside the handler.
+type MuxEnvelope struct {
+	Hints int    `json:"hints"`
+	Seq   uint64 `json:"seq"`
+}
+
+// Muxed reports whether the request advertised the multiplexing
+// extension and therefore expects its Seq echoed on the response.
+func (e MuxEnvelope) Muxed() bool { return e.Hints >= HintMuxV1 }
 
 // FleetServer is one fleet member as seen in a registry view.
 type FleetServer struct {

@@ -62,6 +62,10 @@ type Task struct {
 	BatchKey string
 	// Payload is the executor's working data (e.g. a decoded snapshot).
 	Payload any
+	// Bytes is the payload's admission-accounted size. Queues configured
+	// with MaxQueueBytes count it against the byte budget while the task
+	// waits; zero-byte tasks consume slots only.
+	Bytes int64
 
 	done chan taskResult
 
@@ -132,6 +136,12 @@ type Config struct {
 	// QueueDepth bounds the admission queue. Zero or negative selects
 	// DefaultQueueDepth.
 	QueueDepth int
+	// MaxQueueBytes bounds the summed Task.Bytes of queued tasks, so a
+	// burst of large snapshots saturates admission before it balloons the
+	// heap. Zero means slots-only accounting. A task larger than the whole
+	// budget is still admitted when the queue is byte-empty — otherwise it
+	// could never run — and then occupies the budget alone.
+	MaxQueueBytes int64
 	// Policy selects the overload behavior (reject vs block).
 	Policy Policy
 	// QueueWait bounds how long PolicyBlock waits for queue space. Zero
@@ -164,6 +174,10 @@ type Stats struct {
 	// bound.
 	QueueDepth int `json:"queueDepth"`
 	QueueCap   int `json:"queueCap"`
+	// QueueBytes is the summed Task.Bytes of queued tasks; QueueByteCap
+	// its bound (0 = slots-only accounting).
+	QueueBytes   int64 `json:"queueBytes,omitempty"`
+	QueueByteCap int64 `json:"queueByteCap,omitempty"`
 	// Submitted counts accepted tasks; Rejected counts tasks turned away
 	// at admission; Cancelled counts tasks failed while queued at Close.
 	Submitted int64 `json:"submitted"`
@@ -200,9 +214,13 @@ func (s Stats) QueueingDelay() time.Duration {
 	return time.Duration(waiting * float64(s.Service.Mean) / float64(s.Workers))
 }
 
-// Saturated reports whether the admission queue is full.
+// Saturated reports whether the admission queue is full, on either the
+// slot or the byte budget.
 func (s Stats) Saturated() bool {
-	return s.QueueCap > 0 && s.QueueDepth >= s.QueueCap
+	if s.QueueCap > 0 && s.QueueDepth >= s.QueueCap {
+		return true
+	}
+	return s.QueueByteCap > 0 && s.QueueBytes >= s.QueueByteCap
 }
 
 // Scheduler admits, queues, batches, and executes tasks on a worker pool.
@@ -211,9 +229,10 @@ type Scheduler struct {
 	exec ExecFunc
 	logf func(string, ...any)
 
-	mu     sync.Mutex
-	queue  []*Task // FIFO admission queue, bounded by cfg.QueueDepth
-	closed bool
+	mu          sync.Mutex
+	queue       []*Task // FIFO admission queue, bounded by cfg.QueueDepth
+	queuedBytes int64   // summed Bytes of queued tasks, bounded by cfg.MaxQueueBytes
+	closed      bool
 	// space is signalled when queue slots free up (PolicyBlock waiters).
 	space chan struct{}
 	// wake is signalled on every enqueue (idle workers).
@@ -288,10 +307,12 @@ func (s *Scheduler) Submit(t *Task) error {
 			s.rejected.Add(1)
 			return ErrClosed
 		}
-		if len(s.queue) < s.cfg.QueueDepth {
+		if len(s.queue) < s.cfg.QueueDepth && s.admitBytesLocked(t) {
 			t.queuedAt = time.Now()
 			s.queue = append(s.queue, t)
-			spare := len(s.queue) < s.cfg.QueueDepth
+			s.queuedBytes += t.Bytes
+			spare := len(s.queue) < s.cfg.QueueDepth &&
+				(s.cfg.MaxQueueBytes <= 0 || s.queuedBytes < s.cfg.MaxQueueBytes)
 			s.mu.Unlock()
 			s.submitted.Add(1)
 			signal(s.wake)
@@ -321,6 +342,19 @@ func (s *Scheduler) Submit(t *Task) error {
 			return ErrClosed
 		}
 	}
+}
+
+// admitBytesLocked reports whether t fits the queue's byte budget. A task
+// exceeding the whole budget is admitted only into a byte-empty queue: it
+// could never fit otherwise, and forward progress beats a strict cap.
+func (s *Scheduler) admitBytesLocked(t *Task) bool {
+	if s.cfg.MaxQueueBytes <= 0 || t.Bytes <= 0 {
+		return true
+	}
+	if s.queuedBytes == 0 {
+		return true
+	}
+	return s.queuedBytes+t.Bytes <= s.cfg.MaxQueueBytes
 }
 
 // signal performs a non-blocking send on a capacity-1 notification channel.
@@ -354,6 +388,7 @@ func (s *Scheduler) nextBatch() ([]*Task, bool) {
 		if len(s.queue) > 0 {
 			first = s.queue[0]
 			s.queue = s.queue[1:]
+			s.queuedBytes -= first.Bytes
 			backlog := len(s.queue) > 0
 			s.mu.Unlock()
 			signal(s.space)
@@ -395,6 +430,7 @@ func (s *Scheduler) nextBatch() ([]*Task, bool) {
 		for _, t := range s.queue {
 			if len(batch) < s.cfg.MaxBatch && t.BatchKey == first.BatchKey {
 				batch = append(batch, t)
+				s.queuedBytes -= t.Bytes
 			} else {
 				kept = append(kept, t)
 			}
@@ -493,12 +529,15 @@ func (s *Scheduler) Accepting() bool {
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	depth := len(s.queue)
+	qbytes := s.queuedBytes
 	s.mu.Unlock()
 	return Stats{
 		Workers:      s.cfg.Workers,
 		Busy:         int(s.busy.Load()),
 		QueueDepth:   depth,
 		QueueCap:     s.cfg.QueueDepth,
+		QueueBytes:   qbytes,
+		QueueByteCap: s.cfg.MaxQueueBytes,
 		Submitted:    s.submitted.Load(),
 		Rejected:     s.rejected.Load(),
 		Cancelled:    s.cancelled.Load(),
@@ -523,6 +562,7 @@ func (s *Scheduler) Close() {
 	s.closed = true
 	cancelled := s.queue
 	s.queue = nil
+	s.queuedBytes = 0
 	s.mu.Unlock()
 	close(s.quit)
 	for _, t := range cancelled {

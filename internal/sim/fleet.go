@@ -42,6 +42,12 @@ type FleetConfig struct {
 	// per-request service time, which puts a thousand-session fleet near
 	// its saturation knee at the top of the default server-count sweep.
 	ThinkMax time.Duration
+	// StoreEvictEvery models a byte-capped session store: after this many
+	// completed executions, cap pressure on a server evicts its model
+	// blob, and the next request it serves must re-resolve the model —
+	// a peer backhaul fetch while any fleet member still holds the blob,
+	// a client re-upload otherwise. 0 models unbounded stores.
+	StoreEvictEvery int
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -102,6 +108,12 @@ type FleetPoint struct {
 	// PeerFetchBytes is backhaul traffic spent pulling blobs between
 	// servers — the wired cost that buys the wireless savings.
 	PeerFetchBytes int64 `json:"peerFetchBytes"`
+	// StoreEvictions counts model blobs dropped by bounded-store cap
+	// pressure (FleetConfig.StoreEvictEvery); EvictionRefetchBytes is the
+	// transfer the evictions forced — backhaul re-fetches plus any client
+	// re-uploads when no fleet member still held the blob.
+	StoreEvictions       int   `json:"storeEvictions,omitempty"`
+	EvictionRefetchBytes int64 `json:"evictionRefetchBytes,omitempty"`
 }
 
 // FallbackRate is the fraction of inferences that fell back to local
@@ -204,10 +216,11 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		handoffs  int
 		makespan  time.Duration
 		audit     = obs.NewAuditor(obs.AuditorOptions{})
-		anyBlob   bool
 		uploaded  int64 // actual client model bytes
 		would     int64 // what a sharing-free fleet would have uploaded
 		peer      int64 // backhaul blob-fetch bytes
+		evictions int   // bounded-store cap evictions of the model blob
+		refetch   int64 // bytes those evictions forced back over the wire
 	)
 	for i := range srvs {
 		srvs[i] = fleetSrv{
@@ -257,6 +270,30 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		}
 		return byAddr[target.Addr]
 	}
+	// anyHolder reports whether some fleet member still holds the model
+	// blob. With unbounded stores this is monotone after the first upload;
+	// bounded-store eviction can take it back to false.
+	anyHolder := func() bool {
+		for i := range srvs {
+			if srvs[i].hasBlob {
+				return true
+			}
+		}
+		return false
+	}
+	// resolveBlob charges server s with acquiring the model blob it lacks
+	// and returns the transfer time: a backhaul pull while any peer still
+	// holds the blob, the client's wireless upload otherwise.
+	resolveBlob := func(s int) time.Duration {
+		if anyHolder() {
+			srvs[s].hasBlob = true
+			peer += fs.modelBytes
+			return fs.peerFetch
+		}
+		srvs[s].hasBlob = true
+		uploaded += fs.modelBytes
+		return fs.modelUp
+	}
 	// preSend models the content-addressed pre-send when client c meets
 	// server s for the first time in its session, returning the extra
 	// time the first request waits on the model transfer. Sharing is
@@ -267,21 +304,10 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		}
 		visited[c][s] = true
 		would += fs.modelBytes
-		if !anyBlob {
-			// Cold fleet: someone has to pay the wireless upload once.
-			anyBlob = true
-			srvs[s].hasBlob = true
-			uploaded += fs.modelBytes
-			return fs.modelUp
+		if srvs[s].hasBlob {
+			return 0 // server already holds the blob: ref hit, no transfer
 		}
-		if !srvs[s].hasBlob {
-			// Reference hit: the server pulls the blob from a peer over
-			// the backhaul instead of the client re-uploading it.
-			srvs[s].hasBlob = true
-			peer += fs.modelBytes
-			return fs.peerFetch
-		}
-		return 0 // server already holds the blob: ref hit, no transfer
+		return resolveBlob(s)
 	}
 	think := func(c int) time.Duration {
 		return time.Duration(rngs[c].next() % uint64(fs.thinkMax))
@@ -346,6 +372,15 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		srv := &srvs[ev.worker]
 		switch ev.kind {
 		case evArrive:
+			if !srv.hasBlob {
+				// Cap pressure evicted the model since this session last
+				// used this server: re-resolve the blob, then the snapshot
+				// arrives once the transfer lands.
+				d := resolveBlob(ev.worker)
+				refetch += fs.modelBytes
+				push(&simEvent{at: ev.at + d, kind: evArrive, worker: ev.worker, req: ev.req})
+				break
+			}
 			if srv.busy >= srv.capacity && len(srv.queue) >= fs.cfg.QueueDepth {
 				// Queue full: the server sheds, the client runs the whole
 				// model locally.
@@ -366,6 +401,13 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 			srv.busy--
 			for _, req := range ev.batch {
 				srv.executed++
+				if fs.cfg.StoreEvictEvery > 0 && srv.hasBlob &&
+					srv.executed%fs.cfg.StoreEvictEvery == 0 {
+					// The byte-capped store crossed its budget; the model
+					// blob is the LRU casualty.
+					srv.hasBlob = false
+					evictions++
+				}
 				done := ev.at + fs.clientPost
 				audit.Record(obs.Decision{
 					Path: obs.PathFull, Server: srv.addr,
@@ -394,6 +436,8 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		ClientModelUploadBytes: uploaded,
 		ReuploadBytesSaved:     would - uploaded,
 		PeerFetchBytes:         peer,
+		StoreEvictions:         evictions,
+		EvictionRefetchBytes:   refetch,
 	}
 	for i := range srvs {
 		pt.ExecPerServer[i] = srvs[i].executed

@@ -113,6 +113,49 @@ func TestFleetReuploadAccounting(t *testing.T) {
 	}
 }
 
+// TestFleetBoundedStoreEviction: with StoreEvictEvery modeling a
+// byte-capped session store, cap pressure evicts model blobs and forces
+// re-resolution traffic — yet every inference still completes, and with
+// more than one server the re-fetches ride the backhaul, not the client
+// uplink.
+func TestFleetBoundedStoreEviction(t *testing.T) {
+	const clients, reqs = 32, 6
+	cfg := FleetConfig{RequestsPerClient: reqs, RoamEvery: 2, StoreEvictEvery: 10}
+	pt := fleetPoints(t, []int{4}, clients, []fleet.Policy{fleet.PolicyHash}, cfg)[0]
+	if pt.Completed != clients*reqs {
+		t.Errorf("completed = %d, want %d; eviction must not lose requests", pt.Completed, clients*reqs)
+	}
+	if pt.StoreEvictions == 0 {
+		t.Fatal("no evictions with StoreEvictEvery=10 over 192 requests; the bounded store never bit")
+	}
+	if pt.EvictionRefetchBytes == 0 {
+		t.Error("evictions happened but forced no re-fetch traffic")
+	}
+	sc, err := NewScenario("googlenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelBytes := sc.ModelUploadBytes()
+	if pt.EvictionRefetchBytes%modelBytes != 0 {
+		t.Errorf("refetch bytes %d not a multiple of the model size %d",
+			pt.EvictionRefetchBytes, modelBytes)
+	}
+	// Four servers with staggered eviction counters never go blob-empty
+	// simultaneously here, so the client pays the wireless upload once.
+	if pt.ClientModelUploadBytes != modelBytes {
+		t.Errorf("client uploads = %d bytes, want one model (%d); re-fetches should ride the backhaul",
+			pt.ClientModelUploadBytes, modelBytes)
+	}
+
+	// The unbounded-store control: same fleet, no evictions, no refetches.
+	cfg.StoreEvictEvery = 0
+	base := fleetPoints(t, []int{4}, clients, []fleet.Policy{fleet.PolicyHash}, cfg)[0]
+	if base.StoreEvictions != 0 || base.EvictionRefetchBytes != 0 {
+		t.Errorf("unbounded control recorded evictions: %d / %d bytes",
+			base.StoreEvictions, base.EvictionRefetchBytes)
+	}
+}
+
 // TestFleetLoadPolicySpreadsByCapacity: on a heterogeneous fleet the
 // load-weighted policy sends more sessions to bigger servers, while pure
 // consistent hashing is capacity-blind. Compare how much work the
