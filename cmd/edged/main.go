@@ -33,6 +33,7 @@ import (
 	"websnap/internal/fleet"
 	"websnap/internal/obs"
 	"websnap/internal/sched"
+	"websnap/internal/telemetry"
 	"websnap/internal/vmsynth"
 )
 
@@ -53,6 +54,8 @@ func main() {
 			"max gap between reads within one frame once it started arriving (0 = same as -idle-timeout)")
 		traceLog = flag.String("trace-log", "",
 			"append one JSON line per offload request with its server-side span breakdown ('-' = stderr)")
+		traceLogMaxBytes = flag.Int64("trace-log-max-bytes", obs.DefaultRotateBytes,
+			"rotate the -trace-log file to <path>.1 when it would exceed this size (0 = never rotate)")
 		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
 		logJSON = flag.Bool("log-json", false,
 			"emit structured JSON-line logs on stderr instead of plain text")
@@ -85,6 +88,13 @@ func main() {
 			"dialable address advertised to the fleet; may differ from -listen behind NAT (default: the -listen address if it names a concrete host)")
 		registryTTL = flag.Duration("registry-ttl", 0,
 			"registration lifetime named on each heartbeat (0 = registry default)")
+
+		sloObjective = flag.Duration("slo-objective", 0,
+			"server-side latency SLO: offloads slower than this burn error budget, served on /slo (0 = no SLO)")
+		sloGoal = flag.Float64("slo-goal", 0,
+			"SLO good-event ratio target, e.g. 0.99 (0 = default 0.99)")
+		flightBytes = flag.Int64("flight-bytes", 0,
+			"flight-recorder ring byte cap for /debug/flight (0 = default 1 MiB)")
 	)
 	flag.Parse()
 	sc := schedConfig{
@@ -94,7 +104,11 @@ func main() {
 	}
 	fc := fleetConfig{registry: *registry, advertise: *advertise, ttl: *registryTTL}
 	bc := boundsConfig{storeBytes: *maxStoreBytes, streams: *maxStreams}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc, bc); err != nil {
+	tc := telemetryConfig{
+		sloObjective: *sloObjective, sloGoal: *sloGoal,
+		flightBytes: *flightBytes, traceLogMaxBytes: *traceLogMaxBytes,
+	}
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc, bc, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -118,6 +132,15 @@ type fleetConfig struct {
 type boundsConfig struct {
 	storeBytes int64
 	streams    int
+}
+
+// telemetryConfig bundles the SLO, flight-recorder, and trace-log rotation
+// flags.
+type telemetryConfig struct {
+	sloObjective     time.Duration
+	sloGoal          float64
+	flightBytes      int64
+	traceLogMaxBytes int64
 }
 
 // resolveAdvertise validates the fleet-advertised address: an explicit
@@ -146,7 +169,7 @@ func resolveAdvertise(advertise string, lnAddr net.Addr) (string, error) {
 	return net.JoinHostPort(host, port), nil
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig, bc boundsConfig) error {
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig, bc boundsConfig, tc telemetryConfig) error {
 	if fc.registry == "" && fc.advertise != "" {
 		return fmt.Errorf("-advertise requires -registry (nothing to advertise to)")
 	}
@@ -180,12 +203,52 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 	case "-":
 		cfg.TraceLog = os.Stderr
 	default:
-		f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("open trace log: %w", err)
+		if tc.traceLogMaxBytes > 0 {
+			// Size-capped rotation: the live file plus one predecessor
+			// (<path>.1) bound the disk the trace log can ever claim.
+			rf, err := obs.NewRotatingFile(traceLog, tc.traceLogMaxBytes)
+			if err != nil {
+				return fmt.Errorf("open trace log: %w", err)
+			}
+			defer rf.Close()
+			cfg.TraceLog = rf
+		} else {
+			f, err := os.OpenFile(traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open trace log: %w", err)
+			}
+			defer f.Close()
+			cfg.TraceLog = f
 		}
-		defer f.Close()
-		cfg.TraceLog = f
+	}
+	// The flight recorder is always on (it is a fixed-size in-memory ring);
+	// the SLO engine needs an objective to exist.
+	flight := telemetry.NewFlightRecorder(tc.flightBytes)
+	cfg.Flight = flight
+	if tc.sloObjective > 0 {
+		slo, err := telemetry.NewSLO(telemetry.SLOConfig{
+			Name:      "edge-serve",
+			Objective: tc.sloObjective,
+			Goal:      tc.sloGoal,
+			OnBurn: func(st telemetry.SLOStatus) {
+				// Auto-capture the burn transition in the flight ring so the
+				// dump shows when the budget started draining alongside the
+				// offending slow-request span trees.
+				flight.Record(telemetry.FlightEntry{
+					Reason: telemetry.FlightBurn,
+					Note: fmt.Sprintf("slo %s burning: short %.2fx long %.2fx over objective %v",
+						st.Name, st.ShortBurn, st.LongBurn, tc.sloObjective),
+				})
+				log.Printf("edged: slo %s burning (short %.2fx, long %.2fx)",
+					st.Name, st.ShortBurn, st.LongBurn)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		cfg.SLO = slo
+	} else if tc.sloGoal != 0 {
+		return fmt.Errorf("-slo-goal requires -slo-objective")
 	}
 	if onDemand {
 		cfg.Synthesizer = vmsynth.NewSynthesizer(vmsynth.BaseImage{Name: baseImage, Bytes: 8 << 30})
@@ -217,6 +280,10 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		ln.Close()
 		return err
 	}
+	// Daemon-only runtime stats (goroutines, heap, GC pauses, FDs); kept out
+	// of edge.NewServer so library embedders and the byte-pinned metrics
+	// goldens keep the bare application registry.
+	obs.RegisterRuntimeStats(srv.Registry())
 	log.Printf("edged: listening on %s (installed=%v)", ln.Addr(), !onDemand)
 	if rc != nil {
 		agent, err := fleet.StartAgent(fleet.AgentConfig{
@@ -226,6 +293,7 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 			TTL:      fc.ttl,
 			Load:     srv.LoadHint,
 			Blobs:    srv.BlobKeys,
+			Stats:    srv.StatsDigest,
 			Logger:   cfg.Logger,
 		})
 		if err != nil {
@@ -242,6 +310,8 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		mux.Handle("/metrics", srv.MetricsHandler())
 		mux.Handle("/healthz", srv.HealthzHandler())
 		mux.Handle("/readyz", srv.ReadyzHandler())
+		mux.Handle("/slo", srv.SLOHandler())
+		mux.Handle("/debug/flight", srv.FlightHandler())
 		if pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -6,24 +6,38 @@
 // with the edge servers it tracks — a dead registry degrades clients to
 // their cached last-known-good views, it never stops the data plane.
 //
+// Beyond membership, fleetd is the fleet's telemetry rollup point: edge
+// servers piggyback cumulative stats digests on their heartbeats, and the
+// metrics endpoint re-merges them per scrape into fleet-wide stage
+// histograms, decision mixes, and per-server summaries.
+//
 //	fleetd -listen :7090
 //	fleetd -listen :7090 -ttl 10s -metrics-addr :7091 -log-json
+//	fleetd -listen :7090 -metrics-addr :7091 -pprof \
+//	       -slo-objective 50ms            # fleet-wide execute-latency SLO on /slo
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"websnap/internal/fleet"
 	"websnap/internal/obs"
+	"websnap/internal/protocol"
+	"websnap/internal/telemetry"
+	"websnap/internal/trace"
 )
 
 func main() {
@@ -32,28 +46,107 @@ func main() {
 		ttl    = flag.Duration("ttl", fleet.DefaultTTL,
 			"default registration lifetime; servers missing heartbeats this long are dropped")
 		metricsAddr = flag.String("metrics-addr", "",
-			"serve GET /metrics (Prometheus text) on this address (empty = disabled)")
+			"serve GET /metrics, /fleet, /slo, /debug/flight, and health probes on this address (empty = disabled)")
 		logJSON = flag.Bool("log-json", false,
 			"emit structured JSON-line logs on stderr instead of plain text")
+		pprofOn = flag.Bool("pprof", false,
+			"expose net/http/pprof under /debug/pprof/ on -metrics-addr")
+		sloObjective = flag.Duration("slo-objective", 0,
+			"fleet-wide execute-latency SLO fed from heartbeat digests, served on /slo (0 = no SLO)")
+		sloGoal = flag.Float64("slo-goal", 0,
+			"SLO good-event ratio target, e.g. 0.99 (0 = default 0.99)")
+		flightBytes = flag.Int64("flight-bytes", 0,
+			"flight-recorder ring byte cap for /debug/flight (0 = default 1 MiB)")
 	)
 	flag.Parse()
-	if err := run(*listen, *metricsAddr, *ttl, *logJSON); err != nil {
+	tc := telemetryConfig{sloObjective: *sloObjective, sloGoal: *sloGoal, flightBytes: *flightBytes}
+	if err := run(*listen, *metricsAddr, *ttl, *logJSON, *pprofOn, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "fleetd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, metricsAddr string, ttl time.Duration, logJSON bool) error {
+// telemetryConfig bundles the SLO and flight-recorder flags.
+type telemetryConfig struct {
+	sloObjective time.Duration
+	sloGoal      float64
+	flightBytes  int64
+}
+
+// sloFeed turns cumulative heartbeat digests into SLO event deltas: for
+// each member it remembers the last seen (total, bad) counts of the
+// execute stage and feeds only the increment, so re-heartbeated history is
+// never double-counted. A member whose counts go backwards restarted; its
+// full new counts are genuinely new events.
+type sloFeed struct {
+	slo       *telemetry.SLO
+	objective time.Duration
+	mu        sync.Mutex
+	last      map[string]sloCounts
+}
+
+type sloCounts struct{ total, bad uint64 }
+
+func (f *sloFeed) observe(addr string, d *protocol.StatsDigest) {
+	if f == nil || d == nil {
+		return
+	}
+	hd, ok := d.Stages[string(trace.StageExecute)]
+	if !ok {
+		return
+	}
+	h := telemetry.HistogramFromDigest(hd)
+	cur := sloCounts{total: h.Count(), bad: h.CountAbove(f.objective)}
+	f.mu.Lock()
+	prev := f.last[addr]
+	if cur.total < prev.total {
+		prev = sloCounts{}
+	}
+	f.last[addr] = cur
+	f.mu.Unlock()
+	f.slo.ObserveCounts(cur.total-prev.total, cur.bad-prev.bad)
+}
+
+func run(listen, metricsAddr string, ttl time.Duration, logJSON, pprofOn bool, tc telemetryConfig) error {
 	if ttl <= 0 {
 		return fmt.Errorf("-ttl must be positive, got %v", ttl)
+	}
+	if pprofOn && metricsAddr == "" {
+		return fmt.Errorf("-pprof requires -metrics-addr")
 	}
 	var logger *obs.Logger
 	if logJSON {
 		logger = obs.NewLogger(os.Stderr, obs.LevelInfo)
 	}
+	flight := telemetry.NewFlightRecorder(tc.flightBytes)
+	var feed *sloFeed
+	if tc.sloObjective > 0 {
+		slo, err := telemetry.NewSLO(telemetry.SLOConfig{
+			Name:      "fleet-execute",
+			Objective: tc.sloObjective,
+			Goal:      tc.sloGoal,
+			OnBurn: func(st telemetry.SLOStatus) {
+				flight.Record(telemetry.FlightEntry{
+					Reason: telemetry.FlightBurn,
+					Note: fmt.Sprintf("slo %s burning: short %.2fx long %.2fx over objective %v",
+						st.Name, st.ShortBurn, st.LongBurn, tc.sloObjective),
+				})
+				log.Printf("fleetd: slo %s burning (short %.2fx, long %.2fx)",
+					st.Name, st.ShortBurn, st.LongBurn)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		feed = &sloFeed{slo: slo, objective: tc.sloObjective, last: make(map[string]sloCounts)}
+	} else if tc.sloGoal != 0 {
+		return fmt.Errorf("-slo-goal requires -slo-objective")
+	}
 	metrics := obs.NewRegistry()
+	obs.RegisterRuntimeStats(metrics)
 	reg := fleet.NewRegistry(fleet.RegistryOptions{
 		TTL: ttl, Metrics: metrics, Logger: logger,
+		OnStats: feed.observe,
 	})
 	srv := fleet.NewRegistryServer(reg, logger)
 	ln, err := net.Listen("tcp", listen)
@@ -65,19 +158,46 @@ func run(listen, metricsAddr string, ttl time.Duration, logJSON bool) error {
 	var metricsSrv *http.Server
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			if err := metrics.WritePrometheus(w); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-			}
+		mux.HandleFunc("/metrics", metricsHandler(metrics, reg.Stats))
+		mux.Handle("/fleet", telemetry.FleetHandler(reg.Stats))
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("ok\n")) //nolint:errcheck // best-effort probe reply
 		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			// The registry is ready as soon as it listens; like edged, a
+			// burning SLO is reported in-body but keeps the probe green —
+			// a slow fleet is degraded, not a reason to kill its registry.
+			if feed != nil && feed.slo.Status().Burning {
+				w.Write([]byte("ready (slo burning)\n")) //nolint:errcheck // best-effort probe reply
+				return
+			}
+			w.Write([]byte("ready\n")) //nolint:errcheck // best-effort probe reply
+		})
+		if feed != nil {
+			mux.Handle("/slo", feed.slo.Handler())
+		} else {
+			mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+				http.Error(w, "no SLO configured (-slo-objective)", http.StatusNotFound)
+			})
+		}
+		mux.Handle("/debug/flight", flight.Handler())
+		if pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		metricsSrv = &http.Server{Addr: metricsAddr, Handler: mux}
 		go func() {
 			if err := metricsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("fleetd: metrics server: %v", err)
 			}
 		}()
-		log.Printf("fleetd: metrics on http://%s/metrics", metricsAddr)
+		log.Printf("fleetd: metrics on http://%s/metrics (fleet, slo, flight, healthz, readyz%s)",
+			metricsAddr, map[bool]string{true: ", pprof", false: ""}[pprofOn])
 	}
 	defer func() {
 		if metricsSrv != nil {
@@ -98,5 +218,48 @@ func run(listen, metricsAddr string, ttl time.Duration, logJSON bool) error {
 			return err
 		}
 		return <-done
+	}
+}
+
+// metricsHandler serves the registry's own counters plus the per-scrape
+// fleet rollup in both exposition formats. The two registries have
+// disjoint family names (fleet_* and runtime vs websnap_rollup_*), so the
+// Prometheus payloads concatenate into one lint-clean exposition; the JSON
+// shape keeps them under separate keys.
+func metricsHandler(metrics *obs.Registry, snapshot func() []telemetry.ServerStats) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rollup := telemetry.Rollup{Servers: snapshot()}.Registry()
+		if obs.WantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := metrics.WritePrometheus(w); err != nil {
+				log.Printf("fleetd: metrics handler: %v", err)
+				return
+			}
+			if err := rollup.WritePrometheus(w); err != nil {
+				log.Printf("fleetd: metrics handler: %v", err)
+			}
+			return
+		}
+		var own, roll bytes.Buffer
+		if err := metrics.WriteJSON(&own); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := rollup.WriteJSON(&roll); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct { //nolint:errcheck // best-effort scrape reply
+			Registry json.RawMessage `json:"registry"`
+			Rollup   json.RawMessage `json:"rollup"`
+		}{own.Bytes(), roll.Bytes()})
 	}
 }

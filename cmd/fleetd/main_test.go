@@ -1,15 +1,159 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"websnap/internal/obs"
+	"websnap/internal/protocol"
+	"websnap/internal/telemetry"
+	"websnap/internal/trace"
 )
 
 func TestRunRejectsNonPositiveTTL(t *testing.T) {
-	if err := run(":0", "", 0, false); err == nil || !strings.Contains(err.Error(), "-ttl") {
+	if err := run(":0", "", 0, false, false, telemetryConfig{}); err == nil || !strings.Contains(err.Error(), "-ttl") {
 		t.Errorf("zero ttl: err = %v, want -ttl mention", err)
 	}
-	if err := run(":0", "", -1, false); err == nil {
+	if err := run(":0", "", -1, false, false, telemetryConfig{}); err == nil {
 		t.Error("negative ttl should fail")
 	}
+}
+
+func TestRunRejectsPprofWithoutMetricsAddr(t *testing.T) {
+	if err := run(":0", "", time.Second, false, true, telemetryConfig{}); err == nil ||
+		!strings.Contains(err.Error(), "-metrics-addr") {
+		t.Errorf("pprof without metrics addr: err = %v, want -metrics-addr mention", err)
+	}
+}
+
+func TestRunRejectsGoalWithoutObjective(t *testing.T) {
+	err := run(":0", "", time.Second, false, false, telemetryConfig{sloGoal: 0.99})
+	if err == nil || !strings.Contains(err.Error(), "-slo-objective") {
+		t.Errorf("goal without objective: err = %v, want -slo-objective mention", err)
+	}
+}
+
+// testFleetSnapshot fabricates a registry snapshot with one digest-bearing
+// member and one pre-telemetry member, like a mixed-version fleet.
+func testFleetSnapshot() []telemetry.ServerStats {
+	rec := trace.NewRecorder()
+	for i := 0; i < 5; i++ {
+		rec.Observe(trace.StageExecute, 10*time.Millisecond)
+	}
+	d := telemetry.DigestSource{Recorder: rec}.Digest()
+	d.QueueDepth = 2
+	d.StoreBytes = 1 << 20
+	return []telemetry.ServerStats{
+		{Addr: "edge-a:7070", Capacity: 4, AgeMillis: 120, Stats: d},
+		{Addr: "edge-b:7070", Capacity: 2, AgeMillis: 90},
+	}
+}
+
+// TestMetricsHandlerPrometheusLint scrapes the combined fleetd exposition
+// (registry counters + runtime stats + per-scrape rollup) and runs it
+// through the Prometheus linter: the two registries' family names must
+// stay disjoint or the concatenation would redeclare TYPE/HELP.
+func TestMetricsHandlerPrometheusLint(t *testing.T) {
+	metrics := obs.NewRegistry()
+	obs.RegisterRuntimeStats(metrics)
+	metrics.Counter("fleet_registrations_total", "Total registrations.").Add(3)
+	h := metricsHandler(metrics, testFleetSnapshot)
+
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	body := rr.Body.String()
+	if errs := obs.LintPrometheus([]byte(body)); len(errs) > 0 {
+		t.Fatalf("combined exposition fails lint: %v\n%s", errs, body)
+	}
+	for _, want := range []string{"fleet_registrations_total", "websnap_rollup_servers", "websnap_rollup_stage_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lacks %s", want)
+		}
+	}
+}
+
+// TestMetricsHandlerJSONShape checks the JSON scrape keeps the registry's
+// own counters and the fleet rollup under separate keys.
+func TestMetricsHandlerJSONShape(t *testing.T) {
+	metrics := obs.NewRegistry()
+	metrics.Counter("fleet_registrations_total", "Total registrations.").Add(1)
+	h := metricsHandler(metrics, testFleetSnapshot)
+
+	rr := httptest.NewRecorder()
+	h(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var got struct {
+		Registry []struct {
+			Name string `json:"name"`
+		} `json:"registry"`
+		Rollup []struct {
+			Name string `json:"name"`
+		} `json:"rollup"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatalf("JSON scrape does not parse: %v\n%s", err, rr.Body.String())
+	}
+	if len(got.Registry) == 0 || len(got.Rollup) == 0 {
+		t.Fatalf("registry=%d rollup=%d families, want both non-empty", len(got.Registry), len(got.Rollup))
+	}
+
+	rr = httptest.NewRecorder()
+	h(rr, httptest.NewRequest("POST", "/metrics", nil))
+	if rr.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rr.Code)
+	}
+}
+
+// TestSLOFeedDeltasFromCumulativeDigests drives the heartbeat→SLO bridge
+// with cumulative digests and checks only increments are observed, with a
+// restart (counters going backwards) treated as all-new events.
+func TestSLOFeedDeltasFromCumulativeDigests(t *testing.T) {
+	slo, err := telemetry.NewSLO(telemetry.SLOConfig{Name: "t", Objective: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := &sloFeed{slo: slo, objective: 50 * time.Millisecond, last: make(map[string]sloCounts)}
+
+	digest := func(fast, slow int) *protocol.StatsDigest {
+		rec := trace.NewRecorder()
+		for i := 0; i < fast; i++ {
+			rec.Observe(trace.StageExecute, time.Millisecond)
+		}
+		for i := 0; i < slow; i++ {
+			rec.Observe(trace.StageExecute, time.Second)
+		}
+		return telemetry.DigestSource{Recorder: rec}.Digest()
+	}
+
+	feed.observe("a", digest(8, 2))
+	st := slo.Status()
+	if st.ShortTotal != 10 || st.ShortBad != 2 {
+		t.Fatalf("after first heartbeat: total=%d bad=%d, want 10/2", st.ShortTotal, st.ShortBad)
+	}
+	// Same cumulative counts again: no new events.
+	feed.observe("a", digest(8, 2))
+	if st := slo.Status(); st.ShortTotal != 10 || st.ShortBad != 2 {
+		t.Fatalf("re-heartbeat double-counted: total=%d bad=%d", st.ShortTotal, st.ShortBad)
+	}
+	// Grown counts: only the increment lands.
+	feed.observe("a", digest(12, 3))
+	if st := slo.Status(); st.ShortTotal != 15 || st.ShortBad != 3 {
+		t.Fatalf("after growth: total=%d bad=%d, want 15/3", st.ShortTotal, st.ShortBad)
+	}
+	// Counters went backwards: the member restarted, all counts are new.
+	feed.observe("a", digest(2, 0))
+	if st := slo.Status(); st.ShortTotal != 17 {
+		t.Fatalf("after restart: total=%d, want 17", st.ShortTotal)
+	}
+	// nil feed and nil digest are inert.
+	(*sloFeed)(nil).observe("a", digest(1, 0))
+	feed.observe("a", nil)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"websnap/internal/nn"
@@ -76,6 +77,17 @@ type Conn struct {
 	pending map[uint64]chan muxReply
 	// readerDone is closed when the current reader goroutine exits.
 	readerDone chan struct{}
+
+	// telemetry, once EnableTelemetry is called, raises every request's
+	// advertised hint floor to HintTelemetryV1 so servers answer with
+	// cross-process spans and the mux stream-wait report. Off by default:
+	// an unenabled Conn's request bytes stay identical to older clients.
+	telemetry bool
+
+	// rec, when set, receives the demux routing latency of every
+	// multiplexed response (trace.StageDemux) — the time between a frame
+	// leaving protocol.Read and its delivery to the waiting stream.
+	rec atomic.Pointer[trace.Recorder]
 
 	loadMu   sync.Mutex
 	lastLoad *protocol.LoadHint
@@ -302,6 +314,40 @@ func (c *Conn) checkError(resp protocol.Message) (protocol.Message, error) {
 	return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
 }
 
+// EnableTelemetry opts this Conn into the cross-process telemetry
+// extension: every subsequent request advertises at least HintTelemetryV1,
+// so capable servers answer with span trees (pre-send resolution, fleet
+// hops) and the mux stream-wait report. Old servers ignore the higher hint
+// and answer exactly as before, so enabling it is always safe; it is off
+// by default so an unenabled client's wire bytes stay byte-identical.
+func (c *Conn) EnableTelemetry() {
+	c.mu.Lock()
+	c.telemetry = true
+	c.mu.Unlock()
+}
+
+// TelemetryEnabled reports whether EnableTelemetry has been called.
+func (c *Conn) TelemetryEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.telemetry
+}
+
+// SetTraceRecorder wires a recorder into the Conn's demultiplexer: each
+// multiplexed response's routing latency lands in its StageDemux
+// histogram. The offloader wires its own recorder here so client digests
+// cover the demux stage.
+func (c *Conn) SetTraceRecorder(rec *trace.Recorder) { c.rec.Store(rec) }
+
+// raiseTelemetry lifts a request's hint level to the telemetry floor when
+// the extension is enabled.
+func (c *Conn) raiseTelemetry(hints int) int {
+	if c.TelemetryEnabled() && hints < protocol.HintTelemetryV1 {
+		return protocol.HintTelemetryV1
+	}
+	return hints
+}
+
 // Muxed reports whether stream multiplexing has been negotiated on this
 // connection.
 func (c *Conn) Muxed() bool {
@@ -378,6 +424,11 @@ func (c *Conn) readLoop(rw net.Conn, done chan struct{}) {
 			c.failPending(rw, fmt.Errorf("%w: %w", ErrConnBroken, err))
 			return
 		}
+		// Everything after the read is demux routing: header peek, stream
+		// lookup, handoff. Recording it separately from the wire keeps a
+		// congested reader (many streams racing the single demultiplexer)
+		// visible in the stage histograms.
+		routeStart := time.Now()
 		var env protocol.MuxEnvelope
 		if err := json.Unmarshal(resp.Header, &env); err != nil {
 			c.failPending(rw, fmt.Errorf("%w: undecodable response header: %w", ErrConnBroken, err))
@@ -394,6 +445,9 @@ func (c *Conn) readLoop(rw net.Conn, done chan struct{}) {
 			return
 		}
 		ch <- muxReply{msg: resp}
+		if rec := c.rec.Load(); rec != nil {
+			rec.Observe(trace.StageDemux, time.Since(routeStart))
+		}
 	}
 }
 
@@ -491,12 +545,13 @@ func (c *Conn) roundTripSeq(req protocol.Message, seq uint64) (protocol.Message,
 // multiplexed Conn every request advertises HintMuxV1 (which implies all
 // lower extensions) and carries a fresh stream ID; serially the request
 // keeps its historical hint level and the bytes stay identical to a client
-// that never negotiated.
+// that never negotiated. EnableTelemetry raises either level to
+// HintTelemetryV1.
 func (c *Conn) streamHints(serialHints int) (hints int, seq uint64) {
 	if c.Muxed() {
-		return protocol.HintMuxV1, c.nextSeq()
+		return c.raiseTelemetry(protocol.HintMuxV1), c.nextSeq()
 	}
-	return serialHints, 0
+	return c.raiseTelemetry(serialHints), 0
 }
 
 // Ping probes the server's install state and, when the server supports the
@@ -570,23 +625,38 @@ func (c *Conn) PreSendModel(appID, name string, model *nn.Network, partial bool)
 // frame, which is reported as needBlob too — the reference attempt is
 // always safe, it just wastes one round trip against an old server.
 func (c *Conn) PreSendModelRef(appID, name string, model *nn.Network, partial bool) (needBlob bool, err error) {
+	needBlob, _, err = c.PreSendModelRefTraced(appID, name, model, partial, "")
+	return needBlob, err
+}
+
+// PreSendModelRefTraced is PreSendModelRef with cross-process trace
+// propagation: traceID is stamped on the request (implying
+// HintTelemetryV1), and the server's resolve span — covering its registry
+// locate and peer fetches — comes back alongside the NeedBlob verdict, so
+// a roam handoff's pre-sends join the client's trace under one ID. Empty
+// traceID degrades to the untraced request bytes.
+func (c *Conn) PreSendModelRefTraced(appID, name string, model *nn.Network, partial bool, traceID string) (needBlob bool, span *protocol.SpanNode, err error) {
 	spec, err := nn.EncodeSpec(model)
 	if err != nil {
-		return false, fmt.Errorf("client: model %q: %w", name, err)
+		return false, nil, fmt.Errorf("client: model %q: %w", name, err)
 	}
 	key := nn.Fingerprint(model)
 	if key == "" {
-		return true, nil
+		return true, nil, nil
 	}
 	hints, seq := c.streamHints(protocol.HintFleetV1)
+	if traceID != "" && hints < protocol.HintTelemetryV1 {
+		hints = protocol.HintTelemetryV1
+	}
 	req, err := protocol.Encode(protocol.MsgModelPreSend, protocol.ModelPreSendHeader{
 		AppID: appID, ModelName: name, Spec: spec, Partial: partial,
 		Hints: hints, Seq: seq,
 		BlobKey: key,
 		RefOnly: true,
+		TraceID: traceID,
 	}, nil)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	resp, err := c.roundTripSeq(req, seq)
 	if err != nil {
@@ -594,22 +664,22 @@ func (c *Conn) PreSendModelRef(appID, name string, model *nn.Network, partial bo
 			// A clean error frame: an old server choked on the empty body
 			// (or refused the reference). The stream is intact — fall back
 			// to a full upload.
-			return true, nil
+			return true, nil, nil
 		}
-		return false, fmt.Errorf("client: ref pre-send %q: %w", name, err)
+		return false, nil, fmt.Errorf("client: ref pre-send %q: %w", name, err)
 	}
 	if resp.Type != protocol.MsgAck {
-		return false, fmt.Errorf("client: ref pre-send %q: unexpected response %s", name, resp.Type)
+		return false, nil, fmt.Errorf("client: ref pre-send %q: unexpected response %s", name, resp.Type)
 	}
 	var ack protocol.AckHeader
 	if err := protocol.DecodeHeader(resp, &ack); err != nil {
-		return false, err
+		return false, nil, err
 	}
 	c.noteLoad(ack.Load)
 	if ack.ModelName != name {
-		return false, fmt.Errorf("client: ref pre-send %q: ACK names %q", name, ack.ModelName)
+		return false, nil, fmt.Errorf("client: ref pre-send %q: ACK names %q", name, ack.ModelName)
 	}
-	return ack.NeedBlob, nil
+	return ack.NeedBlob, ack.Span, nil
 }
 
 // OffloadSnapshot ships an encoded snapshot and returns the encoded result
@@ -656,6 +726,7 @@ func (c *Conn) offloadBody(reqType, respType protocol.MsgType, appID string, enc
 	if c.Muxed() {
 		hints = protocol.HintMuxV1
 	}
+	hints = c.raiseTelemetry(hints)
 	var reply offloadReply
 	reply.TraceID = trace.NewID()
 	body := encoded

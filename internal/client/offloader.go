@@ -10,6 +10,7 @@ import (
 	"websnap/internal/obs"
 	"websnap/internal/protocol"
 	"websnap/internal/snapshot"
+	"websnap/internal/telemetry"
 	"websnap/internal/trace"
 	"websnap/internal/webapp"
 )
@@ -96,6 +97,11 @@ type Options struct {
 	// Placement names the fleet placement policy that selected this
 	// session's server; recorded on every audit decision.
 	Placement string
+	// Flight, when non-nil, receives a flight-recorder entry for every
+	// shed, failed, and fallen-back offload decision, plus the merged span
+	// tree of each roam handoff pre-send — the client-side feed of
+	// /debug/flight.
+	Flight *telemetry.FlightRecorder
 }
 
 // DefaultLoadHintTTL is how long a load hint stays fresh for shedding
@@ -148,6 +154,12 @@ type Stats struct {
 	// LastTrace is the merged client+server span trace of the last
 	// completed offload (nil before the first).
 	LastTrace *trace.Trace
+	// LastHandoffSpan is the merged cross-process span tree of the most
+	// recent traced handoff pre-send: the client root over the new
+	// server's resolve span, which nests the registry locate and any peer
+	// fetch — one tree, one trace ID, every process the handoff touched.
+	// Nil until a Retarget on a telemetry-enabled Conn pre-sends a model.
+	LastHandoffSpan *protocol.SpanNode
 }
 
 // Timing is the measured wall-clock breakdown of one offload round trip.
@@ -191,6 +203,10 @@ type Offloader struct {
 	// lastSync is the last full snapshot state both client and server
 	// hold (the server's previous result), the base for delta offloads.
 	lastSync *snapshot.Snapshot
+	// handoffTrace, set by Retarget on a telemetry-enabled Conn, is the
+	// trace ID stamped on the post-handoff pre-sends so the new server's
+	// resolution work (registry locate, peer fetch) joins one trace.
+	handoffTrace string
 
 	presendWG      sync.WaitGroup
 	presendStarted bool
@@ -214,7 +230,7 @@ func NewOffloader(app *webapp.App, conn *Conn, opts Options) (*Offloader, error)
 			return nil, fmt.Errorf("client: model %q is both pre-sent and excluded", m.Name)
 		}
 	}
-	return &Offloader{
+	o := &Offloader{
 		app:           app,
 		conn:          conn,
 		opts:          opts,
@@ -222,7 +238,11 @@ func NewOffloader(app *webapp.App, conn *Conn, opts Options) (*Offloader, error)
 		excludeModels: excluded,
 		acked:         make(map[string]bool),
 		rec:           trace.NewRecorder(),
-	}, nil
+	}
+	// The Conn's demultiplexer feeds its routing latency into the same
+	// recorder as the offload stages, so one digest covers both.
+	conn.SetTraceRecorder(o.rec)
+	return o, nil
 }
 
 // TraceRecorder exposes the per-stage latency histograms aggregated over
@@ -247,10 +267,17 @@ func (o *Offloader) Retarget(conn *Conn) error {
 	// Let any in-flight pre-send finish against the old server before
 	// swapping; its ACKs are about to be discarded anyway.
 	o.presendWG.Wait()
+	conn.SetTraceRecorder(o.rec)
 	o.mu.Lock()
 	o.conn = conn
 	o.acked = make(map[string]bool)
 	o.ackErrs = nil
+	// A telemetry-enabled handoff gets one trace ID for all its pre-sends:
+	// the new server's resolution hops all join the same tree.
+	o.handoffTrace = ""
+	if conn.TelemetryEnabled() {
+		o.handoffTrace = trace.NewID()
+	}
 	if !o.opts.FleetSync {
 		// Outside a fleet the new server cannot know the old sync point.
 		// With FleetSync the base survives: the previous server published
@@ -307,9 +334,16 @@ func (o *Offloader) StartPreSend() {
 // uploaded (zero on a reference hit).
 func (o *Offloader) preSend(name string, model *nn.Network, partial bool) (int64, error) {
 	if o.opts.BlobRefPreSend {
-		needBlob, err := o.conn.PreSendModelRef(o.app.ID(), name, model, partial)
+		o.mu.Lock()
+		tid := o.handoffTrace
+		o.mu.Unlock()
+		start := time.Now()
+		needBlob, span, err := o.conn.PreSendModelRefTraced(o.app.ID(), name, model, partial, tid)
 		if err != nil {
 			return 0, err
+		}
+		if span != nil {
+			o.noteHandoffSpan(tid, name, span, time.Since(start))
 		}
 		if !needBlob {
 			o.mu.Lock()
@@ -329,6 +363,30 @@ func (o *Offloader) preSend(name string, model *nn.Network, partial bool) (int64
 	o.stats.PreSendBytes += sent
 	o.mu.Unlock()
 	return sent, nil
+}
+
+// noteHandoffSpan parents a traced pre-send's server-side resolve span
+// under a client root — the completed cross-process tree — and records it
+// in Stats and the flight recorder.
+func (o *Offloader) noteHandoffSpan(traceID, name string, span *protocol.SpanNode, rtt time.Duration) {
+	root := &protocol.SpanNode{
+		Op:       "handoff_presend",
+		Addr:     "client",
+		Micros:   rtt.Microseconds(),
+		Detail:   name,
+		Children: []*protocol.SpanNode{span},
+	}
+	o.mu.Lock()
+	o.stats.LastHandoffSpan = root
+	o.mu.Unlock()
+	if o.opts.Flight != nil {
+		o.opts.Flight.Record(telemetry.FlightEntry{
+			TraceID: traceID,
+			Reason:  telemetry.FlightHandoff,
+			Note:    "handoff pre-send of model " + name,
+			Span:    root,
+		})
+	}
 }
 
 // WaitForAcks blocks until every configured model pre-send has completed
@@ -432,18 +490,37 @@ func errKind(err error) string {
 }
 
 // decide fills one decision event's shared context (app, server, hint age)
-// and records it. A no-op when no auditor is configured.
+// and records it; sheds, errors, and fallbacks also land in the flight
+// recorder (with the decision joined to the entry) when one is configured.
 func (o *Offloader) decide(d obs.Decision) {
-	if o.opts.Audit == nil {
-		return
-	}
 	d.AppID = o.app.ID()
 	if d.Server == "" {
 		d.Server = o.serverAddr()
 	}
 	d.Placement = o.opts.Placement
 	d.HintAge = o.hintAge()
-	o.opts.Audit.Record(d)
+	if o.opts.Audit != nil {
+		o.opts.Audit.Record(d)
+	}
+	if o.opts.Flight == nil {
+		return
+	}
+	var reason string
+	switch d.Path {
+	case obs.PathShed:
+		reason = telemetry.FlightShed
+	case obs.PathError, obs.PathFallback:
+		reason = telemetry.FlightError
+	default:
+		return
+	}
+	dc := d
+	o.opts.Flight.Record(telemetry.FlightEntry{
+		TraceID:  d.TraceID,
+		Reason:   reason,
+		Note:     string(d.Path) + ": " + d.Reason,
+		Decision: &dc,
+	})
 }
 
 // decideSuccess records the decision for a completed offload, carrying the

@@ -9,6 +9,7 @@ import (
 	"websnap/internal/nn"
 	"websnap/internal/protocol"
 	"websnap/internal/snapshot"
+	"websnap/internal/trace"
 )
 
 // The edge server participates in a fleet through two narrow interfaces
@@ -30,6 +31,41 @@ type BlobCache interface {
 // (fleet.RegistryClient implements it).
 type BlobLocator interface {
 	Locate(keys []string) (map[string][]string, error)
+}
+
+// tracedLocator is the optional telemetry upgrade of BlobLocator
+// (fleet.RegistryClient implements it): the locate propagates the
+// request's trace ID through the registry hop and returns the registry's
+// span for the merged tree. Discovered by interface assertion so edge
+// keeps not importing fleet.
+type tracedLocator interface {
+	LocateTraced(keys []string, traceID string) (map[string][]string, *protocol.SpanNode, error)
+}
+
+// spanTrail accumulates the fleet-hop spans of one traced request as it
+// crosses processes: registry locates and peer fetches append their
+// SpanNodes here, and the request handler parents them all under one root
+// carried back on the response. A nil trail means the requester did not
+// negotiate HintTelemetryV1; the hops still happen, they just aren't
+// reported.
+type spanTrail struct {
+	traceID string
+	spans   []*protocol.SpanNode
+}
+
+// add appends a span to the trail (nil-safe).
+func (t *spanTrail) add(n *protocol.SpanNode) {
+	if t != nil && n != nil {
+		t.spans = append(t.spans, n)
+	}
+}
+
+// id returns the propagated trace ID ("" for untraced requests).
+func (t *spanTrail) id() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
 }
 
 // peerFetchTimeout bounds one peer-to-peer blob fetch (dial + request +
@@ -70,7 +106,7 @@ func (s *Server) BlobKeys() []string {
 // search while the remaining holders can still satisfy it. Peer-fetched
 // blobs are cached, so the next heartbeat advertises them and later
 // requests and peers are served locally.
-func (s *Server) resolveBlob(key string, verify func([]byte) error) ([]byte, error) {
+func (s *Server) resolveBlob(key string, trail *spanTrail, verify func([]byte) error) ([]byte, error) {
 	if !s.fleetEnabled() {
 		return nil, errBlobUnavailable
 	}
@@ -90,7 +126,7 @@ func (s *Server) resolveBlob(key string, verify func([]byte) error) ([]byte, err
 	if s.cfg.Locator == nil {
 		return nil, errBlobUnavailable
 	}
-	holders, err := s.cfg.Locator.Locate([]string{key})
+	holders, err := s.locateBlob(key, trail)
 	if err != nil {
 		return nil, fmt.Errorf("%w: locate: %v", errBlobUnavailable, err)
 	}
@@ -99,7 +135,7 @@ func (s *Server) resolveBlob(key string, verify func([]byte) error) ([]byte, err
 		if addr == s.cfg.AdvertiseAddr {
 			continue // the index may lag our own evictions
 		}
-		data, err := s.fetchBlobFromPeer(addr, key)
+		data, err := s.fetchBlobFromPeer(addr, key, trail)
 		if err == nil && verify != nil {
 			err = verify(data)
 		}
@@ -119,11 +155,69 @@ func (s *Server) resolveBlob(key string, verify func([]byte) error) ([]byte, err
 	return nil, errBlobUnavailable
 }
 
+// locateBlob asks the locator which peers hold key, propagating the
+// request's trace through the registry hop when both sides support it.
+// The hop's round trip feeds the StageRegistry histogram either way.
+func (s *Server) locateBlob(key string, trail *spanTrail) (map[string][]string, error) {
+	start := time.Now()
+	var (
+		holders map[string][]string
+		span    *protocol.SpanNode
+		err     error
+	)
+	if tl, ok := s.cfg.Locator.(tracedLocator); ok && trail.id() != "" {
+		holders, span, err = tl.LocateTraced([]string{key}, trail.id())
+	} else {
+		holders, err = s.cfg.Locator.Locate([]string{key})
+	}
+	rtt := time.Since(start)
+	s.rec.Observe(trace.StageRegistry, rtt)
+	if err != nil {
+		return nil, err
+	}
+	if trail != nil {
+		if span == nil {
+			// The locator predates the telemetry extension; record the hop
+			// from this side so the tree still shows it.
+			span = &protocol.SpanNode{Op: "registry_rpc", Micros: rtt.Microseconds()}
+		}
+		span.Detail = key
+		trail.add(span)
+	}
+	return holders, nil
+}
+
 // fetchBlobFromPeer performs one MsgBlobGet round trip against another
 // edge server and verifies the returned bytes against the frame checksum.
 // Content identity (the bytes actually hashing to key) is verified by the
-// caller where the decoded form is at hand.
-func (s *Server) fetchBlobFromPeer(addr, key string) ([]byte, error) {
+// caller where the decoded form is at hand. A traced fetch (trail != nil)
+// propagates the trace ID to the peer and nests the peer's serve span
+// under this hop's round-trip span.
+func (s *Server) fetchBlobFromPeer(addr, key string, trail *spanTrail) ([]byte, error) {
+	start := time.Now()
+	body, remote, err := s.doFetchBlob(addr, key, trail.id())
+	rtt := time.Since(start)
+	s.rec.Observe(trace.StagePeerFetch, rtt)
+	if trail != nil {
+		span := &protocol.SpanNode{
+			Op:     "peer_fetch",
+			Addr:   addr,
+			Micros: rtt.Microseconds(),
+			Detail: key,
+		}
+		if err != nil {
+			span.Detail = key + " error: " + err.Error()
+		}
+		if remote != nil {
+			span.Children = []*protocol.SpanNode{remote}
+		}
+		trail.add(span)
+	}
+	return body, err
+}
+
+// doFetchBlob is the wire round trip of fetchBlobFromPeer.
+func (s *Server) doFetchBlob(addr, key, traceID string) ([]byte, *protocol.SpanNode, error) {
 	dial := s.cfg.PeerDial
 	if dial == nil {
 		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
@@ -132,50 +226,55 @@ func (s *Server) fetchBlobFromPeer(addr, key string) ([]byte, error) {
 	}
 	conn, err := dial(addr, peerFetchTimeout)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Now().Add(peerFetchTimeout)); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	req, err := protocol.Encode(protocol.MsgBlobGet,
-		protocol.BlobGetHeader{Key: key, Hints: protocol.HintFleetV1}, nil)
+	get := protocol.BlobGetHeader{Key: key, Hints: protocol.HintFleetV1}
+	if traceID != "" {
+		get.Hints = protocol.HintTelemetryV1
+		get.TraceID = traceID
+	}
+	req, err := protocol.Encode(protocol.MsgBlobGet, get, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := protocol.Write(conn, req); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	resp, err := protocol.Read(conn)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.Type == protocol.MsgError {
 		var eh protocol.ErrorHeader
 		if err := protocol.DecodeHeader(resp, &eh); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, fmt.Errorf("peer %s: %s", addr, eh.Message)
+		return nil, nil, fmt.Errorf("peer %s: %s", addr, eh.Message)
 	}
 	if resp.Type != protocol.MsgBlobData {
-		return nil, fmt.Errorf("peer %s: unexpected reply %s", addr, resp.Type)
+		return nil, nil, fmt.Errorf("peer %s: unexpected reply %s", addr, resp.Type)
 	}
 	var hdr protocol.BlobDataHeader
 	if err := protocol.DecodeHeader(resp, &hdr); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if hdr.Key != key {
-		return nil, fmt.Errorf("peer %s: sent blob %s, want %s", addr, hdr.Key, key)
+		return nil, hdr.Span, fmt.Errorf("peer %s: sent blob %s, want %s", addr, hdr.Key, key)
 	}
 	if err := protocol.VerifyBody(resp.Body, hdr.BodyCRC); err != nil {
-		return nil, fmt.Errorf("peer %s: %w", addr, err)
+		return nil, hdr.Span, fmt.Errorf("peer %s: %w", addr, err)
 	}
-	return resp.Body, nil
+	return resp.Body, hdr.Span, nil
 }
 
 // handleBlobGet serves a peer's content-addressed fetch from the local
 // blob cache.
 func (s *Server) handleBlobGet(msg protocol.Message) (protocol.Message, error) {
+	start := time.Now()
 	var hdr protocol.BlobGetHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
@@ -188,10 +287,22 @@ func (s *Server) handleBlobGet(msg protocol.Message) (protocol.Message, error) {
 		return protocol.Message{}, fmt.Errorf("blob %s not held here", hdr.Key)
 	}
 	s.blobsServed.Inc()
-	return protocol.Encode(protocol.MsgBlobData, protocol.BlobDataHeader{
+	resp := protocol.BlobDataHeader{
 		Key:     hdr.Key,
 		BodyCRC: protocol.BodyChecksum(data),
-	}, data)
+	}
+	if hdr.Hints >= protocol.HintTelemetryV1 && hdr.TraceID != "" {
+		// The fetching peer propagated a trace: answer with this server's
+		// serve span so the requester's tree covers this process too. Old
+		// peers get byte-identical headers (omitempty field).
+		resp.Span = &protocol.SpanNode{
+			Op:     "blob_serve",
+			Addr:   s.cfg.AdvertiseAddr,
+			Micros: time.Since(start).Microseconds(),
+			Detail: hdr.Key,
+		}
+	}
+	return protocol.Encode(protocol.MsgBlobData, resp, data)
 }
 
 // recoverBase resolves a delta's base snapshot from the fleet blob index:
@@ -199,9 +310,9 @@ func (s *Server) handleBlobGet(msg protocol.Message) (protocol.Message, error) {
 // content hash. Each candidate's decoded snapshot is verified against the
 // requested hash inside the fetch loop, so a stale holder does not end the
 // search.
-func (s *Server) recoverBase(appID, baseHash string) (*snapshot.Snapshot, error) {
+func (s *Server) recoverBase(appID, baseHash string, trail *spanTrail) (*snapshot.Snapshot, error) {
 	var snap *snapshot.Snapshot
-	data, err := s.resolveBlob(baseHash, func(body []byte) error {
+	data, err := s.resolveBlob(baseHash, trail, func(body []byte) error {
 		decoded, err := snapshot.Decode(body)
 		if err != nil {
 			return fmt.Errorf("decode fleet base %s: %w", baseHash, err)
@@ -233,12 +344,12 @@ func (s *Server) recoverBase(appID, baseHash string) (*snapshot.Snapshot, error)
 // nn.Fingerprint, so a wrong or tampered blob cannot be installed). The
 // check runs per candidate holder, so one bad or stale peer cannot end
 // the search while others still hold the real bytes.
-func (s *Server) resolveModelBlob(hdr protocol.ModelPreSendHeader) ([]byte, *nn.Network, error) {
+func (s *Server) resolveModelBlob(hdr protocol.ModelPreSendHeader, trail *spanTrail) ([]byte, *nn.Network, error) {
 	if hdr.BlobKey == "" {
 		return nil, nil, errors.New("reference pre-send without blob key")
 	}
 	var net *nn.Network
-	body, err := s.resolveBlob(hdr.BlobKey, func(body []byte) error {
+	body, err := s.resolveBlob(hdr.BlobKey, trail, func(body []byte) error {
 		decoded, err := decodeModel(hdr, body)
 		if err != nil {
 			return err

@@ -83,7 +83,11 @@ func (s *Server) HealthzHandler() http.Handler {
 // offloading system is installed and the scheduler is accepting work, 503
 // with the blocking condition otherwise. Load balancers route on this — a
 // live-but-not-ready server (mid-install, or draining on shutdown) drops
-// out of rotation without being restarted.
+// out of rotation without being restarted. A burning SLO is surfaced in
+// the 200 body ("ready (slo burning)") rather than flipping to 503: the
+// server still serves correctly, it is just slow, and yanking it from
+// rotation would shift its load onto peers already near their own
+// objectives.
 func (s *Server) ReadyzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -92,8 +96,34 @@ func (s *Server) ReadyzHandler() http.Handler {
 			http.Error(w, "offloading system not installed", http.StatusServiceUnavailable)
 		case !s.sched.Accepting():
 			http.Error(w, "scheduler draining", http.StatusServiceUnavailable)
+		case s.cfg.SLO != nil && s.cfg.SLO.Status().Burning:
+			w.Write([]byte("ready (slo burning)\n")) //nolint:errcheck // best-effort probe reply
 		default:
 			w.Write([]byte("ready\n")) //nolint:errcheck // best-effort probe reply
 		}
+	})
+}
+
+// SLOHandler serves the configured SLO's burn state as JSON, or 404 when
+// no SLO was configured (cmd/edged without -slo-objective).
+func (s *Server) SLOHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.SLO == nil {
+			http.Error(w, "no SLO configured", http.StatusNotFound)
+			return
+		}
+		s.cfg.SLO.Handler().ServeHTTP(w, r)
+	})
+}
+
+// FlightHandler serves the flight recorder's ring as JSON, or 404 when no
+// recorder was configured.
+func (s *Server) FlightHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Flight == nil {
+			http.Error(w, "no flight recorder configured", http.StatusNotFound)
+			return
+		}
+		s.cfg.Flight.Handler().ServeHTTP(w, r)
 	})
 }

@@ -24,6 +24,7 @@ import (
 	"websnap/internal/protocol"
 	"websnap/internal/sched"
 	"websnap/internal/snapshot"
+	"websnap/internal/telemetry"
 	"websnap/internal/trace"
 	"websnap/internal/vmsynth"
 	"websnap/internal/webapp"
@@ -119,6 +120,16 @@ type Config struct {
 	// PeerDial overrides the transport for peer blob fetches (tests and
 	// chaos injection); nil means TCP.
 	PeerDial func(addr string, timeout time.Duration) (net.Conn, error)
+	// SLO, when non-nil, receives every completed offload's server-side
+	// total latency; /slo (cmd/edged) serves its burn state and /readyz
+	// surfaces it. The server only feeds observations — construction
+	// (objective, windows, OnBurn) is the embedder's.
+	SLO *telemetry.SLO
+	// Flight, when non-nil, captures the span trees of slow, failed, and
+	// shed requests in a bounded in-memory ring served at /debug/flight.
+	// "Slow" means the server-side total exceeded the SLO objective (no
+	// SLO, no slow capture; errors and sheds are captured regardless).
+	Flight *telemetry.FlightRecorder
 }
 
 // DefaultWorkers is the worker-pool size when Config.Workers is zero.
@@ -187,6 +198,9 @@ type Server struct {
 	// connection, and the live concurrent-stream gauge behind them.
 	muxRequests *obs.Counter
 	muxActive   atomic.Int64
+
+	// start anchors the uptime reported in telemetry digests.
+	start time.Time
 }
 
 // Metrics is a snapshot of the server's operation counters.
@@ -344,6 +358,7 @@ func NewServer(cfg Config) (*Server, error) {
 		installed: cfg.Installed,
 		conns:     make(map[net.Conn]struct{}),
 		rec:       trace.NewRecorder(),
+		start:     time.Now(),
 	}
 	if cfg.MaxConns > 0 {
 		srv.connSlots = make(chan struct{}, cfg.MaxConns)
@@ -618,7 +633,12 @@ func (s *Server) handleConn(conn net.Conn) {
 			if slots == nil {
 				slots = make(chan struct{}, s.maxStreams())
 			}
+			// The stream-semaphore wait is where mux backpressure bites;
+			// time it so the per-stream span and the stream_wait stage
+			// histogram expose a saturated window.
+			waitStart := time.Now()
 			slots <- struct{}{}
+			streamWait := time.Since(waitStart)
 			s.muxRequests.Inc()
 			s.muxActive.Add(1)
 			streams.Add(1)
@@ -626,7 +646,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				defer streams.Done()
 				defer s.muxActive.Add(-1)
 				defer func() { <-slots }()
-				if err := s.serveRequest(cw, msg, env); err != nil {
+				if err := s.serveRequest(cw, msg, env, streamWait); err != nil {
 					// The shared socket is broken; close it so the read
 					// loop and sibling streams unwind.
 					conn.Close()
@@ -634,7 +654,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}(msg, env)
 			continue
 		}
-		if err := s.serveRequest(cw, msg, env); err != nil {
+		if err := s.serveRequest(cw, msg, env, -1); err != nil {
 			return
 		}
 	}
@@ -642,11 +662,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 // serveRequest dispatches one request and writes its response, tracked by
 // reqWG so Close lets the final frame flush before terminating the
-// connection.
-func (s *Server) serveRequest(cw *connWriter, msg protocol.Message, env protocol.MuxEnvelope) error {
+// connection. streamWait is the mux stream-semaphore wait (negative for
+// serially dispatched requests, which never queue on the semaphore).
+func (s *Server) serveRequest(cw *connWriter, msg protocol.Message, env protocol.MuxEnvelope, streamWait time.Duration) error {
 	s.reqWG.Add(1)
 	defer s.reqWG.Done()
-	resp, err := s.dispatch(msg)
+	resp, err := s.dispatch(msg, streamWait)
 	if err != nil {
 		s.logf("edge: %s: %v", msg.Type, err)
 		s.errorsAnswered.Inc()
@@ -661,6 +682,7 @@ func (s *Server) serveRequest(cw *connWriter, msg protocol.Message, env protocol
 			hdr.Overloaded = oe.overloaded
 			hdr.Load = s.hintFor(oe.hints)
 		}
+		s.recordFailure(msg, err, oe)
 		resp, err = protocol.Encode(protocol.MsgError, hdr, nil)
 		if err != nil {
 			return err
@@ -686,7 +708,33 @@ type overloadError struct {
 func (e *overloadError) Error() string { return e.err.Error() }
 func (e *overloadError) Unwrap() error { return e.err }
 
-func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
+// recordFailure deposits a failed request in the flight recorder: shed
+// requests under the shed reason (the decision mix's load-drop path),
+// everything else as an error. The trace ID, when the request carried one,
+// joins the entry so operators can line it up with client-side traces.
+func (s *Server) recordFailure(msg protocol.Message, err error, oe *overloadError) {
+	if s.cfg.Flight == nil {
+		return
+	}
+	reason := telemetry.FlightError
+	if oe != nil && oe.overloaded {
+		reason = telemetry.FlightShed
+	}
+	var tid struct {
+		TraceID string `json:"traceId"`
+	}
+	_ = json.Unmarshal(msg.Header, &tid)
+	s.cfg.Flight.Record(telemetry.FlightEntry{
+		TraceID: tid.TraceID,
+		Reason:  reason,
+		Note:    string(msg.Type) + ": " + err.Error(),
+	})
+}
+
+// dispatch routes one request to its handler. streamWait (negative when the
+// request was dispatched serially) reaches the snapshot handlers so the
+// mux stream-semaphore wait lands in the request's server trace.
+func (s *Server) dispatch(msg protocol.Message, streamWait time.Duration) (protocol.Message, error) {
 	// Pings work before installation: probes need to learn the install
 	// state without tripping an error.
 	if msg.Type == protocol.MsgPing {
@@ -699,9 +747,9 @@ func (s *Server) dispatch(msg protocol.Message) (protocol.Message, error) {
 	case protocol.MsgModelPreSend:
 		return s.handleModelPreSend(msg)
 	case protocol.MsgSnapshot:
-		return s.handleSnapshot(msg)
+		return s.handleSnapshot(msg, streamWait)
 	case protocol.MsgSnapshotDelta:
-		return s.handleSnapshotDelta(msg)
+		return s.handleSnapshotDelta(msg, streamWait)
 	case protocol.MsgInstallOverlay:
 		return s.handleInstall(msg)
 	case protocol.MsgBlobGet:
@@ -750,9 +798,29 @@ func decodeModel(hdr protocol.ModelPreSendHeader, weights []byte) (*nn.Network, 
 // its cache or a peer, and answers NeedBlob when it cannot, telling the
 // client to retry with the full upload.
 func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, error) {
+	start := time.Now()
 	var hdr protocol.ModelPreSendHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
+	}
+	// A telemetry-capable client propagated its trace through the pre-send
+	// hop: collect the fleet-hop spans (registry locate, peer fetches) and
+	// parent them under one resolve span answered on the ack.
+	var trail *spanTrail
+	if hdr.Hints >= protocol.HintTelemetryV1 && hdr.TraceID != "" {
+		trail = &spanTrail{traceID: hdr.TraceID}
+	}
+	resolveSpan := func() *protocol.SpanNode {
+		if trail == nil {
+			return nil
+		}
+		return &protocol.SpanNode{
+			Op:       "presend_resolve",
+			Addr:     s.cfg.AdvertiseAddr,
+			Micros:   time.Since(start).Microseconds(),
+			Detail:   hdr.BlobKey,
+			Children: trail.spans,
+		}
 	}
 	var (
 		weights []byte
@@ -760,7 +828,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 		err     error
 	)
 	if hdr.RefOnly {
-		weights, net, err = s.resolveModelBlob(hdr)
+		weights, net, err = s.resolveModelBlob(hdr, trail)
 		if err != nil {
 			s.refPreSendMisses.Inc()
 			s.logf("edge: ref pre-send %q (blob %s) unresolved: %v", hdr.ModelName, hdr.BlobKey, err)
@@ -770,6 +838,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 				Seq:       hdr.Seq,
 				Load:      s.hintFor(hdr.Hints),
 				NeedBlob:  true,
+				Span:      resolveSpan(),
 			}, nil)
 		}
 		s.refPreSendHits.Inc()
@@ -803,6 +872,7 @@ func (s *Server) handleModelPreSend(msg protocol.Message) (protocol.Message, err
 		ModelName: hdr.ModelName,
 		Seq:       hdr.Seq,
 		Load:      s.hintFor(hdr.Hints),
+		Span:      resolveSpan(),
 	}, nil)
 }
 
@@ -1039,6 +1109,13 @@ type svcTiming struct {
 	// encodeStart is stamped by the handler just before result encoding;
 	// snapshotResponse closes the span after any compression.
 	encodeStart time.Time
+	// streamWait is the mux stream-semaphore wait; negative when the
+	// request was dispatched serially (there is then no semaphore, so zero
+	// would be indistinguishable from an uncontended mux stream).
+	streamWait time.Duration
+	// spans carries the request's fleet-hop span trail (registry locates,
+	// peer fetches during delta base recovery) into the flight recorder.
+	spans []*protocol.SpanNode
 }
 
 // scheduleSnapshot submits one decoded snapshot session to the scheduler
@@ -1074,7 +1151,7 @@ func (s *Server) scheduleSnapshot(snap *snapshot.Snapshot, hdr protocol.Snapshot
 
 // handleSnapshot runs a full offloaded snapshot and returns the full result
 // snapshot, mirroring the request's body encoding.
-func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) {
+func (s *Server) handleSnapshot(msg protocol.Message, streamWait time.Duration) (protocol.Message, error) {
 	var hdr protocol.SnapshotHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
@@ -1091,7 +1168,7 @@ func (s *Server) handleSnapshot(msg protocol.Message) (protocol.Message, error) 
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	tm := &svcTiming{decode: time.Since(decodeStart)}
+	tm := &svcTiming{decode: time.Since(decodeStart), streamWait: streamWait}
 	result, err := s.scheduleSnapshot(snap, hdr, tm, int64(len(plain)))
 	if err != nil {
 		return protocol.Message{}, err
@@ -1136,6 +1213,12 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 			EncodeMicros:  encode.Microseconds(),
 			BatchSize:     tm.batch,
 		}
+		// The mux stream-semaphore wait joins the report only for
+		// telemetry-capable clients: the field is omitempty and gated, so
+		// older clients' response bytes are unchanged.
+		if req.Hints >= protocol.HintTelemetryV1 && tm.streamWait > 0 {
+			st.StreamWaitMicros = tm.streamWait.Microseconds()
+		}
 		s.observeTrace(appID, req.Seq, tm, encode, st)
 		if req.Hints >= protocol.HintTraceV1 {
 			hdr.ServerTrace = st
@@ -1151,6 +1234,27 @@ func (s *Server) snapshotResponse(t protocol.MsgType, appID string, req protocol
 func (s *Server) observeTrace(appID string, seq uint64, tm *svcTiming, encode time.Duration, st *protocol.ServerTrace) {
 	s.rec.Observe(trace.StageQueue, tm.queue)
 	s.rec.Observe(trace.StageExecute, tm.decode+tm.exec+encode)
+	if tm.streamWait >= 0 {
+		s.rec.Observe(trace.StageStreamWait, tm.streamWait)
+	}
+	total := tm.decode + tm.queue + tm.exec + encode
+	if tm.streamWait > 0 {
+		total += tm.streamWait
+	}
+	if s.cfg.SLO != nil {
+		s.cfg.SLO.Observe(total)
+		// A request that blew the objective is exactly what the flight
+		// recorder exists for: capture its full span tree while the SLO
+		// burn accounting is still catching up.
+		if s.cfg.Flight != nil && total > s.cfg.SLO.Objective() {
+			s.cfg.Flight.Record(telemetry.FlightEntry{
+				TraceID: st.TraceID,
+				Reason:  telemetry.FlightSlow,
+				Note:    fmt.Sprintf("app %s seq %d over objective %v", appID, seq, s.cfg.SLO.Objective()),
+				Span:    s.serveSpan(appID, tm, encode, total),
+			})
+		}
+	}
 	if s.log.Enabled(obs.LevelDebug) {
 		s.log.Debug("offload served",
 			obs.TraceID(st.TraceID),
@@ -1183,10 +1287,64 @@ func (s *Server) observeTrace(appID string, seq uint64, tm *svcTiming, encode ti
 // TraceRecorder exposes the server's aggregated stage histograms.
 func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 
+// serveSpan renders one request's svcTiming as a span tree: the serve root
+// with one child per pipeline stage, plus any fleet-hop spans (registry
+// locate, peer fetch) collected while recovering a delta base.
+func (s *Server) serveSpan(appID string, tm *svcTiming, encode, total time.Duration) *protocol.SpanNode {
+	root := &protocol.SpanNode{
+		Op:     "serve",
+		Addr:   s.cfg.AdvertiseAddr,
+		Micros: total.Microseconds(),
+		Detail: appID,
+	}
+	if tm.streamWait > 0 {
+		root.Children = append(root.Children,
+			&protocol.SpanNode{Op: "stream_wait", Micros: tm.streamWait.Microseconds()})
+	}
+	root.Children = append(root.Children,
+		&protocol.SpanNode{Op: "decode", Micros: tm.decode.Microseconds()},
+		&protocol.SpanNode{Op: "queue", Micros: tm.queue.Microseconds()},
+		&protocol.SpanNode{Op: "execute", Micros: tm.exec.Microseconds()},
+		&protocol.SpanNode{Op: "encode", Micros: encode.Microseconds()},
+	)
+	root.Children = append(root.Children, tm.spans...)
+	return root
+}
+
+// StatsDigest snapshots the server's telemetry for one registry heartbeat:
+// every stage histogram in mergeable bucket form, the decision mix, and the
+// live queue depth and store charge. cmd/edged wires this as the fleet
+// agent's Stats supplier; fleetd merges the digests into fleet-wide
+// rollups. Counters are cumulative, so the registry keeping only the latest
+// digest per member loses nothing.
+func (s *Server) StatsDigest() *protocol.StatsDigest {
+	src := telemetry.DigestSource{
+		Recorder: s.rec,
+		Decisions: func() map[string]uint64 {
+			m := s.Metrics()
+			st := s.sched.Stats()
+			return map[string]uint64{
+				"snapshot_full":  uint64(m.SnapshotsExecuted),
+				"snapshot_delta": uint64(m.DeltasExecuted),
+				"shed":           uint64(st.Rejected),
+				"error":          uint64(m.Errors),
+				"ref_hit":        uint64(s.refPreSendHits.Value()),
+				"ref_miss":       uint64(s.refPreSendMisses.Value()),
+				"peer_fetch":     uint64(s.blobPeerFetches.Value()),
+				"base_recovered": uint64(s.basesRecovered.Value()),
+			}
+		},
+		QueueDepth: func() int { return s.sched.Stats().QueueDepth },
+		StoreBytes: func() int64 { return s.store.Bytes() },
+		Start:      s.start,
+	}
+	return src.Digest()
+}
+
 // handleSnapshotDelta runs an offload shipped as a delta against the state
 // left at the server by the previous offload (§VI), and answers with a
 // result delta relative to the reconstructed pre-execution state.
-func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, error) {
+func (s *Server) handleSnapshotDelta(msg protocol.Message, streamWait time.Duration) (protocol.Message, error) {
 	var hdr protocol.SnapshotHeader
 	if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 		return protocol.Message{}, err
@@ -1203,11 +1361,17 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil {
 		return protocol.Message{}, err
 	}
+	// Base recovery crosses fleet hops; propagate the request's trace
+	// through them when the client negotiated telemetry.
+	var trail *spanTrail
+	if hdr.Hints >= protocol.HintTelemetryV1 && hdr.TraceID != "" {
+		trail = &spanTrail{traceID: hdr.TraceID}
+	}
 	base, ok := s.store.GetState(delta.AppID)
 	if !ok && s.fleetEnabled() {
 		// A roaming session's previous server published the synced state
 		// under its content hash; adopt it instead of failing the delta.
-		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash); rerr == nil {
+		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash, trail); rerr == nil {
 			base, ok = recovered, true
 		} else {
 			s.logf("edge: delta base %s for app %q not in fleet: %v", delta.BaseHash, delta.AppID, rerr)
@@ -1221,14 +1385,17 @@ func (s *Server) handleSnapshotDelta(msg protocol.Message) (protocol.Message, er
 	if err != nil && s.fleetEnabled() && errors.Is(err, snapshot.ErrBaseMismatch) {
 		// The stored state is from another session generation; the fleet
 		// may hold the exact base this delta wants.
-		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash); rerr == nil {
+		if recovered, rerr := s.recoverBase(delta.AppID, delta.BaseHash, trail); rerr == nil {
 			preExec, err = delta.Apply(recovered)
 		}
 	}
 	if err != nil {
 		return protocol.Message{}, err
 	}
-	tm := &svcTiming{decode: time.Since(decodeStart)}
+	tm := &svcTiming{decode: time.Since(decodeStart), streamWait: streamWait}
+	if trail != nil {
+		tm.spans = trail.spans
+	}
 	result, err := s.scheduleSnapshot(preExec, hdr, tm, int64(len(plain)))
 	if err != nil {
 		return protocol.Message{}, err

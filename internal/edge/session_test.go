@@ -382,7 +382,7 @@ func TestResolveBlobStaleFirstHolder(t *testing.T) {
 		Locator:       fakeLocator{holders: map[string][]string{key: {stale, good}}},
 		AdvertiseAddr: "self:0",
 	})
-	got, err := srv.resolveBlob(key, nil)
+	got, err := srv.resolveBlob(key, nil, nil)
 	if err != nil {
 		t.Fatalf("resolveBlob with a stale first holder: %v", err)
 	}
@@ -416,7 +416,7 @@ func TestResolveBlobBadContentFirstHolder(t *testing.T) {
 		}
 		return nil
 	}
-	got, err := srv.resolveBlob(key, verify)
+	got, err := srv.resolveBlob(key, nil, verify)
 	if err != nil {
 		t.Fatalf("resolveBlob with a bad first holder: %v", err)
 	}
@@ -442,7 +442,7 @@ func TestResolveBlobAllHoldersStale(t *testing.T) {
 		Locator:       fakeLocator{holders: map[string][]string{key: {stale1, stale2}}},
 		AdvertiseAddr: "self:0",
 	})
-	if _, err := srv.resolveBlob(key, nil); err == nil {
+	if _, err := srv.resolveBlob(key, nil, nil); err == nil {
 		t.Fatal("resolveBlob succeeded with every holder stale")
 	}
 }

@@ -31,6 +31,11 @@ type AgentConfig struct {
 	// Blobs, when set, supplies the content-addressed keys the server
 	// currently holds.
 	Blobs func() []string
+	// Stats, when set, supplies the telemetry digest piggybacked on each
+	// heartbeat (see edge.Server.StatsDigest); the registry keeps the
+	// latest digest per member for fleetd's rollup endpoints. Old
+	// registries ignore the extra field.
+	Stats func() *protocol.StatsDigest
 	// MaxBlobs caps how many keys one heartbeat advertises (negative =
 	// unlimited; zero = DefaultMaxAdvertisedBlobs). The register frame's
 	// JSON header is bounded by protocol.MaxHeaderLen, so a server holding
@@ -97,6 +102,9 @@ func (a *Agent) heartbeat() error {
 		if max := a.maxBlobs(); max > 0 && len(hdr.Blobs) > max {
 			hdr.Blobs = hdr.Blobs[:max]
 		}
+	}
+	if a.cfg.Stats != nil {
+		hdr.Stats = a.cfg.Stats()
 	}
 	_, err := a.cfg.Client.Register(hdr)
 	return err

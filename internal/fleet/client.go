@@ -156,21 +156,46 @@ func (c *RegistryClient) CachedView() (protocol.FleetViewHeader, bool) {
 
 // Locate asks the registry which servers hold each blob key.
 func (c *RegistryClient) Locate(keys []string) (map[string][]string, error) {
-	req, err := protocol.Encode(protocol.MsgBlobLocate,
-		protocol.BlobLocateHeader{Keys: keys, Hints: protocol.HintFleetV1}, nil)
-	if err != nil {
-		return nil, err
+	holders, _, err := c.LocateTraced(keys, "")
+	return holders, err
+}
+
+// LocateTraced is Locate with cross-process trace propagation: traceID is
+// stamped on the request (HintTelemetryV1) and the registry's span for the
+// hop comes back alongside the holders. An empty traceID degrades to the
+// untraced request, byte-identical to Locate against old registries.
+func (c *RegistryClient) LocateTraced(keys []string, traceID string) (map[string][]string, *protocol.SpanNode, error) {
+	hdr := protocol.BlobLocateHeader{Keys: keys, Hints: protocol.HintFleetV1}
+	if traceID != "" {
+		hdr.Hints = protocol.HintTelemetryV1
+		hdr.TraceID = traceID
 	}
+	req, err := protocol.Encode(protocol.MsgBlobLocate, hdr, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
 	resp, err := c.do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.Type != protocol.MsgBlobLocation {
-		return nil, fmt.Errorf("fleet: unexpected reply %s", resp.Type)
+		return nil, nil, fmt.Errorf("fleet: unexpected reply %s", resp.Type)
 	}
 	var loc protocol.BlobLocationHeader
 	if err := protocol.DecodeHeader(resp, &loc); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return loc.Holders, nil
+	span := loc.Span
+	if traceID != "" && span != nil {
+		// The registry measured only its own work; the caller's view of the
+		// hop includes the round trip. Wrap so the tree keeps both.
+		span = &protocol.SpanNode{
+			Op:       "registry_rpc",
+			Addr:     c.addr,
+			Micros:   time.Since(start).Microseconds(),
+			Children: []*protocol.SpanNode{loc.Span},
+		}
+	}
+	return loc.Holders, span, nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"websnap/internal/obs"
 	"websnap/internal/protocol"
+	"websnap/internal/telemetry"
 )
 
 // DefaultTTL is how long a registration stays live without a heartbeat
@@ -30,6 +31,10 @@ type entry struct {
 	load     *protocol.LoadHint
 	blobs    map[string]struct{}
 	last     time.Time // registry clock
+	// stats is the member's last piggybacked telemetry digest (nil for
+	// members that predate HintTelemetryV1). Digests are cumulative, so
+	// keeping only the latest loses nothing.
+	stats *protocol.StatsDigest
 }
 
 // RegistryOptions configures a Registry.
@@ -43,6 +48,10 @@ type RegistryOptions struct {
 	Metrics *obs.Registry
 	// Logger, when set, records membership changes.
 	Logger *obs.Logger
+	// OnStats, when set, is called after each heartbeat that carries a
+	// telemetry digest (outside the registry lock) — fleetd hooks SLO
+	// burn accounting here.
+	OnStats func(addr string, d *protocol.StatsDigest)
 }
 
 // Registry is the fleet membership and blob-location authority. Liveness is
@@ -55,6 +64,7 @@ type Registry struct {
 	ttl     time.Duration
 	now     func() time.Time
 	log     *obs.Logger
+	onStats func(addr string, d *protocol.StatsDigest)
 
 	regs    *obs.Counter
 	expires *obs.Counter
@@ -76,6 +86,7 @@ func NewRegistry(opts RegistryOptions) *Registry {
 		ttl:     ttl,
 		now:     now,
 		log:     opts.Logger,
+		onStats: opts.OnStats,
 	}
 	if m := opts.Metrics; m != nil {
 		r.regs = m.Counter("fleet_registrations_total",
@@ -96,6 +107,9 @@ func NewRegistry(opts RegistryOptions) *Registry {
 // server's full blob-key list; replacing (not merging) the stored set keeps
 // the index honest when a server evicts a blob.
 func (r *Registry) Register(h protocol.FleetRegisterHeader) (servers int, version uint64) {
+	if h.Stats != nil && r.onStats != nil {
+		defer r.onStats(h.Addr, h.Stats)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.now()
@@ -116,6 +130,9 @@ func (r *Registry) Register(h protocol.FleetRegisterHeader) (servers int, versio
 	e.blobs = make(map[string]struct{}, len(h.Blobs))
 	for _, k := range h.Blobs {
 		e.blobs[k] = struct{}{}
+	}
+	if h.Stats != nil {
+		e.stats = h.Stats
 	}
 	e.last = now
 	r.version++
@@ -169,6 +186,28 @@ func (r *Registry) Locate(keys []string) map[string][]string {
 		}
 	}
 	return holders
+}
+
+// Stats snapshots every live member's identity, load, staleness, and last
+// telemetry digest — the raw material for fleetd's rollup exposition,
+// /fleet summary, and SLO accounting.
+func (r *Registry) Stats() []telemetry.ServerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	r.pruneLocked(now)
+	out := make([]telemetry.ServerStats, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, telemetry.ServerStats{
+			Addr:      e.addr,
+			Capacity:  e.capacity,
+			Load:      e.load,
+			AgeMillis: now.Sub(e.last).Milliseconds(),
+			Stats:     e.stats,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
 }
 
 // Servers returns the live-member count.

@@ -161,8 +161,20 @@ func (s *RegistryServer) dispatch(conn net.Conn, msg protocol.Message) error {
 		if err := protocol.DecodeHeader(msg, &hdr); err != nil {
 			return err
 		}
-		reply, err := protocol.Encode(protocol.MsgBlobLocation,
-			protocol.BlobLocationHeader{Holders: s.reg.Locate(hdr.Keys)}, nil)
+		start := time.Now()
+		resp := protocol.BlobLocationHeader{Holders: s.reg.Locate(hdr.Keys)}
+		if hdr.Hints >= protocol.HintTelemetryV1 {
+			// The requester propagated a trace through the registry hop:
+			// answer with the registry's span so the hop shows up in the
+			// request's merged span tree. Old requesters get byte-identical
+			// replies (the field is omitempty).
+			resp.Span = &protocol.SpanNode{
+				Op:     "registry_locate",
+				Addr:   "registry",
+				Micros: time.Since(start).Microseconds(),
+			}
+		}
+		reply, err := protocol.Encode(protocol.MsgBlobLocation, resp, nil)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -427,6 +428,83 @@ func bracket(pairs []string) string {
 		return ""
 	}
 	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// jsonSeries is one series in the JSON exposition.
+type jsonSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value,omitempty"`
+	Count  uint64            `json:"count,omitempty"`
+	// SumSeconds and quantiles render histogram series.
+	SumSeconds float64 `json:"sumSeconds,omitempty"`
+	P50Seconds float64 `json:"p50Seconds,omitempty"`
+	P95Seconds float64 `json:"p95Seconds,omitempty"`
+	P99Seconds float64 `json:"p99Seconds,omitempty"`
+}
+
+// jsonFamily is one family in the JSON exposition.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help"`
+	Kind   string       `json:"kind"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON renders every registered family as a JSON array — the same
+// registry walk as WritePrometheus in the other exposition format, in the
+// same deterministic family/series order.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.order...)
+	r.mu.RUnlock()
+	out := make([]jsonFamily, 0, len(fams))
+	for _, f := range fams {
+		f.mu.RLock()
+		ss := append([]*series(nil), f.order...)
+		f.mu.RUnlock()
+		if len(ss) == 0 {
+			continue
+		}
+		jf := jsonFamily{Name: f.name, Help: f.help, Kind: f.kind.String(), Series: make([]jsonSeries, 0, len(ss))}
+		for _, s := range ss {
+			js := jsonSeries{}
+			if len(f.labelNames) > 0 {
+				js.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					js.Labels[n] = s.labelValues[i]
+				}
+			}
+			switch f.kind {
+			case KindCounter:
+				v := s.count.Load()
+				if s.fn != nil {
+					v = int64(s.fn())
+				}
+				js.Value = float64(v)
+			case KindGauge:
+				v := floatFromBits(s.bits.Load())
+				if s.fn != nil {
+					v = s.fn()
+				}
+				js.Value = v
+			case KindHistogram:
+				if s.hist == nil {
+					continue
+				}
+				q := s.hist.Summary()
+				js.Count = q.Count
+				js.SumSeconds = s.hist.Sum().Seconds()
+				js.P50Seconds = q.P50.Seconds()
+				js.P95Seconds = q.P95.Seconds()
+				js.P99Seconds = q.P99.Seconds()
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Families returns the registered family names in registration order (for

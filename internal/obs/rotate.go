@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultRotateBytes is RotatingFile's size cap when the caller passes
+// zero: 64 MiB per generation, two generations resident worst case.
+const DefaultRotateBytes = 64 << 20
+
+// RotatingFile is an append-only log writer with size-capped rotation:
+// when the live file would exceed maxBytes, it is renamed to <path>.1
+// (replacing any previous rotation) and a fresh file is started. Disk
+// usage is therefore bounded at ~2×maxBytes no matter how long the
+// process soaks — the write path for cmd/edged -trace-log, whose one
+// JSON line per offload otherwise grows without bound.
+//
+// Writes are line-atomic: rotation happens between Write calls, never
+// inside one, so each JSON trace line lands whole in exactly one
+// generation.
+type RotatingFile struct {
+	path     string
+	maxBytes int64
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// NewRotatingFile opens (or creates) path for appending with rotation at
+// maxBytes (DefaultRotateBytes when <= 0).
+func NewRotatingFile(path string, maxBytes int64) (*RotatingFile, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultRotateBytes
+	}
+	r := &RotatingFile{path: path, maxBytes: maxBytes}
+	if err := r.open(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RotatingFile) open() error {
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("open rotating log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("stat rotating log: %w", err)
+	}
+	r.f, r.size = f, st.Size()
+	return nil
+}
+
+// Write appends p, rotating first if it would push the live file past the
+// cap. A single write larger than the cap is still written (after a
+// rotation) rather than lost — the cap bounds steady-state growth, not
+// one record.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return 0, os.ErrClosed
+	}
+	if r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked closes the live file, moves it to <path>.1, and opens a
+// fresh one. A rename failure (e.g. a read-only directory appearing
+// mid-run) keeps appending to the live file rather than dropping spans.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil {
+		// Reopen and keep going; the next write retries the rotation.
+		return r.open()
+	}
+	return r.open()
+}
+
+// Close closes the live file; further writes fail.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+)
+
+// RegisterRuntimeStats registers the process runtime family — goroutine
+// count, heap bytes, cumulative GC pause time, GC cycles, and open file
+// descriptors — on the registry, visible through both exposition formats.
+//
+// These values are nondeterministic by nature, so they are deliberately
+// NOT part of edge.NewServer's default registry (whose exposition is
+// byte-pinned by golden tests); the daemons (cmd/edged, cmd/fleetd) opt in
+// at startup.
+func RegisterRuntimeStats(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("websnap_runtime_goroutines",
+		"Current goroutine count.", func() float64 {
+			return float64(runtime.NumGoroutine())
+		})
+	r.GaugeFunc("websnap_runtime_heap_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).", func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.CounterFunc("websnap_runtime_gc_pause_nanos_total",
+		"Cumulative stop-the-world GC pause time in nanoseconds.", func() int64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return int64(m.PauseTotalNs)
+		})
+	r.CounterFunc("websnap_runtime_gc_cycles_total",
+		"Completed GC cycles.", func() int64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return int64(m.NumGC)
+		})
+	r.GaugeFunc("websnap_runtime_open_fds",
+		"Open file descriptors (-1 where /proc is unavailable).", func() float64 {
+			return float64(countOpenFDs())
+		})
+}
+
+// countOpenFDs counts entries in /proc/self/fd; -1 on platforms without
+// procfs rather than a guess.
+func countOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	// The ReadDir traversal itself holds one descriptor open on the fd
+	// directory; exclude it.
+	return len(ents) - 1
+}

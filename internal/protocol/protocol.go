@@ -206,6 +206,17 @@ const (
 	// servers the connection stays strictly serial and the wire bytes are
 	// identical to a pre-extension client.
 	HintMuxV1 = 5
+	// HintTelemetryV1 gates the fleet telemetry extension: requests may
+	// carry the offload's 16-hex TraceID across fleet hops (reference
+	// pre-sends, registry locates, peer blob fetches), and servers answer
+	// with a SpanNode tree describing the remote work done under that
+	// trace (resolve → registry locate → peer fetch → remote serve), plus
+	// a StreamWaitMicros span on ServerTrace accounting time spent waiting
+	// for a multiplexed stream slot. Heartbeats may additionally piggyback
+	// a StatsDigest rollup. All gated fields are omitempty and attached
+	// only when the request advertised at least this version, so peers
+	// that predate the extension see byte-identical frames.
+	HintTelemetryV1 = 6
 )
 
 // LoadHint is the edge server's advertised scheduling load, attached to
@@ -256,11 +267,87 @@ type ServerTrace struct {
 	// BatchSize is how many coalesced sessions shared the worker's batched
 	// forward pass (1 = solo execution).
 	BatchSize int `json:"batchSize,omitempty"`
+	// StreamWaitMicros is the time the request spent waiting for a
+	// multiplexed stream slot before dispatch (per-connection stream
+	// semaphore). Attached only when the request advertised
+	// HintTelemetryV1, keeping older trace-capable clients byte-identical.
+	StreamWaitMicros int64 `json:"streamWaitMicros,omitempty"`
 }
 
-// Total returns the server-side time accounted to this offload.
+// Total returns the server-side time accounted to this offload. The mux
+// stream-semaphore wait (zero for pre-telemetry clients) is server-side
+// time too: counting it keeps the client's derived wire time honest when a
+// saturated stream window, not the network, delayed the response.
 func (t ServerTrace) Total() time.Duration {
-	return time.Duration(t.DecodeMicros+t.QueueMicros+t.ExecuteMicros+t.EncodeMicros) * time.Microsecond
+	return time.Duration(t.DecodeMicros+t.QueueMicros+t.ExecuteMicros+t.EncodeMicros+t.StreamWaitMicros) * time.Microsecond
+}
+
+// SpanNode is one node of a cross-process span tree, the unit of the
+// HintTelemetryV1 trace-propagation extension. A server that does remote
+// work on behalf of a traced request (locating a blob at the registry,
+// fetching it from a peer) answers with a SpanNode describing that work;
+// each hop nests the spans it received from its own downstream calls as
+// children, so the requester ends up holding one tree, under one trace ID,
+// covering every process the request touched. Durations are microseconds
+// to keep headers compact.
+type SpanNode struct {
+	// Op names the operation ("presend_resolve", "registry_locate",
+	// "peer_fetch", "blob_serve", ...).
+	Op string `json:"op"`
+	// Addr identifies the process that performed the operation (an
+	// advertised server address, "registry", or "client").
+	Addr string `json:"addr,omitempty"`
+	// Micros is the operation's wall-clock duration.
+	Micros int64 `json:"us"`
+	// Detail optionally carries the operation's object (a blob key, a
+	// holder address).
+	Detail string `json:"detail,omitempty"`
+	// Children are the nested downstream operations.
+	Children []*SpanNode `json:"ch,omitempty"`
+}
+
+// Walk visits n and every descendant in depth-first order.
+func (n *SpanNode) Walk(visit func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// HistDigest is a compact wire form of one latency histogram: sparse
+// occupied buckets plus exact count and sum, so a receiver can reconstruct
+// and merge the histogram losslessly (bucket indexes refer to the shared
+// trace.Histogram bucket layout).
+type HistDigest struct {
+	// Buckets lists occupied buckets as [bucketIndex, count] pairs in
+	// index order.
+	Buckets [][2]int64 `json:"b,omitempty"`
+	// Count is the total number of observations.
+	Count uint64 `json:"n"`
+	// SumNanos is the exact sum of observed durations in nanoseconds.
+	SumNanos int64 `json:"s"`
+}
+
+// StatsDigest is the compact per-server telemetry rollup an edge server
+// piggybacks on fleet heartbeats (HintTelemetryV1). Histograms and
+// counters are cumulative since process start; the registry keeps the
+// latest digest per member and fleetd merges them into fleet-wide
+// exposition, per-server summaries, and SLO burn accounting.
+type StatsDigest struct {
+	// Stages maps trace stage names to their latency digests.
+	Stages map[string]HistDigest `json:"stages,omitempty"`
+	// Decisions counts executed request outcomes by path (full, partial,
+	// shed, error) — the server-side mirror of the client decision mix.
+	Decisions map[string]uint64 `json:"decisions,omitempty"`
+	// QueueDepth is the scheduler admission-queue depth at digest time.
+	QueueDepth int `json:"queueDepth,omitempty"`
+	// StoreBytes is the session store's resident byte size at digest time.
+	StoreBytes int64 `json:"storeBytes,omitempty"`
+	// UptimeMillis is how long the process has been serving.
+	UptimeMillis int64 `json:"uptimeMillis,omitempty"`
 }
 
 // ModelPreSendHeader is the JSON header of MsgModelPreSend. The weight blob
@@ -291,6 +378,11 @@ type ModelPreSendHeader struct {
 	// the extension, a decode error — clients treat both as "send the
 	// bytes").
 	RefOnly bool `json:"refOnly,omitempty"`
+	// TraceID propagates the offload trace across the pre-send hop
+	// (stamped when the sender advertises HintTelemetryV1): the server
+	// tags its blob-resolution work — registry locate, peer fetches — with
+	// the same ID and answers with the resulting span tree on the ack.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // AckHeader is the JSON header of MsgAck.
@@ -306,6 +398,10 @@ type AckHeader struct {
 	// resolve the BlobKey locally or from a peer, and the client must
 	// retry with the full weight bytes.
 	NeedBlob bool `json:"needBlob,omitempty"`
+	// Span is the server-side span tree of this pre-send's blob
+	// resolution (registry locate, peer fetches), under the request's
+	// TraceID. Attached only when the request advertised HintTelemetryV1.
+	Span *SpanNode `json:"span,omitempty"`
 }
 
 // SnapshotHeader is the JSON header of MsgSnapshot, MsgResultSnapshot,
@@ -440,6 +536,9 @@ type FleetRegisterHeader struct {
 	Blobs []string `json:"blobs,omitempty"`
 	// Hints advertises the extension versions the sender understands.
 	Hints int `json:"hints,omitempty"`
+	// Stats is the server's telemetry rollup digest, piggybacked on the
+	// heartbeat when the agent has a digest supplier (HintTelemetryV1).
+	Stats *StatsDigest `json:"stats,omitempty"`
 }
 
 // FleetRegisteredHeader is the JSON header of MsgFleetRegistered.
@@ -470,6 +569,9 @@ type FleetViewHeader struct {
 type BlobLocateHeader struct {
 	Keys  []string `json:"keys"`
 	Hints int      `json:"hints,omitempty"`
+	// TraceID propagates the trace of the request that triggered this
+	// locate through the registry hop (HintTelemetryV1).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // BlobLocationHeader is the JSON header of MsgBlobLocation. Keys absent
@@ -478,6 +580,9 @@ type BlobLocationHeader struct {
 	// Holders maps each located blob key to the advertised addresses of
 	// live servers holding it.
 	Holders map[string][]string `json:"holders,omitempty"`
+	// Span is the registry's span for this locate, attached only when the
+	// request advertised HintTelemetryV1.
+	Span *SpanNode `json:"span,omitempty"`
 }
 
 // BlobGetHeader is the JSON header of MsgBlobGet, a peer-to-peer fetch of
@@ -485,6 +590,9 @@ type BlobLocationHeader struct {
 type BlobGetHeader struct {
 	Key   string `json:"key"`
 	Hints int    `json:"hints,omitempty"`
+	// TraceID propagates the trace of the request that triggered this
+	// peer fetch (HintTelemetryV1).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // BlobDataHeader is the JSON header of MsgBlobData; the blob bytes travel
@@ -494,6 +602,9 @@ type BlobDataHeader struct {
 	// BodyCRC is the blob's integrity checksum (BodyChecksum); receivers
 	// verify whenever it is non-zero.
 	BodyCRC uint32 `json:"bodyCrc,omitempty"`
+	// Span is the serving peer's span for this fetch, attached only when
+	// the request advertised HintTelemetryV1.
+	Span *SpanNode `json:"span,omitempty"`
 }
 
 // Message is one framed message.

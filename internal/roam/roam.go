@@ -22,6 +22,7 @@ import (
 	"websnap/internal/client"
 	"websnap/internal/obs"
 	"websnap/internal/protocol"
+	"websnap/internal/telemetry"
 	"websnap/internal/trace"
 )
 
@@ -111,6 +112,10 @@ type Config struct {
 	// JSON lines (old/new server, switch count) — the mobility analogue
 	// of the offload decision audit.
 	Logger *obs.Logger
+	// Flight, when non-nil, records each completed server switch in the
+	// flight recorder, so /debug/flight interleaves handoffs with the
+	// slow/failed requests they may explain.
+	Flight *telemetry.FlightRecorder
 }
 
 // Roamer tracks candidate edge servers and the current connection.
@@ -452,6 +457,16 @@ func (r *Roamer) SwitchTo(addr string) (*client.Conn, error) {
 		fields = append(fields, obs.F("view", viewSource))
 	}
 	r.cfg.Logger.Info("roam: switched edge server", fields...)
+	if r.cfg.Flight != nil {
+		note := fmt.Sprintf("switch %d: %s -> %s", switches, oldAddr, addr)
+		if viewSource != "" {
+			note += " (view " + viewSource + ")"
+		}
+		r.cfg.Flight.Record(telemetry.FlightEntry{
+			Reason: telemetry.FlightSwitch,
+			Note:   note,
+		})
+	}
 	return conn, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"websnap/internal/fleet"
 	"websnap/internal/obs"
 	"websnap/internal/protocol"
+	"websnap/internal/telemetry"
 )
 
 // FleetConfig parameterizes the fleet sweep: many heterogeneous edge
@@ -48,6 +49,16 @@ type FleetConfig struct {
 	// a peer backhaul fetch while any fleet member still holds the blob,
 	// a client re-upload otherwise. 0 models unbounded stores.
 	StoreEvictEvery int
+	// SLOObjective, when positive, scores every completed inference
+	// against a client-observed latency objective using the real
+	// telemetry.SLO burn-rate engine driven by the simulated clock
+	// (5 s / 60 s windows in simulated time), so a policy's tail behavior
+	// shows up as the same burn alerts production would raise. 0 disables
+	// SLO scoring.
+	SLOObjective time.Duration
+	// SLOGoal is the good-event ratio target for SLOObjective (0 = the
+	// engine default, 0.99).
+	SLOGoal float64
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -114,6 +125,14 @@ type FleetPoint struct {
 	// re-uploads when no fleet member still held the blob.
 	StoreEvictions       int   `json:"storeEvictions,omitempty"`
 	EvictionRefetchBytes int64 `json:"evictionRefetchBytes,omitempty"`
+	// SLOBad counts completed inferences slower than
+	// FleetConfig.SLOObjective; SLOBurns counts transitions into the
+	// burning state (both burn windows over threshold) during the run;
+	// SLOLongBurn is the long-window burn rate at the end of the run.
+	// All zero when SLO scoring is disabled.
+	SLOBad      uint64  `json:"sloBad,omitempty"`
+	SLOBurns    int     `json:"sloBurns,omitempty"`
+	SLOLongBurn float64 `json:"sloLongBurn,omitempty"`
 }
 
 // FallbackRate is the fraction of inferences that fell back to local
@@ -154,6 +173,12 @@ type fleetSim struct {
 // partial-split regime is LoadSweep's subject).
 func newFleetSim(sc *Scenario, cfg FleetConfig) (*fleetSim, error) {
 	cfg = cfg.withDefaults()
+	if cfg.SLOGoal != 0 && (cfg.SLOGoal <= 0 || cfg.SLOGoal >= 1) {
+		return nil, fmt.Errorf("sim: SLO goal must be in (0,1), got %v", cfg.SLOGoal)
+	}
+	if cfg.SLOGoal != 0 && cfg.SLOObjective <= 0 {
+		return nil, fmt.Errorf("sim: SLOGoal requires SLOObjective")
+	}
 	infos, err := sc.Net.Describe()
 	if err != nil {
 		return nil, err
@@ -216,11 +241,15 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		handoffs  int
 		makespan  time.Duration
 		audit     = obs.NewAuditor(obs.AuditorOptions{})
-		uploaded  int64 // actual client model bytes
-		would     int64 // what a sharing-free fleet would have uploaded
-		peer      int64 // backhaul blob-fetch bytes
-		evictions int   // bounded-store cap evictions of the model blob
-		refetch   int64 // bytes those evictions forced back over the wire
+		sloBad    uint64
+		sloBurns  int
+		slo       *telemetry.SLO
+		simNow    time.Duration // virtual clock feeding the SLO engine
+		uploaded  int64         // actual client model bytes
+		would     int64         // what a sharing-free fleet would have uploaded
+		peer      int64         // backhaul blob-fetch bytes
+		evictions int           // bounded-store cap evictions of the model blob
+		refetch   int64         // bytes those evictions forced back over the wire
 	)
 	for i := range srvs {
 		srvs[i] = fleetSrv{
@@ -339,6 +368,15 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		if t > makespan {
 			makespan = t
 		}
+		if slo != nil {
+			if t > simNow {
+				simNow = t
+			}
+			if t-req.start > fs.cfg.SLOObjective {
+				sloBad++
+			}
+			slo.Observe(t - req.start)
+		}
 		if remaining[req.client] > 0 {
 			startRequest(req.client, t)
 		}
@@ -354,6 +392,20 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		}
 	}
 
+	if fs.cfg.SLOObjective > 0 {
+		// The real burn-rate engine scores the run on the simulated clock;
+		// short windows keep burn detection meaningful over makespans of
+		// simulated seconds rather than operational hours.
+		slo, _ = telemetry.NewSLO(telemetry.SLOConfig{
+			Name:        "sim-fleet",
+			Objective:   fs.cfg.SLOObjective,
+			Goal:        fs.cfg.SLOGoal,
+			ShortWindow: 5 * time.Second,
+			LongWindow:  60 * time.Second,
+			Now:         func() time.Time { return time.Unix(0, 0).Add(simNow) },
+			OnBurn:      func(telemetry.SLOStatus) { sloBurns++ },
+		})
+	}
 	for c := 0; c < clients; c++ {
 		remaining[c] = fs.cfg.RequestsPerClient
 		visited[c] = make([]bool, nServers)
@@ -438,6 +490,12 @@ func (fs *fleetSim) run(nServers, clients int, policy fleet.Policy) FleetPoint {
 		PeerFetchBytes:         peer,
 		StoreEvictions:         evictions,
 		EvictionRefetchBytes:   refetch,
+		SLOBad:                 sloBad,
+		SLOBurns:               sloBurns,
+	}
+	if slo != nil {
+		simNow = makespan
+		pt.SLOLongBurn = slo.Status().LongBurn
 	}
 	for i := range srvs {
 		pt.ExecPerServer[i] = srvs[i].executed

@@ -3,6 +3,7 @@ package sim
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"websnap/internal/fleet"
 	"websnap/internal/obs"
@@ -180,5 +181,48 @@ func TestFleetLoadPolicySpreadsByCapacity(t *testing.T) {
 	if load >= hash {
 		t.Errorf("1-worker servers absorbed %.2f of work under load policy, %.2f under hash; load-weighted placement should shift work to big servers",
 			load, hash)
+	}
+}
+
+// TestFleetSweepSLO scores the same run against a tight and a loose
+// latency objective: the tight one must register bad events on the real
+// burn-rate engine (driven by the simulated clock), the loose one must
+// stay clean, and SLO scoring must not perturb the simulation itself.
+func TestFleetSweepSLO(t *testing.T) {
+	pols := []fleet.Policy{fleet.PolicyLoadWeighted}
+	base := FleetConfig{RequestsPerClient: 4, RoamEvery: 2}
+
+	tight := base
+	tight.SLOObjective = time.Microsecond // every inference blows this
+	pt := fleetPoints(t, []int{3}, 32, pols, tight)[0]
+	if pt.SLOBad != uint64(pt.Completed) {
+		t.Errorf("tight objective: SLOBad = %d, want every completion (%d)", pt.SLOBad, pt.Completed)
+	}
+	if pt.SLOBurns == 0 {
+		t.Error("tight objective: expected at least one burn transition")
+	}
+
+	loose := base
+	loose.SLOObjective = time.Hour
+	pt = fleetPoints(t, []int{3}, 32, pols, loose)[0]
+	if pt.SLOBad != 0 || pt.SLOBurns != 0 || pt.SLOLongBurn != 0 {
+		t.Errorf("loose objective: SLO fields = %d/%d/%v, want all zero",
+			pt.SLOBad, pt.SLOBurns, pt.SLOLongBurn)
+	}
+
+	// SLO scoring is observation only: the run's latency outcomes are
+	// byte-identical with and without it.
+	unscored := fleetPoints(t, []int{3}, 32, pols, base)[0]
+	scored := pt
+	scored.SLOBad, scored.SLOBurns, scored.SLOLongBurn = 0, 0, 0
+	if !reflect.DeepEqual(scored, unscored) {
+		t.Errorf("SLO scoring perturbed the simulation:\n%+v\nvs\n%+v", scored, unscored)
+	}
+
+	if _, err := FleetSweep("googlenet", []int{2}, 8, pols, FleetConfig{SLOGoal: 2}); err == nil {
+		t.Error("out-of-range SLOGoal should fail")
+	}
+	if _, err := FleetSweep("googlenet", []int{2}, 8, pols, FleetConfig{SLOGoal: 0.9}); err == nil {
+		t.Error("SLOGoal without SLOObjective should fail")
 	}
 }

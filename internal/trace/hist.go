@@ -151,6 +151,73 @@ func (h *Histogram) ForEachBucket(fn func(upper time.Duration, count uint64)) {
 	}
 }
 
+// NumBuckets returns the histogram's total bucket count. Bucket indexes in
+// digests (ExportBuckets/MergeBuckets) refer to this shared layout.
+func NumBuckets() int { return numBuckets }
+
+// BucketUpper returns the exclusive upper bound of bucket i, the public
+// form of the digest bucket layout. Indexes outside [0, NumBuckets) clamp.
+func BucketUpper(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return time.Duration(bucketUpper(i))
+}
+
+// BucketOf returns the bucket index a duration falls into — the inverse of
+// BucketUpper, used to map an SLO threshold onto the digest layout.
+func BucketOf(d time.Duration) int { return bucketIndex(int64(d)) }
+
+// ExportBuckets returns a sparse snapshot of the histogram for wire
+// digests: occupied buckets as [index, count] pairs in index order, plus
+// the exact total count and sum in nanoseconds. A concurrent Observe may
+// tear the snapshot slightly (fine for telemetry); MergeBuckets
+// reconstructs an equivalent histogram on the receiver.
+func (h *Histogram) ExportBuckets() (buckets [][2]int64, count uint64, sumNanos int64) {
+	for i := 0; i < numBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			buckets = append(buckets, [2]int64{int64(i), int64(c)})
+		}
+	}
+	return buckets, h.count.Load(), h.sum.Load()
+}
+
+// MergeBuckets folds an exported sparse snapshot into h — the receiving
+// half of the digest round trip. Out-of-range bucket indexes clamp into
+// the overflow bucket rather than corrupting memory (digests arrive from
+// the network).
+func (h *Histogram) MergeBuckets(buckets [][2]int64, count uint64, sumNanos int64) {
+	for _, b := range buckets {
+		i, c := b[0], b[1]
+		if c <= 0 {
+			continue
+		}
+		if i < 0 || i >= numBuckets {
+			i = numBuckets - 1
+		}
+		h.counts[i].Add(uint64(c))
+	}
+	h.count.Add(count)
+	h.sum.Add(sumNanos)
+}
+
+// CountAbove returns how many observations fell in buckets strictly above
+// the one containing threshold — a conservative lower bound on the number
+// of observations exceeding it (observations sharing the threshold's
+// bucket are not counted). This is the SLO engine's bad-event counter over
+// digest data.
+func (h *Histogram) CountAbove(threshold time.Duration) uint64 {
+	idx := bucketIndex(int64(threshold))
+	var n uint64
+	for i := idx + 1; i < numBuckets; i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // Quantiles is a fixed percentile summary of a histogram.
 type Quantiles struct {
 	Count         uint64

@@ -34,6 +34,14 @@ const (
 	StageResultWire Stage = "result_wire" // result frame transfer server → client
 	StageRestore    Stage = "restore"     // result decode + apply at the client
 	StageProbe      Stage = "probe"       // roaming server-selection probe RTT
+
+	// Fleet-hop and mux stages (the telemetry extension): outside the
+	// 8-stage request pipeline, these account cross-process and
+	// per-stream overheads that the pipeline stages hide.
+	StageStreamWait Stage = "stream_wait" // mux stream-slot semaphore wait at the server
+	StageDemux      Stage = "demux"       // response demux routing at the client
+	StageRegistry   Stage = "registry"    // registry RPC round trip (locate/register)
+	StagePeerFetch  Stage = "peer_fetch"  // server-to-server blob fetch round trip
 )
 
 // Stages lists every pipeline stage in pipeline order (excluding StageProbe).
@@ -46,7 +54,8 @@ func Stages() []Stage {
 
 // AllStages lists every known stage, pipeline stages first.
 func AllStages() []Stage {
-	return append(Stages(), StageProbe)
+	return append(Stages(), StageProbe,
+		StageStreamWait, StageDemux, StageRegistry, StagePeerFetch)
 }
 
 // NewID returns a fresh 16-hex-digit trace ID.
