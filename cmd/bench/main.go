@@ -11,6 +11,7 @@
 //	bench -experiment engine   planned execution engine vs per-layer path
 //	bench -experiment fleet    placement policies over multi-server fleets
 //	bench -experiment mux      multiplexed streams vs one connection per session
+//	bench -experiment pipeline K-way chain planner vs 2-way and local baselines
 //	bench -experiment all      everything
 //
 // The engine experiment additionally writes BENCH_engine.json with the raw
@@ -18,7 +19,9 @@
 // writes BENCH_fleet.json with per-(policy, fleet size) tail latency,
 // decision mix, and re-upload bytes saved; the mux experiment writes
 // BENCH_mux.json with per-stream latency percentiles and connection
-// counts for both topologies, measured over real sockets.
+// counts for both topologies, measured over real sockets; the pipeline
+// experiment writes BENCH_pipeline.json with per-policy latency
+// percentiles and the chain/local decision mix per sweep cell.
 //
 // The load experiment takes the scheduler knobs -workers, -queue and
 // -batch, mirroring cmd/edged's flags. The fleet experiment takes
@@ -41,13 +44,14 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, mux, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, mux, pipeline, all")
 	format := flag.String("format", "table", "output format: table, csv")
 	var lc sim.LoadConfig
 	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
 	flag.IntVar(&lc.QueueDepth, "queue", 0, "load experiment: admission queue depth (0 = default)")
 	flag.IntVar(&lc.MaxBatch, "batch", 8, "load experiment: max coalesced batch size")
 	flag.IntVar(&fleetClients, "fleet-clients", fleetClients, "fleet experiment: closed-loop sessions per cell")
+	flag.IntVar(&pipelineRequests, "pipeline-requests", pipelineRequests, "pipeline experiment: simulated requests per sweep cell")
 	flag.Parse()
 	if err := run(*experiment, *format, lc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -72,8 +76,9 @@ func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 		"engine":   engine,
 		"fleet":    fleetExp,
 		"mux":      muxExp,
+		"pipeline": pipelineExp,
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet", "mux"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet", "mux", "pipeline"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order

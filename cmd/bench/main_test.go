@@ -172,6 +172,58 @@ func TestRunMux(t *testing.T) {
 	}
 }
 
+// TestRunPipeline runs the pipeline experiment at smoke scale and checks
+// the table and BENCH_pipeline.json schema: local, 2-way, and chain rows
+// per sweep cell, latency percentiles, and a sane decision mix.
+func TestRunPipeline(t *testing.T) {
+	oldFile, oldRequests := pipelineJSONFile, pipelineRequests
+	pipelineJSONFile = filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	pipelineRequests = 20
+	defer func() { pipelineJSONFile, pipelineRequests = oldFile, oldRequests }()
+	var sb strings.Builder
+	if err := run("pipeline", "table", sim.LoadConfig{}, &sb); err != nil {
+		t.Fatalf("run(pipeline): %v", err)
+	}
+	for _, want := range []string{"Pipeline sweep", "local", "2way", "chain", "Mean cuts"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(pipelineJSONFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string              `json:"experiment"`
+		Rows       []sim.PipelinePoint `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_pipeline.json: %v", err)
+	}
+	if doc.Experiment != "pipeline" {
+		t.Errorf("experiment = %q, want pipeline", doc.Experiment)
+	}
+	policies := map[string]bool{}
+	depths := map[int]bool{}
+	for _, r := range doc.Rows {
+		policies[r.Policy] = true
+		if r.Policy == sim.PipelinePolicyChain {
+			depths[r.Depth] = true
+		}
+		if r.P50Millis <= 0 || r.P95Millis <= 0 || r.P99Millis <= 0 {
+			t.Errorf("row %s/%d: missing latency percentiles: %+v", r.Policy, r.Depth, r)
+		}
+		if r.Policy != sim.PipelinePolicyLocal {
+			if sum := r.RemoteShare + r.LocalShare; sum < 0.999 || sum > 1.001 {
+				t.Errorf("row %s/%d: decision mix sums to %f", r.Policy, r.Depth, sum)
+			}
+		}
+	}
+	if len(policies) < 3 || len(depths) < 3 {
+		t.Errorf("sweep covers %d policies x %d chain depths, want >= 3 x >= 3", len(policies), len(depths))
+	}
+}
+
 func TestRunAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")
@@ -182,12 +234,18 @@ func TestRunAll(t *testing.T) {
 	fleetJSONFile = filepath.Join(t.TempDir(), "BENCH_fleet.json")
 	oldMux := muxJSONFile
 	muxJSONFile = filepath.Join(t.TempDir(), "BENCH_mux.json")
-	defer func() { engineJSONFile, fleetJSONFile, muxJSONFile = old, oldFleet, oldMux }()
+	oldPipeline, oldPipelineReq := pipelineJSONFile, pipelineRequests
+	pipelineJSONFile = filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	pipelineRequests = 20
+	defer func() {
+		engineJSONFile, fleetJSONFile, muxJSONFile = old, oldFleet, oldMux
+		pipelineJSONFile, pipelineRequests = oldPipeline, oldPipelineReq
+	}()
 	var sb strings.Builder
 	if err := run("all", "table", sim.LoadConfig{MaxBatch: 8}, &sb); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
-	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points", "Fleet sweep", "Mux sweep"} {
+	for _, want := range []string{"Figure 1", "Figure 6", "Figure 7", "Figure 8", "Table 1", "Engine comparison", "partition points", "Fleet sweep", "Mux sweep", "Pipeline sweep"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("missing %q", want)
 		}

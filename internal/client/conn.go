@@ -308,10 +308,16 @@ func (c *Conn) checkError(resp protocol.Message) (protocol.Message, error) {
 		return protocol.Message{}, err
 	}
 	c.noteLoad(hdr.Load)
+	err := fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
 	if hdr.Overloaded {
-		return protocol.Message{}, fmt.Errorf("%w: %w: %s", ErrServerError, ErrOverloaded, hdr.Message)
+		err = fmt.Errorf("%w: %w: %s", ErrServerError, ErrOverloaded, hdr.Message)
 	}
-	return protocol.Message{}, fmt.Errorf("%w: %s", ErrServerError, hdr.Message)
+	if hdr.ChainHop > 0 {
+		// A chain failure names the hop that died; keep the attribution on
+		// the error so the planner can exclude that server and re-plan.
+		err = &ChainHopError{Hop: hdr.ChainHop, Err: err}
+	}
+	return protocol.Message{}, err
 }
 
 // EnableTelemetry opts this Conn into the cross-process telemetry

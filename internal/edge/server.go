@@ -199,6 +199,10 @@ type Server struct {
 	muxRequests *obs.Counter
 	muxActive   atomic.Int64
 
+	// Chain relay counters: layer ranges executed as chain hops, boundary
+	// tensors relayed downstream, and relays that failed.
+	chainExecs, chainRelays, chainRelayFailures *obs.Counter
+
 	// start anchors the uptime reported in telemetry digests.
 	start time.Time
 }
@@ -323,6 +327,14 @@ func (s *Server) initMetrics() {
 		"Requests dispatched concurrently off multiplexed connections.")
 	r.GaugeFunc("websnap_mux_streams", "Logical offload streams currently in flight across multiplexed connections.",
 		func() float64 { return float64(s.muxActive.Load()) })
+	// Chain families register last, after the mux block, keeping every
+	// earlier exposition prefix byte-identical for existing scrapes.
+	s.chainExecs = r.Counter("websnap_chain_execs_total",
+		"Layer ranges executed as multi-hop chain hops.")
+	s.chainRelays = r.Counter("websnap_chain_relays_total",
+		"Boundary tensors relayed to downstream chain hops.")
+	s.chainRelayFailures = r.Counter("websnap_chain_relay_failures_total",
+		"Chain relays that failed (downstream unreachable or errored).")
 }
 
 // NewServer creates an offloading server.
@@ -682,6 +694,12 @@ func (s *Server) serveRequest(cw *connWriter, msg protocol.Message, env protocol
 			hdr.Overloaded = oe.overloaded
 			hdr.Load = s.hintFor(oe.hints)
 		}
+		// A chain failure additionally locates the failed hop so the
+		// client's re-planner can exclude it from the next manifest.
+		var ce *chainError
+		if errors.As(err, &ce) {
+			hdr.ChainHop = ce.hop
+		}
 		s.recordFailure(msg, err, oe)
 		resp, err = protocol.Encode(protocol.MsgError, hdr, nil)
 		if err != nil {
@@ -754,6 +772,8 @@ func (s *Server) dispatch(msg protocol.Message, streamWait time.Duration) (proto
 		return s.handleInstall(msg)
 	case protocol.MsgBlobGet:
 		return s.handleBlobGet(msg)
+	case protocol.MsgChainExec:
+		return s.handleChainExec(msg, streamWait)
 	default:
 		return protocol.Message{}, fmt.Errorf("unexpected message %s", msg.Type)
 	}
@@ -774,6 +794,9 @@ func (s *Server) handlePing(msg protocol.Message) (protocol.Message, error) {
 	if hdr.Hints >= protocol.HintMuxV1 {
 		pong.Mux = true
 		pong.Seq = hdr.Seq
+	}
+	if hdr.Hints >= protocol.HintChainV1 {
+		pong.Chain = true
 	}
 	return protocol.Encode(protocol.MsgPong, pong, nil)
 }
@@ -955,8 +978,15 @@ func (s *Server) execBatch(batch []*sched.Task) []sched.Result {
 	}
 	results := make([]sched.Result, len(batch))
 	for i, t := range batch {
-		r, err := s.executeSnapshot(t.Payload.(*snapshot.Snapshot))
-		results[i] = sched.Result{Value: r, Err: err}
+		switch p := t.Payload.(type) {
+		case *chainWork:
+			// A chain hop's layer range; solo-keyed, so never coalesced.
+			out, err := p.net.ForwardRange(p.in, p.from, p.to)
+			results[i] = sched.Result{Value: out, Err: err}
+		default:
+			r, err := s.executeSnapshot(t.Payload.(*snapshot.Snapshot))
+			results[i] = sched.Result{Value: r, Err: err}
+		}
 	}
 	return results
 }

@@ -31,11 +31,15 @@ const (
 	// PathError: an offload was attempted, failed, and no local fallback
 	// was configured; the request surfaced the error.
 	PathError DecisionPath = "error"
+	// PathChain: the DNN was split across a multi-hop chain of edge
+	// servers (K-way partial inference); the request completed remotely
+	// through the chain.
+	PathChain DecisionPath = "chain"
 )
 
 // AllPaths lists every decision path in a stable reporting order.
 func AllPaths() []DecisionPath {
-	return []DecisionPath{PathLocal, PathFull, PathPartial, PathShed, PathFallback, PathError}
+	return []DecisionPath{PathLocal, PathFull, PathPartial, PathShed, PathFallback, PathError, PathChain}
 }
 
 // Decision is one structured offload decision event: why a request ran

@@ -105,7 +105,7 @@ func Analyze(net *nn.Network, cfg Config) (Plan, error) {
 	if cfg.TextBytesPerValue <= 0 {
 		cfg.TextBytesPerValue = MeasuredTextBytesPerValue()
 	}
-	if err := cfg.Network.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return Plan{}, err
 	}
 	infos, err := net.Describe()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"time"
 )
 
@@ -86,6 +87,16 @@ const (
 	MsgBlobGet
 	// MsgBlobData answers a blob fetch with the blob bytes in the body.
 	MsgBlobData
+	// MsgChainExec asks an edge server to execute its layer range of a
+	// multi-hop partial-inference chain. The header carries the full hop
+	// manifest and this hop's position; the body is the boundary feature
+	// tensor as raw little-endian float32s. A mid-chain hop executes its
+	// range, relays the next MsgChainExec to the next hop, and returns the
+	// downstream result upstream.
+	MsgChainExec
+	// MsgChainResult answers a chain exec with the final output tensor
+	// (raw little-endian float32 body), relayed back hop by hop.
+	MsgChainResult
 )
 
 func (t MsgType) String() string {
@@ -128,6 +139,10 @@ func (t MsgType) String() string {
 		return "blob-get"
 	case MsgBlobData:
 		return "blob-data"
+	case MsgChainExec:
+		return "chain-exec"
+	case MsgChainResult:
+		return "chain-result"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -217,6 +232,15 @@ const (
 	// only when the request advertised at least this version, so peers
 	// that predate the extension see byte-identical frames.
 	HintTelemetryV1 = 6
+	// HintChainV1 gates the multi-hop chain extension: clients may submit
+	// MsgChainExec frames carrying a hop manifest and a raw float32
+	// boundary tensor, mid-chain servers relay the next hop over the same
+	// message type, and chain results return each relay's span subtree
+	// grafted under its hop. Pongs advertise the capability (Chain field)
+	// so planners only route chains through servers that relay; servers
+	// that predate the extension reject the unknown message type, which
+	// clients treat as a chain failure and fall back.
+	HintChainV1 = 7
 )
 
 // LoadHint is the edge server's advertised scheduling load, attached to
@@ -444,6 +468,11 @@ type ErrorHeader struct {
 	// Load carries the server's scheduling load alongside an overload
 	// rejection (when the request advertised HintLoadV1).
 	Load *LoadHint `json:"load,omitempty"`
+	// ChainHop locates a chain failure: the 1-based index into the chain
+	// manifest of the hop that failed (a relay that cannot reach its
+	// downstream reports the downstream's index). Zero means "not a chain
+	// error". The client's re-planner uses it to exclude the dead hop.
+	ChainHop int `json:"chainHop,omitempty"`
 }
 
 // PingHeader is the JSON header of MsgPing.
@@ -464,6 +493,9 @@ type PongHeader struct {
 	// Mux advertises that the server demultiplexes concurrent streams on
 	// one connection; attached only when the ping advertised HintMuxV1.
 	Mux bool `json:"mux,omitempty"`
+	// Chain advertises that the server executes and relays multi-hop
+	// chain frames; attached only when the ping advertised HintChainV1.
+	Chain bool `json:"chain,omitempty"`
 	// Seq echoes the ping's stream id on a multiplexed connection.
 	Seq uint64 `json:"seq,omitempty"`
 }
@@ -607,6 +639,91 @@ type BlobDataHeader struct {
 	Span *SpanNode `json:"span,omitempty"`
 }
 
+// ChainHop is one server entry in a chain's hop manifest: the address to
+// relay to and the layer range [From, To) it executes. The client itself
+// is not listed — it runs the front range locally and sends the first
+// boundary tensor to Hops[0].
+type ChainHop struct {
+	// Addr is the hop's dialable offload address.
+	Addr string `json:"addr"`
+	// From and To delimit the layer range [From, To) this hop executes on
+	// the pre-sent full model.
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// ChainExecHeader is the JSON header of MsgChainExec. The body is the
+// boundary feature tensor as raw little-endian float32s (bit-exact: text
+// encoding would round-trip through decimal and break the chain's
+// bit-identity bar).
+type ChainExecHeader struct {
+	// AppID and ModelName identify the pre-sent model whose layers run.
+	AppID     string `json:"appId"`
+	ModelName string `json:"modelName"`
+	// Seq matches this request to its response on a multiplexed connection.
+	Seq uint64 `json:"seq"`
+	// Hints advertises the extension versions the sender understands.
+	Hints int `json:"hints,omitempty"`
+	// Hop is the index into Hops of the server this frame addresses; the
+	// receiver executes Hops[Hop] and relays to Hops[Hop+1], if any.
+	Hop int `json:"hop"`
+	// Hops is the chain manifest, identical on every frame of one chain
+	// execution so any hop can report or re-plan against the full route.
+	Hops []ChainHop `json:"hops"`
+	// Shape is the boundary tensor's shape; the body holds exactly
+	// prod(Shape) float32 values.
+	Shape []int `json:"shape"`
+	// TraceID identifies the chain's end-to-end trace (stamped when the
+	// client advertises HintTraceV1); every hop tags its spans with it.
+	TraceID string `json:"traceId,omitempty"`
+	// BodyCRC is the tensor body's integrity checksum; receivers verify
+	// whenever it is non-zero.
+	BodyCRC uint32 `json:"bodyCrc,omitempty"`
+}
+
+// ChainResultHeader is the JSON header of MsgChainResult; the body is the
+// final output tensor as raw little-endian float32s, relayed unchanged
+// through every hop on the way back.
+type ChainResultHeader struct {
+	// Seq echoes the request's stream id.
+	Seq uint64 `json:"seq"`
+	// Shape is the output tensor's shape.
+	Shape []int `json:"shape"`
+	// BodyCRC is the output body's checksum, attached when the request
+	// advertised HintCRCV1.
+	BodyCRC uint32 `json:"bodyCrc,omitempty"`
+	// Load is this hop's scheduling load (HintLoadV1), letting the client
+	// refresh per-hop queue hints from a single chain round trip.
+	Load *LoadHint `json:"load,omitempty"`
+	// Span is this hop's span subtree for the chain execution, with the
+	// downstream hop's subtree grafted as a child (HintTelemetryV1 +
+	// TraceID), so the client ends up holding one parented tree:
+	// client root → hop1 → hop2 → …
+	Span *SpanNode `json:"span,omitempty"`
+}
+
+// Float32Bytes renders vals as the raw little-endian float32 wire body of
+// chain frames. The encoding preserves every bit of every value.
+func Float32Bytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BytesFloat32 decodes a raw little-endian float32 wire body.
+func BytesFloat32(body []byte) ([]float32, error) {
+	if len(body)%4 != 0 {
+		return nil, fmt.Errorf("protocol: float32 body length %d not a multiple of 4", len(body))
+	}
+	out := make([]float32, len(body)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return out, nil
+}
+
 // Message is one framed message.
 type Message struct {
 	Type   MsgType
@@ -660,7 +777,7 @@ func Read(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	msg := Message{Type: MsgType(hdr[5])}
-	if msg.Type < MsgModelPreSend || msg.Type > MsgBlobData {
+	if msg.Type < MsgModelPreSend || msg.Type > MsgChainResult {
 		return Message{}, fmt.Errorf("%w: %d", ErrUnknownType, hdr[5])
 	}
 	hdrLen := binary.LittleEndian.Uint32(hdr[6:10])

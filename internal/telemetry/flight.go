@@ -23,6 +23,7 @@ const (
 	FlightBurn    = "slo_burn" // SLO entered the burning state
 	FlightHandoff = "handoff"  // roam handoff pre-send span tree
 	FlightSwitch  = "switch"   // roamer changed edge servers
+	FlightReplan  = "replan"   // chain hop failed; cut set re-planned
 )
 
 // FlightEntry is one captured incident: the trace identity, why it was
