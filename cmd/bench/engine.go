@@ -16,18 +16,34 @@ import (
 	"websnap/internal/tensor"
 )
 
-// The engine experiment quantifies the planned-execution refactor: it runs
-// each model's forward pass twice — once chaining the standalone per-layer
+// The engine experiment quantifies the compute-kernel work: it runs each
+// model's forward pass three ways — chaining the standalone per-layer
 // Forward path (the shape of the pre-refactor engine: a fresh output
-// tensor per layer, per-call shape rederivation) and once through the
-// cached ExecPlan (pooled arena, in-place steps, shared GEMM) — and
-// reports ns/op, allocs/op and B/op for both, plus the derived speedup
-// and allocation reduction. Results also land in BENCH_engine.json next
-// to the working directory for tracking across commits.
+// tensor per layer, per-call shape rederivation), through the cached
+// float32 ExecPlan (pooled arena, in-place steps, packed blocked GEMM and
+// direct convolution), and through the calibrated int8 quantized plan —
+// and reports ns/op, allocs/op and B/op for each, plus the derived
+// speedups. Results also land in BENCH_engine.json next to the working
+// directory for tracking across commits; -engine-baseline turns the run
+// into a regression gate against a previous BENCH_engine.json.
 
 // engineJSONFile is where the machine-readable results are written
 // (a variable so tests can redirect it away from the working tree).
 var engineJSONFile = "BENCH_engine.json"
+
+// engineBaseline, when non-empty, names a previous BENCH_engine.json to
+// gate against: the run fails if any model's planned (or int8) wall time
+// regresses by more than engineRegressionTolerance.
+var engineBaseline = ""
+
+// engineRegressionTolerance is the allowed fractional wall-time growth
+// versus the baseline before the gate fails (0.10 = 10%).
+const engineRegressionTolerance = 0.10
+
+// engineGateMinNs is the smallest baseline wall time the gate judges.
+// Sub-millisecond rows (tinynet) jitter past the tolerance from scheduler
+// noise alone, so they are reported but not gated.
+const engineGateMinNs = 1e6
 
 type engineStats struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -39,11 +55,22 @@ type engineRow struct {
 	Model  string      `json:"model"`
 	Before engineStats `json:"before"`
 	After  engineStats `json:"after"`
+	// Int8 is the calibrated quantized plan's cost (same input, same
+	// plan cache discipline as After).
+	Int8 engineStats `json:"int8"`
 	// Speedup is before/after wall time (>1 means the plan is faster).
 	Speedup float64 `json:"speedup"`
+	// Int8Speedup is after/int8 wall time (>1 means the quantized plan
+	// beats the float32 plan).
+	Int8Speedup float64 `json:"int8_speedup"`
 	// AllocReduction is the fraction of per-inference allocations the
 	// planned engine eliminates (1 = all of them).
 	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+type engineReport struct {
+	Experiment string      `json:"experiment"`
+	Rows       []engineRow `json:"rows"`
 }
 
 // measureEngine times iters calls of f after one untimed warmup (which
@@ -73,6 +100,18 @@ func measureEngine(iters int, f func() error) (engineStats, error) {
 }
 
 func engine(w io.Writer) error {
+	// Read the baseline before the run overwrites engineJSONFile.
+	var baseline *engineReport
+	if engineBaseline != "" {
+		data, err := os.ReadFile(engineBaseline)
+		if err != nil {
+			return fmt.Errorf("engine: read baseline: %w", err)
+		}
+		baseline = &engineReport{}
+		if err := json.Unmarshal(data, baseline); err != nil {
+			return fmt.Errorf("engine: parse baseline %s: %w", engineBaseline, err)
+		}
+	}
 	cases := []struct {
 		name  string
 		iters int
@@ -81,7 +120,7 @@ func engine(w io.Writer) error {
 		{"agenet", 5},
 		{"googlenet", 5},
 	}
-	fmt.Fprintln(w, "Engine comparison: per-layer path vs planned execution (per inference)")
+	fmt.Fprintln(w, "Engine comparison: per-layer path vs planned execution vs int8 plan (per inference)")
 	fmt.Fprintln(w, "Model\tPath\tms/op\tallocs/op\tKB/op\tSpeedup\tAlloc cut")
 	var rows []engineRow
 	for _, tc := range cases {
@@ -125,9 +164,19 @@ func engine(w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("engine %s after: %w", tc.name, err)
 		}
-		row := engineRow{Model: tc.name, Before: before, After: after}
+		int8, err := measureEngine(tc.iters, func() error {
+			_, err := net.ForwardPrec(in, nn.PrecInt8)
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("engine %s int8: %w", tc.name, err)
+		}
+		row := engineRow{Model: tc.name, Before: before, After: after, Int8: int8}
 		if after.NsPerOp > 0 {
 			row.Speedup = before.NsPerOp / after.NsPerOp
+		}
+		if int8.NsPerOp > 0 {
+			row.Int8Speedup = after.NsPerOp / int8.NsPerOp
 		}
 		if before.AllocsPerOp > 0 {
 			row.AllocReduction = 1 - after.AllocsPerOp/before.AllocsPerOp
@@ -138,11 +187,11 @@ func engine(w io.Writer) error {
 		fmt.Fprintf(w, "%s\tplanned\t%.2f\t%.0f\t%.0f\t%.2fx\t%.0f%%\n",
 			tc.name, after.NsPerOp/1e6, after.AllocsPerOp, after.BytesPerOp/1024,
 			row.Speedup, row.AllocReduction*100)
+		fmt.Fprintf(w, "%s\tint8\t%.2f\t%.0f\t%.0f\t%.2fx\t\n",
+			tc.name, int8.NsPerOp/1e6, int8.AllocsPerOp, int8.BytesPerOp/1024,
+			row.Int8Speedup)
 	}
-	data, err := json.MarshalIndent(struct {
-		Experiment string      `json:"experiment"`
-		Rows       []engineRow `json:"rows"`
-	}{"engine", rows}, "", "  ")
+	data, err := json.MarshalIndent(engineReport{Experiment: "engine", Rows: rows}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -150,14 +199,66 @@ func engine(w io.Writer) error {
 		return fmt.Errorf("engine: write %s: %w", engineJSONFile, err)
 	}
 	fmt.Fprintf(w, "(raw numbers written to %s)\n", engineJSONFile)
-	return enginePartition(w)
+	if err := enginePartition(w); err != nil {
+		return err
+	}
+	if baseline != nil {
+		return engineGate(w, baseline, rows)
+	}
+	return nil
+}
+
+// engineGate compares the fresh run against the baseline report and fails
+// on any wall-time regression beyond the tolerance. Models absent from
+// the baseline (or baseline fields that are zero, as with a pre-int8
+// baseline's int8 stats) are skipped rather than failed, so the gate
+// survives schema growth.
+func engineGate(w io.Writer, baseline *engineReport, rows []engineRow) error {
+	base := make(map[string]engineRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		base[r.Model] = r
+	}
+	var regressions []string
+	check := func(model, path string, baseNs, gotNs float64) {
+		if baseNs < engineGateMinNs || gotNs <= 0 {
+			return
+		}
+		growth := gotNs/baseNs - 1
+		if growth > engineRegressionTolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s/%s: %.1fms -> %.1fms (+%.1f%%, tolerance %.0f%%)",
+					model, path, baseNs/1e6, gotNs/1e6, growth*100, engineRegressionTolerance*100))
+		}
+	}
+	for _, r := range rows {
+		b, ok := base[r.Model]
+		if !ok {
+			continue
+		}
+		check(r.Model, "planned", b.After.NsPerOp, r.After.NsPerOp)
+		check(r.Model, "int8", b.Int8.NsPerOp, r.Int8.NsPerOp)
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintln(w, "REGRESSION:", s)
+		}
+		return fmt.Errorf("engine: %d wall-time regression(s) vs %s", len(regressions), engineBaseline)
+	}
+	fmt.Fprintf(w, "regression gate vs %s: ok (tolerance %.0f%%)\n",
+		engineBaseline, engineRegressionTolerance*100)
+	return nil
 }
 
 // enginePartition recalibrates GoogLeNet's partition-point latencies on
-// this host: the client device is profiled through the planned engine
-// (costmodel.Profile times each plan step with the production kernels),
-// the server keeps the paper's ~10x client/server throughput ratio, and
-// the network stays at the calibrated 30 Mbps profile.
+// this host at both quality tiers. The float32 client device is profiled
+// through the planned engine (costmodel.Profile times each plan step with
+// the production kernels) and the int8 client through the quantized plan
+// (costmodel.ProfilePrec), so both columns reflect measured kernels; the
+// server keeps the paper's ~10x client/server throughput ratio with the
+// calibrated 2x int8 factor, and the network stays at 30 Mbps. Comparing
+// the two chosen splits shows the DynO effect: the client gains more from
+// int8 than the server, so the optimal cut moves toward the back of the
+// network.
 func enginePartition(w io.Writer) error {
 	net, err := models.Build(models.GoogLeNet)
 	if err != nil {
@@ -177,6 +278,7 @@ func enginePartition(w io.Writer) error {
 	server.LayerOverhead = costmodel.ServerX86.LayerOverhead
 	server.SnapshotFixed = costmodel.ServerX86.SnapshotFixed
 	server.SnapshotBytesPerSec = costmodel.ServerX86.SnapshotBytesPerSec
+	server.Int8Speedup = costmodel.ServerX86.Int8Speedup
 
 	plan, err := partition.Analyze(net, partition.Config{
 		Client:  client,
@@ -186,12 +288,45 @@ func enginePartition(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "\nGoogLeNet partition points, client profiled through plans on this host")
+	fmt.Fprintln(w, "\nGoogLeNet partition points, client profiled through plans on this host (float32)")
+	printPartition(w, plan)
+
+	// Quantized table: the client is re-profiled through the int8 plan
+	// (its measured throughputs already include the quantization gains,
+	// so its Int8Speedup stays unset); the server applies its calibrated
+	// int8 factor via Precision.
+	clientQ, err := costmodel.ProfilePrec("this-host-int8", net, 2, nn.PrecInt8)
+	if err != nil {
+		return err
+	}
+	clientQ.LayerOverhead = client.LayerOverhead
+	clientQ.SnapshotFixed = client.SnapshotFixed
+	clientQ.SnapshotBytesPerSec = client.SnapshotBytesPerSec
+	planQ, err := partition.Analyze(net, partition.Config{
+		Client:    clientQ,
+		Server:    server,
+		Network:   netem.WiFi30Mbps,
+		Precision: nn.PrecInt8,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nGoogLeNet partition points at the int8 quality tier (same host, same link)")
+	printPartition(w, planQ)
+
+	if best, err := plan.Choose(true); err == nil {
+		if bestQ, errQ := planQ.Choose(true); errQ == nil {
+			fmt.Fprintf(w, "\nchosen split: float32=%s int8=%s\n", best.Point.Label, bestQ.Point.Label)
+		}
+	}
+	return nil
+}
+
+func printPartition(w io.Writer, plan partition.Plan) {
 	fmt.Fprintln(w, "Point\tClient\tTransfer\tServer\tTotal")
 	for _, c := range plan.Candidates {
 		fmt.Fprintf(w, "%s\t%.2fs\t%.2fs\t%.2fs\t%.2fs\n",
 			c.Point.Label, c.ClientTime.Seconds(), c.TransferTime.Seconds(),
 			c.ServerTime.Seconds(), c.Total.Seconds())
 	}
-	return nil
 }

@@ -9,6 +9,7 @@
 //	bench -experiment featsize feature data size per offloading point (§IV.B)
 //	bench -experiment load     edge scheduler under concurrent clients
 //	bench -experiment engine   planned execution engine vs per-layer path
+//	bench -experiment quantshift  optimal split per quality tier (float32 vs int8)
 //	bench -experiment fleet    placement policies over multi-server fleets
 //	bench -experiment mux      multiplexed streams vs one connection per session
 //	bench -experiment pipeline K-way chain planner vs 2-way and local baselines
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, fleet, mux, pipeline, all")
+		"experiment to run: fig1, fig6, fig6gpu, fig7, fig8, table1, featsize, sweep, load, engine, quantshift, fleet, mux, pipeline, all")
 	format := flag.String("format", "table", "output format: table, csv")
 	var lc sim.LoadConfig
 	flag.IntVar(&lc.Workers, "workers", 0, "load experiment: scheduler worker count (0 = default)")
@@ -52,6 +53,8 @@ func main() {
 	flag.IntVar(&lc.MaxBatch, "batch", 8, "load experiment: max coalesced batch size")
 	flag.IntVar(&fleetClients, "fleet-clients", fleetClients, "fleet experiment: closed-loop sessions per cell")
 	flag.IntVar(&pipelineRequests, "pipeline-requests", pipelineRequests, "pipeline experiment: simulated requests per sweep cell")
+	flag.StringVar(&engineBaseline, "engine-baseline", engineBaseline,
+		"engine experiment: previous BENCH_engine.json to gate against (fail on >10% wall-time regression)")
 	flag.Parse()
 	if err := run(*experiment, *format, lc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -77,8 +80,21 @@ func run(experiment, format string, lc sim.LoadConfig, out io.Writer) error {
 		"fleet":    fleetExp,
 		"mux":      muxExp,
 		"pipeline": pipelineExp,
+		"quantshift": func(w io.Writer) error {
+			rows, err := sim.QuantShift()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "Quantized-split experiment: optimal denatured offloading point per quality tier")
+			fmt.Fprintln(w, "Model\tQuality\tBest point\tClient exec\tServer exec\tTotal")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+					r.Model, r.Precision, r.BestLabel, secs(r.ClientTime), secs(r.ServerTime), secs(r.Total))
+			}
+			return nil
+		},
 	}
-	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "fleet", "mux", "pipeline"}
+	order := []string{"fig1", "fig6", "fig6gpu", "fig7", "fig8", "table1", "featsize", "sweep", "load", "engine", "quantshift", "fleet", "mux", "pipeline"}
 	selected := []string{experiment}
 	if experiment == "all" {
 		selected = order

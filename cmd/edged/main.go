@@ -31,6 +31,7 @@ import (
 	"websnap/internal/core"
 	"websnap/internal/edge"
 	"websnap/internal/fleet"
+	"websnap/internal/nn"
 	"websnap/internal/obs"
 	"websnap/internal/sched"
 	"websnap/internal/telemetry"
@@ -95,6 +96,9 @@ func main() {
 			"SLO good-event ratio target, e.g. 0.99 (0 = default 0.99)")
 		flightBytes = flag.Int64("flight-bytes", 0,
 			"flight-recorder ring byte cap for /debug/flight (0 = default 1 MiB)")
+
+		quality = flag.String("quality", "",
+			"force offloaded inference to this quality tier (float32 or int8) regardless of the client's choice (empty = honor the snapshot)")
 	)
 	flag.Parse()
 	sc := schedConfig{
@@ -108,7 +112,7 @@ func main() {
 		sloObjective: *sloObjective, sloGoal: *sloGoal,
 		flightBytes: *flightBytes, traceLogMaxBytes: *traceLogMaxBytes,
 	}
-	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc, bc, tc); err != nil {
+	if err := run(*listen, *onDemand, *baseImage, *modelDir, *metricsAddr, *traceLog, *quality, *maxConns, *idle, *transfer, *quiet, *logJSON, *pprofOn, sc, fc, bc, tc); err != nil {
 		fmt.Fprintln(os.Stderr, "edged:", err)
 		os.Exit(1)
 	}
@@ -169,7 +173,7 @@ func resolveAdvertise(advertise string, lnAddr net.Addr) (string, error) {
 	return net.JoinHostPort(host, port), nil
 }
 
-func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig, bc boundsConfig, tc telemetryConfig) error {
+func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLog, quality string, maxConns int, idle, transfer time.Duration, quiet, logJSON, pprofOn bool, sc schedConfig, fc fleetConfig, bc boundsConfig, tc telemetryConfig) error {
 	if fc.registry == "" && fc.advertise != "" {
 		return fmt.Errorf("-advertise requires -registry (nothing to advertise to)")
 	}
@@ -187,6 +191,13 @@ func run(listen string, onDemand bool, baseImage, modelDir, metricsAddr, traceLo
 		MaxBatch: sc.batch, BatchWindow: sc.batchWindow,
 		QueueWait: sc.queueWait, MaxQueueBytes: sc.maxQueueBytes,
 		MaxStoreBytes: bc.storeBytes, MaxStreams: bc.streams,
+	}
+	if quality != "" {
+		prec, err := nn.ParsePrecision(quality)
+		if err != nil {
+			return err
+		}
+		cfg.Quality = prec
 	}
 	if sc.block {
 		cfg.QueuePolicy = sched.PolicyBlock

@@ -47,9 +47,11 @@ func main() {
 			"serve client-side metrics on this address (e.g. 127.0.0.1:7081) while running")
 		auditLog = flag.String("audit-log", "",
 			"append one JSON line per offload decision to this file (- = stderr)")
+		quality = flag.String("quality", "",
+			"model quality tier: float32 (default) or int8 (calibrated quantized kernels)")
 	)
 	flag.Parse()
-	if err := run(*server, *modelName, *mode, *split, *bandwidth, *preSend, *delta, *compress, *imagePath, *runs, *metrics, *auditLog); err != nil {
+	if err := run(*server, *modelName, *mode, *split, *bandwidth, *preSend, *delta, *compress, *imagePath, *runs, *metrics, *auditLog, *quality); err != nil {
 		fmt.Fprintln(os.Stderr, "offload:", err)
 		os.Exit(1)
 	}
@@ -158,12 +160,16 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSend, delta, compress bool, imagePath string, runs int, metricsAddr, auditLog string) error {
+func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSend, delta, compress bool, imagePath string, runs int, metricsAddr, auditLog, quality string) error {
 	model, labels, err := buildModel(modelName)
 	if err != nil {
 		return err
 	}
 	mode, err := parseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	prec, err := nn.ParsePrecision(quality)
 	if err != nil {
 		return err
 	}
@@ -188,6 +194,7 @@ func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSen
 		SplitLabel:  split,
 		EnableDelta: delta,
 		Compress:    compress,
+		Quality:     prec,
 		Audit:       audit,
 	}
 	if mode != core.ModeLocal {
@@ -210,7 +217,7 @@ func run(server, modelName, modeStr, split string, bandwidthMbps float64, preSen
 	if err != nil {
 		return err
 	}
-	fmt.Printf("session: model=%s mode=%s", modelName, session.Mode())
+	fmt.Printf("session: model=%s mode=%s quality=%s", modelName, session.Mode(), prec)
 	if session.Mode() == core.ModePartial {
 		fmt.Printf(" split=%s", session.SplitLabel())
 	}

@@ -171,8 +171,8 @@ func TestRegistryFlapFailoverSoak(t *testing.T) {
 		if _, err := off.Run(20); err != nil {
 			t.Fatalf("%s: run: %v", stage, err)
 		}
-		if got := mlapp.Result(app); got != want[seed] {
-			t.Errorf("%s: result %q, want %q (bit-identical through the outage)", stage, got, want[seed])
+		if got := mlapp.Result(app); got != want.text[seed] {
+			t.Errorf("%s: result %q, want %q (bit-identical through the outage)", stage, got, want.text[seed])
 		}
 	}
 

@@ -81,7 +81,7 @@ func muxCatalog(t *testing.T) *webapp.Catalog {
 // auditor) over the shared multiplexed conn. start synchronizes all
 // sessions so the streams genuinely interleave.
 func runMuxSession(idx int, conn *client.Conn, model *nn.Network,
-	want map[uint64]string, start <-chan struct{}) *sessionReport {
+	want *soakRefs, start <-chan struct{}) *sessionReport {
 	rep := &sessionReport{seed: int64(idx)}
 	kind := sessionKind(idx % int(numKinds))
 	appID := fmt.Sprintf("mux-%s-%d", kind, idx)
@@ -137,9 +137,9 @@ func runMuxSession(idx int, conn *client.Conn, model *nn.Network,
 			rep.failf("mux session %d (%s) event %d: run: %v", idx, kind, e, err)
 			continue
 		}
-		if got := mlapp.Result(app); got != want[imgSeed] {
+		if got := mlapp.Result(app); got != want.text[imgSeed] {
 			rep.failf("mux session %d (%s) event %d: result %q, want %q (bit-identical to local)",
-				idx, kind, e, got, want[imgSeed])
+				idx, kind, e, got, want.text[imgSeed])
 		}
 	}
 
@@ -165,7 +165,7 @@ func runMuxSession(idx int, conn *client.Conn, model *nn.Network,
 
 // muxSoak runs all sessions concurrently over one shared conn and collects
 // failures.
-func muxSoak(t *testing.T, conn *client.Conn, model *nn.Network, want map[uint64]string) (reports []*sessionReport) {
+func muxSoak(t *testing.T, conn *client.Conn, model *nn.Network, want *soakRefs) (reports []*sessionReport) {
 	t.Helper()
 	reports = make([]*sessionReport, muxSoakSessions)
 	start := make(chan struct{})

@@ -106,12 +106,28 @@ func soakServer(t *testing.T) (*edge.Server, string) {
 	return srv, ln.Addr().String()
 }
 
+// soakRefs is the locally-computed ground truth every session's results
+// are checked against: float32 result text and scores per image seed,
+// plus the int8 plan's calibrated end-to-end error bound for quantized
+// sessions.
+type soakRefs struct {
+	text   map[uint64]string
+	scores map[uint64][]float32
+	// qBound is the calibrated error bound of the model's int8 plan: a
+	// quantized session's scores must land within it of the float32
+	// reference, but are NOT expected to be bit-identical to it.
+	qBound float32
+}
+
 // localExpected computes the reference results entirely locally: mlapp's
 // result text depends only on (image, model), so one local run per image
 // seed is the ground truth for every session and kind.
-func localExpected(t *testing.T, model *nn.Network, seeds []uint64) map[uint64]string {
+func localExpected(t *testing.T, model *nn.Network, seeds []uint64) *soakRefs {
 	t.Helper()
-	want := make(map[uint64]string, len(seeds))
+	refs := &soakRefs{
+		text:   make(map[uint64]string, len(seeds)),
+		scores: make(map[uint64][]float32, len(seeds)),
+	}
 	for _, s := range seeds {
 		app, err := mlapp.NewFullApp("soak-ref", "tiny", model, tinyLabels)
 		if err != nil {
@@ -124,11 +140,21 @@ func localExpected(t *testing.T, model *nn.Network, seeds []uint64) map[uint64]s
 		if _, err := app.Run(10); err != nil {
 			t.Fatal(err)
 		}
-		if want[s] = mlapp.Result(app); want[s] == "" {
+		if refs.text[s] = mlapp.Result(app); refs.text[s] == "" {
 			t.Fatalf("local reference for image seed %d produced no result", s)
 		}
+		sv, ok := app.Global(mlapp.GlobalScores)
+		if !ok {
+			t.Fatalf("local reference for image seed %d published no scores", s)
+		}
+		refs.scores[s] = append([]float32(nil), sv.(webapp.Float32Array)...)
 	}
-	return want
+	qplan, err := model.PlanPrec(nn.PrecInt8, model.InputShape()...)
+	if err != nil {
+		t.Fatalf("compile int8 reference plan: %v", err)
+	}
+	refs.qBound = qplan.Quant().ErrBound
+	return refs
 }
 
 var tinyLabels = []string{"cat", "dog", "bird"}
@@ -139,11 +165,15 @@ const (
 	kindFull sessionKind = iota
 	kindPartial
 	kindDelta
+	// kindQuant is a full-offload session running at the int8 quality
+	// tier: the quality global rides its snapshots, so the server (or the
+	// local fallback) executes the calibrated quantized kernels.
+	kindQuant
 	numKinds
 )
 
 func (k sessionKind) String() string {
-	return [...]string{"full", "partial", "delta"}[k]
+	return [...]string{"full", "partial", "delta", "quant"}[k]
 }
 
 // sessionReport is one soak session's outcome.
@@ -163,7 +193,7 @@ func (r *sessionReport) failf(format string, args ...any) {
 // runSoakSession drives one complete client session under fault injection
 // and checks the per-session invariants.
 func runSoakSession(idx int, kind sessionKind, seed int64, addr string,
-	model *nn.Network, want map[uint64]string) *sessionReport {
+	model *nn.Network, want *soakRefs) *sessionReport {
 	rep := &sessionReport{seed: seed}
 	in := chaos.New(seed, chaos.Options{})
 	defer func() { rep.plans = in.Plans() }()
@@ -203,6 +233,11 @@ func runSoakSession(idx int, kind sessionKind, seed int64, addr string,
 		opts.OffloadEventTypes = []string{mlapp.EventClick}
 		opts.Models = []client.ModelToSend{{Name: "tiny", Net: model}}
 		opts.EnableDelta = kind == kindDelta
+		if err == nil && kind == kindQuant {
+			// The quality tier is an ordinary global set before the first
+			// event, so every snapshot this session offloads carries it.
+			err = mlapp.SetQuality(app, nn.PrecInt8)
+		}
 	}
 	if err != nil {
 		rep.failf("session %d (%s): build app: %v", idx, kind, err)
@@ -220,6 +255,11 @@ func runSoakSession(idx int, kind sessionKind, seed int64, addr string,
 	_ = off.WaitForAcks() //nolint:errcheck
 
 	// Invariant 1: every event ends with the locally-computed result.
+	// Float32 sessions must be bit-identical to the local reference no
+	// matter where the handler ran. Quantized sessions are held to the
+	// int8 plan's calibrated error bound against the float32 reference —
+	// within bound, not bit-identical: int8 may legitimately flip a
+	// near-tie top-1, so the score vector is the checked artifact.
 	for e := 0; e < soakEventsPerSession; e++ {
 		imgSeed := uint64(e + 1)
 		if err := mlapp.LoadImage(app, mlapp.SyntheticImage(soakImageVolume, imgSeed)); err != nil {
@@ -233,9 +273,37 @@ func runSoakSession(idx int, kind sessionKind, seed int64, addr string,
 			rep.failf("session %d (%s) event %d: run: %v", idx, kind, e, err)
 			continue
 		}
-		if got := mlapp.Result(app); got != want[imgSeed] {
+		if kind == kindQuant {
+			if got := mlapp.Result(app); got == "" {
+				rep.failf("session %d (%s) event %d: no result published", idx, kind, e)
+				continue
+			}
+			sv, ok := app.Global(mlapp.GlobalScores)
+			if !ok {
+				rep.failf("session %d (%s) event %d: no scores published", idx, kind, e)
+				continue
+			}
+			scores, ref := sv.(webapp.Float32Array), want.scores[imgSeed]
+			if len(scores) != len(ref) {
+				rep.failf("session %d (%s) event %d: %d scores, want %d", idx, kind, e, len(scores), len(ref))
+				continue
+			}
+			for i, v := range scores {
+				d := v - ref[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > want.qBound {
+					rep.failf("session %d (%s) event %d: int8 score[%d]=%g vs float32 %g: |d|=%g exceeds calibrated bound %g",
+						idx, kind, e, i, v, ref[i], d, want.qBound)
+					break
+				}
+			}
+			continue
+		}
+		if got := mlapp.Result(app); got != want.text[imgSeed] {
 			rep.failf("session %d (%s) event %d: result %q, want %q (bit-identical to local)",
-				idx, kind, e, got, want[imgSeed])
+				idx, kind, e, got, want.text[imgSeed])
 		}
 	}
 

@@ -104,6 +104,16 @@ type SessionConfig struct {
 	// selects client.DefaultLoadHintTTL.
 	LoadHintTTL time.Duration
 
+	// Quality selects the model quality tier: nn.PrecFloat32 (default)
+	// runs exact float32 kernels, nn.PrecInt8 the calibrated quantized
+	// path. The tier is stored as an app global, so it rides every
+	// snapshot and the edge server executes offloaded layers at the same
+	// precision; layer-boundary features stay float32 on the wire either
+	// way. The partition decision uses the matching per-device int8
+	// speedups, which moves the optimal split (client gains more from
+	// int8 than the server, so more layers stay local).
+	Quality nn.Precision
+
 	// SplitLabel pins the partial-inference point (e.g. "1st_pool");
 	// empty selects it dynamically via the cost model.
 	SplitLabel string
@@ -135,6 +145,9 @@ func (cfg *SessionConfig) applyDefaults() {
 	}
 	if cfg.Network.BandwidthBitsPerSec == 0 && cfg.Network.Latency == 0 {
 		cfg.Network = netem.WiFi30Mbps
+	}
+	if cfg.Quality == "" {
+		cfg.Quality = nn.PrecFloat32
 	}
 }
 
@@ -237,6 +250,7 @@ func (s *Session) analyze() (partition.Plan, error) {
 		StateOverheadBytes: 64 << 10,
 		ResultBytes:        4 << 10,
 		ServerQueueDelay:   queueDelay,
+		Precision:          s.cfg.Quality,
 	})
 }
 
@@ -250,6 +264,9 @@ func (s *Session) buildApp() error {
 			s.split.Point.Index, s.cfg.Labels)
 	default:
 		err = fmt.Errorf("core: unsupported mode %s", s.mode)
+	}
+	if err == nil && s.cfg.Quality != nn.PrecFloat32 {
+		err = mlapp.SetQuality(s.app, s.cfg.Quality)
 	}
 	return err
 }

@@ -46,6 +46,21 @@ type Device struct {
 	// as 1.0 — batching gives no benefit — so single-request experiment
 	// results are unchanged.
 	BatchMarginalCost float64
+	// Int8Speedup is the throughput multiplier the quantized (int8)
+	// quality tier gains on the compute-heavy layer types (Conv,
+	// Inception, FC). Narrow arithmetic helps bandwidth-starved clients
+	// more than wide servers, so the client's factor is typically larger
+	// — which is what moves the optimal partition point when the int8
+	// tier is selected. Zero means "not calibrated" and is treated as
+	// 1.0: int8 predictions equal float32 ones.
+	Int8Speedup float64
+}
+
+// quantizable reports whether the int8 tier accelerates this layer type.
+// Only the GEMM-backed types execute in int8; activations, pooling, and
+// normalization stay float32 at every precision.
+func quantizable(t nn.LayerType) bool {
+	return t == nn.TypeConv || t == nn.TypeInception || t == nn.TypeFC
 }
 
 // Profiles calibrated to reproduce the paper's orderings (DESIGN.md §4).
@@ -67,6 +82,9 @@ var (
 		LayerOverhead:       time.Millisecond,
 		SnapshotFixed:       40 * time.Millisecond,
 		SnapshotBytesPerSec: 60e6,
+		// int8 typed arrays avoid the JS engine's float boxing and quarter
+		// the memory traffic, a large win on this bandwidth-bound board.
+		Int8Speedup: 3.0,
 	}
 	// ServerX86 models the 3.4 GHz quad-core x86 edge server, roughly
 	// 10x the client's effective throughput.
@@ -89,6 +107,11 @@ var (
 		// resident in cache, so they cost ~60% of a cold pass on this
 		// memory-bandwidth-bound x86 profile.
 		BatchMarginalCost: 0.6,
+		// The x86 float path is already vectorized, so int8 gains less
+		// here than on the client — which is exactly why quantization
+		// shifts the optimal split toward the client (more layers become
+		// cheap enough to run locally).
+		Int8Speedup: 2.0,
 	}
 )
 
@@ -113,10 +136,22 @@ var ServerX86GPU = Device{
 	LayerOverhead:       200 * time.Microsecond,
 	SnapshotFixed:       15 * time.Millisecond,
 	SnapshotBytesPerSec: 400e6,
+	// The GPU path is compute-dense already; int8 texture formats give a
+	// modest further gain.
+	Int8Speedup: 1.5,
 }
 
-// LayerTime predicts the execution latency of one layer on the device.
+// LayerTime predicts the execution latency of one layer on the device at
+// the float32 default precision.
 func (d Device) LayerTime(li nn.LayerInfo) (time.Duration, error) {
+	return d.LayerTimePrec(li, nn.PrecFloat32)
+}
+
+// LayerTimePrec predicts the execution latency of one layer on the device
+// at the given compute precision. At PrecInt8 the GEMM-backed layer types
+// (Conv, Inception, FC) run Int8Speedup times faster; other layer types
+// and the per-layer dispatch overhead are unchanged.
+func (d Device) LayerTimePrec(li nn.LayerInfo, prec nn.Precision) (time.Duration, error) {
 	fl := d.DefaultFLOPS
 	if v, ok := d.FLOPSByType[li.Type]; ok {
 		fl = v
@@ -124,19 +159,28 @@ func (d Device) LayerTime(li nn.LayerInfo) (time.Duration, error) {
 	if fl <= 0 {
 		return 0, fmt.Errorf("costmodel: device %q: non-positive throughput for %s", d.Name, li.Type)
 	}
+	if prec == nn.PrecInt8 && d.Int8Speedup > 0 && quantizable(li.Type) {
+		fl *= d.Int8Speedup
+	}
 	secs := float64(li.FLOPs) / fl
 	return d.LayerOverhead + time.Duration(secs*float64(time.Second)), nil
 }
 
 // RangeTime predicts the latency of executing layers [from, to) described
-// by infos.
+// by infos at the float32 default precision.
 func (d Device) RangeTime(infos []nn.LayerInfo, from, to int) (time.Duration, error) {
+	return d.RangeTimePrec(infos, from, to, nn.PrecFloat32)
+}
+
+// RangeTimePrec predicts the latency of executing layers [from, to) at the
+// given compute precision.
+func (d Device) RangeTimePrec(infos []nn.LayerInfo, from, to int, prec nn.Precision) (time.Duration, error) {
 	if from < 0 || to > len(infos) || from > to {
 		return 0, fmt.Errorf("costmodel: range [%d, %d) out of bounds for %d layers", from, to, len(infos))
 	}
 	var total time.Duration
 	for _, li := range infos[from:to] {
-		t, err := d.LayerTime(li)
+		t, err := d.LayerTimePrec(li, prec)
 		if err != nil {
 			return 0, err
 		}
@@ -150,10 +194,15 @@ func (d Device) RangeTime(infos []nn.LayerInfo, from, to int) (time.Duration, er
 // once, and samples beyond the first cost BatchMarginalCost of the first
 // sample's compute. With batch=1 it equals RangeTime.
 func (d Device) BatchRangeTime(infos []nn.LayerInfo, from, to, batch int) (time.Duration, error) {
+	return d.BatchRangeTimePrec(infos, from, to, batch, nn.PrecFloat32)
+}
+
+// BatchRangeTimePrec is BatchRangeTime at the given compute precision.
+func (d Device) BatchRangeTimePrec(infos []nn.LayerInfo, from, to, batch int, prec nn.Precision) (time.Duration, error) {
 	if batch < 1 {
 		return 0, fmt.Errorf("costmodel: device %q: batch %d < 1", d.Name, batch)
 	}
-	one, err := d.RangeTime(infos, from, to)
+	one, err := d.RangeTimePrec(infos, from, to, prec)
 	if err != nil {
 		return 0, err
 	}

@@ -25,6 +25,16 @@ import (
 // runs is the number of timed passes (the per-step minimum across passes
 // is kept, which rejects scheduler noise).
 func Profile(name string, net *nn.Network, runs int) (Device, error) {
+	return ProfilePrec(name, net, runs, nn.PrecFloat32)
+}
+
+// ProfilePrec is Profile at an explicit compute precision: the timed plan
+// is compiled at prec, so a PrecInt8 profile's per-type throughputs
+// reflect the quantized kernels directly (the device's Int8Speedup stays
+// unset — the speedup is already baked into the measured numbers). The
+// ratio of a device's PrecFloat32 and PrecInt8 profiles on the same
+// hardware is how the calibrated Int8Speedup constants were derived.
+func ProfilePrec(name string, net *nn.Network, runs int, prec nn.Precision) (Device, error) {
 	if runs <= 0 {
 		return Device{}, fmt.Errorf("costmodel: profile %q: runs must be positive", name)
 	}
@@ -32,7 +42,7 @@ func Profile(name string, net *nn.Network, runs int) (Device, error) {
 	if err != nil {
 		return Device{}, err
 	}
-	plan, err := net.Plan(net.InputShape()...)
+	plan, err := net.PlanPrec(prec, net.InputShape()...)
 	if err != nil {
 		return Device{}, fmt.Errorf("costmodel: profile %q: %w", name, err)
 	}

@@ -58,6 +58,12 @@ type Config struct {
 	// the connection's read loop (TCP backpressure is the flow control).
 	// Zero selects DefaultMaxStreams.
 	MaxStreams int
+	// Quality, when set, overrides the quality-tier global of every
+	// restored snapshot before execution, forcing offloaded inference to
+	// run at this precision regardless of the client's choice — an
+	// operator knob for trading result fidelity against server throughput
+	// under load. Empty honors whatever tier each snapshot carries.
+	Quality nn.Precision
 	// MaxQueueBytes bounds the summed decoded size of snapshots waiting
 	// in the admission queue; zero means slots-only admission.
 	MaxQueueBytes int64
@@ -918,6 +924,11 @@ func (s *Server) restoreApp(snap *snapshot.Snapshot) (*webapp.App, *webapp.Regis
 			if net, ok := s.store.Get(snap.AppID, name); ok {
 				app.LoadModel(name, net)
 			}
+		}
+	}
+	if s.cfg.Quality != "" {
+		if err := webapp.SetQuality(app, s.cfg.Quality); err != nil {
+			return nil, nil, err
 		}
 	}
 	return app, registry, nil

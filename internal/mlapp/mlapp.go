@@ -41,6 +41,9 @@ const (
 	GlobalFeature   = "feature"
 	GlobalScores    = "scores"
 	GlobalResult    = "resultText"
+	// GlobalQuality holds the app's model quality tier; see
+	// webapp.GlobalQuality for the snapshot semantics.
+	GlobalQuality = webapp.GlobalQuality
 )
 
 // FrontSuffix and RearSuffix name the split model halves loaded into a
@@ -163,7 +166,7 @@ func handleInference(app *webapp.App, ev webapp.Event) error {
 	if err != nil {
 		return err
 	}
-	out, err := model.Forward(in)
+	out, err := model.ForwardPrec(in, Quality(app))
 	if err != nil {
 		return fmt.Errorf("mlapp: inference: %w", err)
 	}
@@ -182,7 +185,7 @@ func handleFront(app *webapp.App, ev webapp.Event) error {
 	if err != nil {
 		return err
 	}
-	feat, err := front.Forward(in)
+	feat, err := front.ForwardPrec(in, Quality(app))
 	if err != nil {
 		return fmt.Errorf("mlapp: inference_front: %w", err)
 	}
@@ -209,7 +212,7 @@ func handleRear(app *webapp.App, ev webapp.Event) error {
 	if err != nil {
 		return err
 	}
-	out, err := rear.Forward(in)
+	out, err := rear.ForwardPrec(in, Quality(app))
 	if err != nil {
 		return fmt.Errorf("mlapp: inference_rear: %w", err)
 	}
@@ -248,7 +251,26 @@ func runBatch(apps []*webapp.App, suffix, what string) error {
 			return err
 		}
 	}
-	outs, err := model.ForwardBatch(ins)
+	// The scheduler only coalesces byte-identical models, but each app's
+	// quality tier is its own snapshotted global; a batch mixing tiers
+	// would give some member the wrong precision, so only batch-execute
+	// when every member agrees and fall back to per-app passes otherwise.
+	prec := Quality(apps[0])
+	for _, app := range apps[1:] {
+		if Quality(app) != prec {
+			for i, app := range apps {
+				out, err := model.ForwardPrec(ins[i], Quality(app))
+				if err != nil {
+					return fmt.Errorf("mlapp: %s: %w", what, err)
+				}
+				if err := publishResult(app, out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	outs, err := model.ForwardBatchPrec(ins, prec)
 	if err != nil {
 		return fmt.Errorf("mlapp: batched %s: %w", what, err)
 	}
@@ -258,6 +280,18 @@ func runBatch(apps []*webapp.App, suffix, what string) error {
 		}
 	}
 	return nil
+}
+
+// SetQuality selects the app's model quality tier. The empty string
+// resets to the float32 default.
+func SetQuality(app *webapp.App, prec nn.Precision) error {
+	return webapp.SetQuality(app, prec)
+}
+
+// Quality reads the app's quality tier, defaulting to float32 when the
+// global is missing, empty, or malformed.
+func Quality(app *webapp.App) nn.Precision {
+	return webapp.Quality(app)
 }
 
 func appModel(app *webapp.App, suffix string) (*nn.Network, error) {

@@ -28,12 +28,14 @@ type Network struct {
 	plans  map[planKey]*ExecPlan
 }
 
-// planKey identifies a compiled plan: the layer range plus the input
-// shape, inlined into a comparable struct so cache hits allocate nothing.
+// planKey identifies a compiled plan: the layer range, the input shape,
+// and the compute precision, inlined into a comparable struct so cache
+// hits allocate nothing.
 type planKey struct {
 	from, to int
 	rank     int
 	dims     [4]int
+	prec     Precision
 }
 
 // NewNetwork assembles a network. The first layer must be an *Input, which
@@ -104,7 +106,23 @@ func (n *Network) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 // cached per (range, input shape); the first call for a shape compiles,
 // later calls reuse pooled buffers.
 func (n *Network) ForwardRange(in *tensor.Tensor, from, to int) (*tensor.Tensor, error) {
-	p, err := n.planFor(in, from, to)
+	p, err := n.planFor(in, from, to, PrecFloat32)
+	if err != nil {
+		return nil, err
+	}
+	return p.Forward(in)
+}
+
+// ForwardPrec is Forward at an explicit compute precision — the quality
+// knob. PrecInt8 runs the calibrated quantized kernels; boundary tensors
+// stay float32 either way.
+func (n *Network) ForwardPrec(in *tensor.Tensor, prec Precision) (*tensor.Tensor, error) {
+	return n.ForwardRangePrec(in, 0, len(n.layers), prec)
+}
+
+// ForwardRangePrec is ForwardRange at an explicit compute precision.
+func (n *Network) ForwardRangePrec(in *tensor.Tensor, from, to int, prec Precision) (*tensor.Tensor, error) {
+	p, err := n.planFor(in, from, to, prec)
 	if err != nil {
 		return nil, err
 	}
@@ -118,13 +136,28 @@ func (n *Network) Plan(shape ...int) (*ExecPlan, error) {
 	return n.PlanRange(0, len(n.layers), shape...)
 }
 
+// PlanPrec is Plan at an explicit compute precision.
+func (n *Network) PlanPrec(prec Precision, shape ...int) (*ExecPlan, error) {
+	return n.PlanRangePrec(prec, 0, len(n.layers), shape...)
+}
+
 // PlanRange returns the compiled plan for layers [from, to) on the given
 // input shape, compiling and caching it on first use.
 func (n *Network) PlanRange(from, to int, shape ...int) (*ExecPlan, error) {
+	return n.PlanRangePrec(PrecFloat32, from, to, shape...)
+}
+
+// PlanRangePrec is PlanRange at an explicit compute precision. Int8 plans
+// quantize and calibrate on first compile; the result is cached per
+// (range, shape, precision) like any other plan.
+func (n *Network) PlanRangePrec(prec Precision, from, to int, shape ...int) (*ExecPlan, error) {
 	if from < 0 || to > len(n.layers) || from > to {
 		return nil, fmt.Errorf("%w: [%d, %d) of %d layers", ErrBadSplit, from, to, len(n.layers))
 	}
-	key, cacheable := n.planKeyFromShape(from, to, shape)
+	if !prec.Valid() {
+		return nil, fmt.Errorf("nn: network %q: unknown precision %q", n.name, prec)
+	}
+	key, cacheable := n.planKeyFromShape(from, to, shape, prec)
 	if cacheable {
 		n.planMu.RLock()
 		p := n.plans[key]
@@ -133,7 +166,7 @@ func (n *Network) PlanRange(from, to int, shape ...int) (*ExecPlan, error) {
 			return p, nil
 		}
 	}
-	p, err := newExecPlan(n.name, n.layers[from:to], shape)
+	p, err := newExecPlan(n.name, n.layers[from:to], shape, prec)
 	if err != nil {
 		return nil, fmt.Errorf("network %q: %w", n.name, err)
 	}
@@ -152,8 +185,8 @@ func (n *Network) PlanRange(from, to int, shape ...int) (*ExecPlan, error) {
 	return p, nil
 }
 
-func (n *Network) planKeyFromShape(from, to int, shape []int) (planKey, bool) {
-	key := planKey{from: from, to: to, rank: len(shape)}
+func (n *Network) planKeyFromShape(from, to int, shape []int, prec Precision) (planKey, bool) {
+	key := planKey{from: from, to: to, rank: len(shape), prec: prec}
 	if len(shape) > len(key.dims) {
 		return key, false
 	}
@@ -161,14 +194,14 @@ func (n *Network) planKeyFromShape(from, to int, shape []int) (planKey, bool) {
 	return key, true
 }
 
-// planFor is PlanRange keyed straight off a tensor's dimensions, so cache
-// hits allocate nothing.
-func (n *Network) planFor(in *tensor.Tensor, from, to int) (*ExecPlan, error) {
+// planFor is PlanRangePrec keyed straight off a tensor's dimensions, so
+// cache hits allocate nothing.
+func (n *Network) planFor(in *tensor.Tensor, from, to int, prec Precision) (*ExecPlan, error) {
 	if from < 0 || to > len(n.layers) || from > to {
 		return nil, fmt.Errorf("%w: [%d, %d) of %d layers", ErrBadSplit, from, to, len(n.layers))
 	}
 	if rank := in.Rank(); rank <= 4 {
-		key := planKey{from: from, to: to, rank: rank}
+		key := planKey{from: from, to: to, rank: rank, prec: prec}
 		for i := 0; i < rank; i++ {
 			key.dims[i] = in.Dim(i)
 		}
@@ -179,7 +212,7 @@ func (n *Network) planFor(in *tensor.Tensor, from, to int) (*ExecPlan, error) {
 			return p, nil
 		}
 	}
-	return n.PlanRange(from, to, in.Shape()...)
+	return n.PlanRangePrec(prec, from, to, in.Shape()...)
 }
 
 // ForwardBatch runs one forward pass over a batch of inputs, layer-major:
@@ -193,6 +226,11 @@ func (n *Network) planFor(in *tensor.Tensor, from, to int) (*ExecPlan, error) {
 // scheduler's case) share one cached plan; mixed shapes fall back to
 // per-sample forwards.
 func (n *Network) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return n.ForwardBatchPrec(ins, PrecFloat32)
+}
+
+// ForwardBatchPrec is ForwardBatch at an explicit compute precision.
+func (n *Network) ForwardBatchPrec(ins []*tensor.Tensor, prec Precision) ([]*tensor.Tensor, error) {
 	if len(ins) == 0 {
 		return nil, fmt.Errorf("nn: network %q: empty batch", n.name)
 	}
@@ -206,7 +244,7 @@ func (n *Network) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if !uniform {
 		outs := make([]*tensor.Tensor, len(ins))
 		for i, t := range ins {
-			out, err := n.Forward(t)
+			out, err := n.ForwardPrec(t, prec)
 			if err != nil {
 				return nil, fmt.Errorf("batch member %d: %w", i, err)
 			}
@@ -214,7 +252,7 @@ func (n *Network) ForwardBatch(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		}
 		return outs, nil
 	}
-	p, err := n.planFor(ins[0], 0, len(n.layers))
+	p, err := n.planFor(ins[0], 0, len(n.layers), prec)
 	if err != nil {
 		return nil, err
 	}

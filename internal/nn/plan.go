@@ -51,7 +51,8 @@ type progStep struct {
 	outVol   int
 	traits   StepTraits
 	src, dst int8
-	skip     bool // identity step, elided at run time
+	skip     bool       // identity step, elided at run time
+	quant    *quantStep // int8 kernel, set only in quantized plans
 }
 
 // program is the compiled form shared by ExecPlan and inception branch
@@ -176,6 +177,17 @@ func (p *program) runStep(ctx *ExecContext, i int, in, out *tensor.Tensor) error
 		return fmt.Errorf("layer %q: %w", st.layer.Name(), err)
 	}
 	ctx.soff = 0
+	if q := st.quant; q != nil {
+		if ctx.rec != nil && q.inc == nil {
+			if mx := tensor.MaxAbs(src.Data()); mx > ctx.rec[st] {
+				ctx.rec[st] = mx
+			}
+		}
+		if err := q.forward(ctx, src, dst); err != nil {
+			return fmt.Errorf("layer %q: %w", st.layer.Name(), err)
+		}
+		return nil
+	}
 	if err := st.layer.ForwardCtx(ctx, src, dst); err != nil {
 		return fmt.Errorf("layer %q: %w", st.layer.Name(), err)
 	}
@@ -224,6 +236,10 @@ type ExecContext struct {
 	// window of the parent's output this branch writes into.
 	viewOf *tensor.Tensor
 	view   *tensor.Tensor
+	// rec, when non-nil, records max|input| per step — the calibration
+	// pass of quantized plan compilation. Inherited by sub-contexts so
+	// inception branch steps are observed too.
+	rec map[*progStep]float32
 }
 
 // newExecContext sizes a context for prog. A nil prog yields an empty
@@ -290,8 +306,22 @@ func (c *ExecContext) sub(p *program) *ExecContext {
 		c.subs = make(map[*program]*ExecContext)
 	}
 	s := newExecContext(p)
+	s.rec = c.rec
 	c.subs[p] = s
 	return s
+}
+
+// free returns the context's pooled buffers, recursively through
+// sub-contexts. Only one-shot contexts (plan calibration) call it; pooled
+// inference contexts keep their buffers for reuse.
+func (c *ExecContext) free() {
+	tensor.PutBuf(c.bufs[0])
+	tensor.PutBuf(c.bufs[1])
+	tensor.PutBuf(c.scratch)
+	c.bufs[0], c.bufs[1], c.scratch = nil, nil, nil
+	for _, s := range c.subs {
+		s.free()
+	}
 }
 
 // outView returns a tensor viewing out's floats [off, off+volume(shape)),
@@ -316,17 +346,45 @@ func (c *ExecContext) outView(out *tensor.Tensor, off int, shape []int) (*tensor
 type ExecPlan struct {
 	netName string
 	prog    *program
+	prec    Precision
+	quant   *QuantInfo // non-nil iff prec == PrecInt8
 	ctxs    sync.Pool
 }
 
-// newExecPlan compiles layers for inShape.
-func newExecPlan(netName string, layers []Layer, inShape []int) (*ExecPlan, error) {
+// newExecPlan compiles layers for inShape at the given precision. An
+// int8 plan additionally quantizes and calibrates during compilation, so
+// the returned plan is immutable and concurrency-safe either way.
+func newExecPlan(netName string, layers []Layer, inShape []int, prec Precision) (*ExecPlan, error) {
 	prog, err := compileProgram(layers, inShape)
 	if err != nil {
 		return nil, err
 	}
-	return &ExecPlan{netName: netName, prog: prog}, nil
+	p := &ExecPlan{netName: netName, prog: prog, prec: prec}
+	if prec == PrecInt8 {
+		bound, err := quantizeProgram(prog)
+		if err != nil {
+			return nil, err
+		}
+		p.quant = &QuantInfo{
+			Precision: PrecInt8,
+			ErrBound:  bound,
+			Steps:     collectQuantSteps(prog, nil),
+		}
+	}
+	return p, nil
 }
+
+// Precision returns the plan's compute precision.
+func (p *ExecPlan) Precision() Precision {
+	if p.prec == "" {
+		return PrecFloat32
+	}
+	return p.prec
+}
+
+// Quant returns the quantization metadata of an int8 plan — calibrated
+// end-to-end error bound and per-step scales — or nil for float32 plans.
+func (p *ExecPlan) Quant() *QuantInfo { return p.quant }
 
 // InputShape returns a copy of the plan's expected input shape.
 func (p *ExecPlan) InputShape() []int { return append([]int(nil), p.prog.inShape...) }

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"runtime"
+	"testing"
+
+	"websnap/internal/tensor"
+)
+
+// freshInput builds a deterministic random input slightly inside the
+// calibration range, so analytic per-step bounds (valid while the input
+// stays within the calibrated activation range) apply.
+func freshInput(t *testing.T, seed uint64, shape ...int) *tensor.Tensor {
+	t.Helper()
+	in, err := tensor.New(shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := seed | 1
+	d := in.Data()
+	for i := range d {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		v := rng * 2685821657736338717
+		d[i] = 0.99 * float32(int32(v>>40)-1<<23) / (1 << 23)
+	}
+	return in
+}
+
+func mustNet(t *testing.T, name string, layers ...Layer) *Network {
+	t.Helper()
+	net, err := NewNetwork(name, layers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.InitWeights(uint64(len(name)) + 11)
+	return net
+}
+
+// ql unwraps a layer constructor's (layer, error) pair; construction in
+// these tests uses static geometries that cannot fail.
+func ql[L Layer](l L, err error) L {
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// quantTestNet is a conv/pool/inception/fc chain exercising every
+// quantizable layer kind, small enough to calibrate quickly.
+func quantTestNet(t *testing.T) *Network {
+	t.Helper()
+	b1 := []Layer{ql(NewConv("i1b1", 8, 6, 1, 1, 0)), NewReLU("i1b1r")}
+	b2 := []Layer{
+		ql(NewConv("i1b2a", 8, 4, 1, 1, 0)),
+		ql(NewConv("i1b2b", 4, 6, 3, 1, 1)),
+		NewReLU("i1b2r"),
+	}
+	b3 := []Layer{ql(NewPool("i1b3p", MaxPool, 3, 1, 1)), ql(NewConv("i1b3c", 8, 4, 1, 1, 0))}
+	inc := ql(NewInception("inc1", b1, b2, b3))
+	return mustNet(t, "quant-chain",
+		ql(NewInput("data", 3, 16, 16)),
+		ql(NewConv("conv1", 3, 8, 3, 1, 1)),
+		NewReLU("relu1"),
+		ql(NewPool("pool1", MaxPool, 2, 2, 0)), // 8x8x8
+		inc,                                    // 16x8x8
+		NewDropout("drop", 0.4),
+		ql(NewFC("fc", 16*8*8, 10)),
+		NewSoftmax("prob"),
+	)
+}
+
+func TestParsePrecision(t *testing.T) {
+	for s, want := range map[string]Precision{
+		"": PrecFloat32, "float32": PrecFloat32, "fp32": PrecFloat32,
+		"int8": PrecInt8, "quantized": PrecInt8, "q8": PrecInt8,
+	} {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePrecision(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParsePrecision("fp16"); err == nil {
+		t.Error("ParsePrecision(fp16) should fail")
+	}
+	if !PrecInt8.Valid() || Precision("bf16").Valid() {
+		t.Error("Precision.Valid misclassifies")
+	}
+}
+
+// TestQuantSingleLayerBound checks the per-layer property: for randomized
+// single conv and FC layers, int8 output error vs the float32 reference
+// stays under the step's analytic calibrated bound.
+func TestQuantSingleLayerBound(t *testing.T) {
+	type tc struct {
+		name string
+		net  *Network
+	}
+	cases := []tc{
+		{"conv3x3", mustNet(t, "q-conv3",
+			ql(NewInput("d", 4, 12, 12)),
+			ql(NewConv("c", 4, 6, 3, 1, 1)))},
+		{"conv5x5s2", mustNet(t, "q-conv5",
+			ql(NewInput("d", 3, 19, 19)),
+			ql(NewConv("c", 3, 8, 5, 2, 2)))},
+		{"conv1x1", mustNet(t, "q-conv1",
+			ql(NewInput("d", 16, 7, 7)),
+			ql(NewConv("c", 16, 12, 1, 1, 0)))},
+		{"fc", mustNet(t, "q-fc",
+			ql(NewInput("d", 6, 5, 5)),
+			ql(NewFC("f", 150, 40)))},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			shape := c.net.InputShape()
+			qp, err := c.net.PlanPrec(PrecInt8, shape...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qi := qp.Quant()
+			if qi == nil || len(qi.Steps) != 1 {
+				t.Fatalf("Quant() = %+v, want one quantized step", qi)
+			}
+			bound := qi.Steps[0].Bound
+			if bound <= 0 {
+				t.Fatalf("step bound = %v, want > 0", bound)
+			}
+			for trial := uint64(0); trial < 5; trial++ {
+				in := freshInput(t, 100+trial, shape...)
+				ref, err := c.net.Forward(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := qp.Forward(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := maxAbsDiff(got, ref); d > float64(bound) {
+					t.Fatalf("trial %d: |int8-f32| = %v exceeds analytic bound %v", trial, d, bound)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantEndToEndBound checks the end-to-end property on a randomized
+// multi-layer net (conv, pool, inception, FC, softmax): fresh-input int8
+// error stays under the plan's calibrated end-to-end bound.
+func TestQuantEndToEndBound(t *testing.T) {
+	net := quantTestNet(t)
+	shape := net.InputShape()
+	qp, err := net.PlanPrec(PrecInt8, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := qp.Quant()
+	if qi == nil || qi.ErrBound <= 0 {
+		t.Fatalf("Quant() = %+v, want calibrated bound", qi)
+	}
+	// Every quantizable layer — including those inside inception
+	// branches — must have been quantized: conv1, 4 branch convs, fc.
+	if len(qi.Steps) != 6 {
+		t.Fatalf("quantized %d steps (%+v), want 6", len(qi.Steps), qi.Steps)
+	}
+	for trial := uint64(0); trial < 5; trial++ {
+		in := freshInput(t, 200+trial, shape...)
+		ref, err := net.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := qp.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, ref); d > float64(qi.ErrBound) {
+			t.Fatalf("trial %d: e2e |int8-f32| = %v exceeds calibrated bound %v", trial, d, qi.ErrBound)
+		}
+	}
+}
+
+// TestQuantDeterministic pins the int8 path's bit-identity: across
+// GOMAXPROCS settings, across repeated runs, and across independently
+// compiled plans of identically seeded networks. Integer accumulation
+// plus deterministic calibration makes all of these exact.
+func TestQuantDeterministic(t *testing.T) {
+	net := quantTestNet(t)
+	shape := net.InputShape()
+	in := freshInput(t, 77, shape...)
+	qp, err := net.PlanPrec(PrecInt8, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := qp.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, w := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(w)
+		got, err := qp.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got.Data() {
+			if v != ref.Data()[i] {
+				t.Fatalf("GOMAXPROCS=%d: out[%d] = %v != %v", w, i, v, ref.Data()[i])
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	// An independently built and calibrated twin must agree exactly.
+	net2 := quantTestNet(t)
+	got2, err := net2.ForwardPrec(in, PrecInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got2.Data() {
+		if v != ref.Data()[i] {
+			t.Fatalf("independent plan: out[%d] = %v != %v", i, v, ref.Data()[i])
+		}
+	}
+}
+
+// TestQuantSplitBoundary checks partial inference under int8: the front
+// plan's output is an ordinary float32 tensor, the rear net (calibrated
+// independently, as a server would) consumes it, and the combined result
+// stays within the combined calibrated bounds of the float32 reference.
+func TestQuantSplitBoundary(t *testing.T) {
+	net := quantTestNet(t)
+	shape := net.InputShape()
+	cut := 4 // after the inception module
+	front, rear, err := net.Split(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := freshInput(t, 300, shape...)
+	ref, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, err := front.ForwardPrec(in, PrecInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rear.ForwardPrec(feat, PrecInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, err := front.PlanPrec(PrecInt8, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := rear.PlanPrec(PrecInt8, feat.Shape()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rear half is FC+softmax: softmax is 1-Lipschitz in the logits,
+	// and the FC error bound already covers perturbed inputs via the
+	// dynamic range fallback, so the combined error is within the sum of
+	// the advertised bounds (front error enters the rear FC linearly,
+	// bounded by ||W||·frontBound; fold that in via the rear bound scale).
+	bound := fq.Quant().ErrBound*float32(rear.TotalParams()) + rq.Quant().ErrBound
+	if d := maxAbsDiff(got, ref); d > float64(bound) {
+		t.Fatalf("split int8 |got-ref| = %v exceeds %v", d, bound)
+	}
+	// And the cut tensor is plain float32 with the expected shape — the
+	// wire format is unchanged by quantization.
+	wantShape := rear.InputShape()
+	if tensor.Volume(feat.Shape()) != tensor.Volume(wantShape) {
+		t.Fatalf("cut feature shape %v incompatible with rear input %v", feat.Shape(), wantShape)
+	}
+}
+
+// TestQuantPlanCache: float32 and int8 plans are cached under separate
+// keys and report their precision and metadata correctly.
+func TestQuantPlanCache(t *testing.T) {
+	net := quantTestNet(t)
+	shape := net.InputShape()
+	fp, err := net.Plan(shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := net.PlanPrec(PrecInt8, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp == qp {
+		t.Fatal("float32 and int8 plans share a cache slot")
+	}
+	if fp.Precision() != PrecFloat32 || fp.Quant() != nil {
+		t.Errorf("float32 plan reports %v / %+v", fp.Precision(), fp.Quant())
+	}
+	if qp.Precision() != PrecInt8 || qp.Quant() == nil {
+		t.Errorf("int8 plan reports %v / %+v", qp.Precision(), qp.Quant())
+	}
+	qp2, err := net.PlanPrec(PrecInt8, shape...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp2 != qp {
+		t.Error("int8 plan not cached")
+	}
+	if _, err := net.PlanPrec(Precision("fp16"), shape...); err == nil {
+		t.Error("invalid precision accepted")
+	}
+}
+
+// TestQuantFloat32Unaffected: compiling an int8 plan must not perturb the
+// float32 path (quantization state is plan-owned, layers are untouched).
+func TestQuantFloat32Unaffected(t *testing.T) {
+	net := quantTestNet(t)
+	shape := net.InputShape()
+	in := freshInput(t, 55, shape...)
+	before, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.PlanPrec(PrecInt8, shape...); err != nil {
+		t.Fatal(err)
+	}
+	after, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range after.Data() {
+		if v != before.Data()[i] {
+			t.Fatalf("float32 out[%d] changed after int8 compile: %v != %v", i, v, before.Data()[i])
+		}
+	}
+}

@@ -101,6 +101,9 @@ func (cfg Config) Validate() error {
 	if cfg.ServerQueueDelay < 0 {
 		return &BadConfigError{Field: "ServerQueueDelay", Reason: fmt.Sprintf("negative delay %v", cfg.ServerQueueDelay)}
 	}
+	if cfg.Precision != "" && !cfg.Precision.Valid() {
+		return &BadConfigError{Field: "Precision", Reason: fmt.Sprintf("unknown precision %q", cfg.Precision)}
+	}
 	return nil
 }
 
@@ -150,6 +153,11 @@ type ChainConfig struct {
 	ResultBytes int64
 	// Objective selects latency (default) or pipelined throughput.
 	Objective Objective
+	// Precision is the compute precision every hop runs its layer range
+	// at (empty means float32). Boundary feature sizes are unchanged —
+	// quantized plans dequantize at cut points — but hop compute shrinks
+	// by each device's Int8Speedup.
+	Precision nn.Precision
 }
 
 // Validate rejects chain configurations that would produce NaN/Inf or
@@ -183,6 +191,9 @@ func (cfg ChainConfig) Validate() error {
 	if cfg.ResultBytes < 0 {
 		return &BadConfigError{Field: "ResultBytes", Reason: fmt.Sprintf("negative size %d", cfg.ResultBytes)}
 	}
+	if cfg.Precision != "" && !cfg.Precision.Valid() {
+		return &BadConfigError{Field: "Precision", Reason: fmt.Sprintf("unknown precision %q", cfg.Precision)}
+	}
 	return nil
 }
 
@@ -199,6 +210,7 @@ func (cfg Config) Chain() ChainConfig {
 		TextBytesPerValue:  cfg.TextBytesPerValue,
 		StateOverheadBytes: cfg.StateOverheadBytes,
 		ResultBytes:        cfg.ResultBytes,
+		Precision:          cfg.Precision,
 	}
 }
 
@@ -316,11 +328,15 @@ func solveChain(infos []nn.LayerInfo, pts []nn.PartitionPoint, cfg ChainConfig, 
 	// prefix[h][l] is hop h's predicted time for layers [0, l); a range is
 	// an exact difference of prefixes, so chain sums match the legacy
 	// RangeTime sums bit for bit.
+	prec := cfg.Precision
+	if prec == "" {
+		prec = nn.PrecFloat32
+	}
 	prefix := make([][]time.Duration, k)
 	for h := range prefix {
 		prefix[h] = make([]time.Duration, len(infos)+1)
 		for l, li := range infos {
-			lt, err := cfg.Hops[h].Device.LayerTime(li)
+			lt, err := cfg.Hops[h].Device.LayerTimePrec(li, prec)
 			if err != nil {
 				return ChainCandidate{}, false, err
 			}

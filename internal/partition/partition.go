@@ -44,6 +44,13 @@ type Config struct {
 	// that offloads work, so a loaded server shifts the optimum toward
 	// later split points — or to fully local execution.
 	ServerQueueDelay time.Duration
+	// Precision is the compute precision both sides run the model at (the
+	// catalog's quality tier). Empty means float32. Feature sizes are
+	// unaffected — quantized plans dequantize at every layer boundary, so
+	// cut tensors cross the link as float32 either way — but per-device
+	// compute times shrink by each device's Int8Speedup, which moves the
+	// optimal cut when client and server gain unequally.
+	Precision nn.Precision
 }
 
 // Candidate is one evaluated offloading point with its estimated cost
@@ -131,11 +138,15 @@ func Analyze(net *nn.Network, cfg Config) (Plan, error) {
 }
 
 func evaluate(infos []nn.LayerInfo, p nn.PartitionPoint, cfg Config) (Candidate, error) {
-	clientTime, err := cfg.Client.RangeTime(infos, 0, p.Index+1)
+	prec := cfg.Precision
+	if prec == "" {
+		prec = nn.PrecFloat32
+	}
+	clientTime, err := cfg.Client.RangeTimePrec(infos, 0, p.Index+1, prec)
 	if err != nil {
 		return Candidate{}, err
 	}
-	serverTime, err := cfg.Server.RangeTime(infos, p.Index+1, len(infos))
+	serverTime, err := cfg.Server.RangeTimePrec(infos, p.Index+1, len(infos), prec)
 	if err != nil {
 		return Candidate{}, err
 	}

@@ -313,6 +313,61 @@ func Fig8() ([]Fig8Row, error) {
 	return rows, nil
 }
 
+// QuantShiftRow records where the optimal (denatured) partition point of
+// one model lands at one quality tier — the quantized-split experiment.
+// Precision reduction feeds back into *where* the split belongs, not just
+// how fast each side runs (the DynO observation): the client's
+// Int8Speedup (3×) exceeds the server's (2×), so every candidate's
+// client/server balance shifts, and the planner must re-solve the table
+// per tier rather than scale one answer. In the paper's Odroid + 30 Mbps
+// scenario the re-solved optimum keeps the 1st_pool cut — client compute
+// still dominates later candidates even at 3× — while end-to-end latency
+// roughly halves; the cut itself starts moving toward the back of the
+// network once the client stops being compute-bound (faster clients or
+// slower links). See EXPERIMENTS.md.
+type QuantShiftRow struct {
+	Model      string
+	Precision  nn.Precision
+	BestLabel  string
+	SplitIndex int
+	ClientTime time.Duration
+	ServerTime time.Duration
+	Total      time.Duration
+}
+
+// QuantShift evaluates every benchmark model's optimal denatured split at
+// both quality tiers, pairing rows per model (float32 first, int8 second).
+func QuantShift() ([]QuantShiftRow, error) {
+	rows := make([]QuantShiftRow, 0, 2*len(models.Names()))
+	for _, name := range models.Names() {
+		sc, err := NewScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, prec := range []nn.Precision{nn.PrecFloat32, nn.PrecInt8} {
+			sc.Precision = prec
+			plan, err := partition.Analyze(sc.Net, sc.PartitionConfig())
+			if err != nil {
+				return nil, err
+			}
+			best, err := plan.Choose(true)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, QuantShiftRow{
+				Model:      name,
+				Precision:  prec,
+				BestLabel:  best.Point.Label,
+				SplitIndex: best.Point.Index,
+				ClientTime: best.ClientTime,
+				ServerTime: best.ServerTime,
+				Total:      best.Total,
+			})
+		}
+	}
+	return rows, nil
+}
+
 // Table1Row is one column of Table 1.
 type Table1Row struct {
 	Model string

@@ -50,6 +50,11 @@ type Scenario struct {
 	// SpecBytes is the size of the model descriptor JSON that accompanies
 	// a model upload.
 	SpecBytes int64
+	// Precision is the model quality tier both devices run at (empty
+	// means float32). Int8 shrinks per-device compute by each device's
+	// calibrated Int8Speedup; snapshot sizes are unchanged because cut
+	// tensors are dequantized to float32 before capture.
+	Precision nn.Precision
 }
 
 // labelsFor fabricates the label set each benchmark app displays.
@@ -152,6 +157,7 @@ func (sc *Scenario) PartitionConfig() partition.Config {
 		TextBytesPerValue:  sc.TextBytesPerValue,
 		StateOverheadBytes: sc.StateBytes,
 		ResultBytes:        sc.ResultTextBytes,
+		Precision:          sc.Precision,
 	}
 }
 

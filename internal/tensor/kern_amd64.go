@@ -1,0 +1,41 @@
+//go:build amd64
+
+package tensor
+
+// Runtime SIMD dispatch for the packed micro-kernels. The assembly
+// kernels consume the exact panel layouts documented in pack.go and
+// replay the scalar kernels' arithmetic: kern4x8AVX issues one vmulps +
+// one vaddps per packed product (never a fused multiply-add), so every
+// output element sees the same single-rounded float32 operation sequence
+// in the same k order as kern4x8 — the two are bit-identical, and the
+// scalar kernel doubles as the oracle in tests. The int8 kernel
+// accumulates in exact int32 arithmetic where order is immaterial.
+
+// haveAVX gates the float32 micro-kernel (needs AVX YMM state);
+// haveAVX2 gates the int8 micro-kernel (needs AVX2 integer YMM ops).
+var (
+	haveAVX  = hasAVX()
+	haveAVX2 = haveAVX && hasAVX2()
+)
+
+// hasAVX reports CPU+OS support for AVX (CPUID leaf 1 OSXSAVE+AVX and
+// XCR0 enabling XMM+YMM state). Implemented in kern_amd64.s.
+func hasAVX() bool
+
+// hasAVX2 reports CPUID leaf 7 AVX2 support. Implemented in kern_amd64.s.
+func hasAVX2() bool
+
+// kern4x8AVX accumulates one full MR x NR (4x8) dst tile across a KC
+// chunk: dst rows start at dst with row stride ldd (in elements), ap is
+// a packed A panel (kc groups of 4), bp a packed B sliver (kc groups of
+// 8). Implemented in kern_amd64.s.
+//
+//go:noescape
+func kern4x8AVX(dst *float32, ldd int, ap, bp *float32, kc int)
+
+// kern4x8I8AVX2 is the int8 twin: int32 accumulation into a full 4x8
+// tile, widening the packed int8 panels on load. Implemented in
+// kern_amd64.s.
+//
+//go:noescape
+func kern4x8I8AVX2(dst *int32, ldd int, ap, bp *int8, kc int)

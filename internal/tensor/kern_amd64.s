@@ -1,0 +1,245 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func hasAVX() bool
+// CPUID leaf 1: ECX bit 27 (OSXSAVE) and bit 28 (AVX), then XGETBV to
+// confirm the OS enables XMM+YMM state (XCR0 bits 1 and 2).
+TEXT ·hasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func hasAVX2() bool
+// CPUID leaf 7 subleaf 0: EBX bit 5. Callers already require hasAVX, so
+// YMM OS support is established.
+TEXT ·hasAVX2(SB), NOSPLIT, $0-1
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	SHRL $5, BX
+	ANDL $1, BX
+	MOVB BX, ret+0(FP)
+	RET
+
+// func kern4x8AVX(dst *float32, ldd int, ap, bp *float32, kc int)
+//
+// One full 4x8 register tile accumulated across a KC chunk. The four
+// accumulator rows live in Y0-Y3 for the whole k loop; each k step
+// broadcasts the four packed A values and issues a separate vmulps and
+// vaddps per row — never a fused multiply-add — so every output element
+// receives exactly the scalar kernel's operation sequence (one rounding
+// per multiply, one per add, k strictly increasing) and the results are
+// bit-identical to kern4x8.
+TEXT ·kern4x8AVX(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	SHLQ $2, SI                 // row stride in bytes
+	MOVQ ap+16(FP), R8
+	MOVQ bp+24(FP), R9
+	MOVQ kc+32(FP), CX
+
+	LEAQ (DI)(SI*2), R10        // &dst row 2
+	VMOVUPS (DI), Y0
+	VMOVUPS (DI)(SI*1), Y1
+	VMOVUPS (R10), Y2
+	VMOVUPS (R10)(SI*1), Y3
+
+	MOVQ CX, DX
+	SHRQ $1, DX                 // k pairs (unrolled by 2)
+	JZ   ftail
+
+fpair:
+	VMOVUPS (R9), Y5            // b row p
+	VBROADCASTSS (R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y0, Y0
+	VBROADCASTSS 4(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y1, Y1
+	VBROADCASTSS 8(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y2, Y2
+	VBROADCASTSS 12(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y3, Y3
+
+	VMOVUPS 32(R9), Y7          // b row p+1
+	VBROADCASTSS 16(R8), Y4
+	VMULPS Y7, Y4, Y6
+	VADDPS Y6, Y0, Y0
+	VBROADCASTSS 20(R8), Y4
+	VMULPS Y7, Y4, Y6
+	VADDPS Y6, Y1, Y1
+	VBROADCASTSS 24(R8), Y4
+	VMULPS Y7, Y4, Y6
+	VADDPS Y6, Y2, Y2
+	VBROADCASTSS 28(R8), Y4
+	VMULPS Y7, Y4, Y6
+	VADDPS Y6, Y3, Y3
+
+	ADDQ $32, R8
+	ADDQ $64, R9
+	DECQ DX
+	JNZ  fpair
+
+ftail:
+	ANDQ $1, CX                 // odd trailing k step
+	JZ   fdone
+	VMOVUPS (R9), Y5
+	VBROADCASTSS (R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y0, Y0
+	VBROADCASTSS 4(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y1, Y1
+	VBROADCASTSS 8(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y2, Y2
+	VBROADCASTSS 12(R8), Y4
+	VMULPS Y5, Y4, Y6
+	VADDPS Y6, Y3, Y3
+
+fdone:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, (DI)(SI*1)
+	VMOVUPS Y2, (R10)
+	VMOVUPS Y3, (R10)(SI*1)
+	VZEROUPPER
+	RET
+
+// func kern4x8I8AVX2(dst *int32, ldd int, ap, bp *int8, kc int)
+//
+// Int8 4x8 tile with int32 accumulators in Y0-Y3. k steps are consumed
+// two at a time: the two packed B rows widen to int16 and interleave so
+// each int32 lane holds one column's (p, p+1) pair, each A row's pair
+// assembles into one broadcast dword, and vpmaddwd produces the exact
+// two-product int32 partial sum per column. Integer arithmetic is exact,
+// so pairing changes nothing: results equal the scalar kernel's.
+TEXT ·kern4x8I8AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ ldd+8(FP), SI
+	SHLQ $2, SI
+	MOVQ ap+16(FP), R8
+	MOVQ bp+24(FP), R9
+	MOVQ kc+32(FP), R11
+
+	LEAQ (DI)(SI*2), R10
+	VMOVDQU (DI), Y0
+	VMOVDQU (DI)(SI*1), Y1
+	VMOVDQU (R10), Y2
+	VMOVDQU (R10)(SI*1), Y3
+
+	MOVQ R11, DX
+	SHRQ $1, DX
+	JZ   itail
+
+ipair:
+	VPMOVSXBW (R9), X5          // b row p   -> 8 x int16
+	VPMOVSXBW 8(R9), X6         // b row p+1 -> 8 x int16
+	VPUNPCKLWD X6, X5, X7       // cols 0-3 as (p, p+1) int16 pairs
+	VPUNPCKHWD X6, X5, X8       // cols 4-7
+	VINSERTI128 $1, X8, Y7, Y7  // all 8 column pairs in one YMM
+
+	MOVBLSX 0(R8), AX           // row 0 pair: a[0][p] | a[0][p+1]<<16
+	MOVBLSX 4(R8), BX
+	SHLL $16, BX
+	ANDL $0xFFFF, AX
+	ORL  BX, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y0, Y0
+
+	MOVBLSX 1(R8), AX
+	MOVBLSX 5(R8), BX
+	SHLL $16, BX
+	ANDL $0xFFFF, AX
+	ORL  BX, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y1, Y1
+
+	MOVBLSX 2(R8), AX
+	MOVBLSX 6(R8), BX
+	SHLL $16, BX
+	ANDL $0xFFFF, AX
+	ORL  BX, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y2, Y2
+
+	MOVBLSX 3(R8), AX
+	MOVBLSX 7(R8), BX
+	SHLL $16, BX
+	ANDL $0xFFFF, AX
+	ORL  BX, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y3, Y3
+
+	ADDQ $8, R8
+	ADDQ $16, R9
+	DECQ DX
+	JNZ  ipair
+
+itail:
+	ANDQ $1, R11                // odd trailing k step: pair partner is 0
+	JZ   idone
+	VPMOVSXBW (R9), X5
+	VPXOR X6, X6, X6
+	VPUNPCKLWD X6, X5, X7
+	VPUNPCKHWD X6, X5, X8
+	VINSERTI128 $1, X8, Y7, Y7
+
+	MOVBLSX 0(R8), AX
+	ANDL $0xFFFF, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y0, Y0
+
+	MOVBLSX 1(R8), AX
+	ANDL $0xFFFF, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y1, Y1
+
+	MOVBLSX 2(R8), AX
+	ANDL $0xFFFF, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y2, Y2
+
+	MOVBLSX 3(R8), AX
+	ANDL $0xFFFF, AX
+	VMOVD AX, X4
+	VPBROADCASTD X4, Y4
+	VPMADDWD Y7, Y4, Y5
+	VPADDD Y5, Y3, Y3
+
+idone:
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, (DI)(SI*1)
+	VMOVDQU Y2, (R10)
+	VMOVDQU Y3, (R10)(SI*1)
+	VZEROUPPER
+	RET

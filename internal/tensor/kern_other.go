@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the portable scalar micro-kernels; the
+// results are bit-identical to the assembly paths by the determinism
+// contract (see kern_amd64.go), so cross-platform outputs match.
+const (
+	haveAVX  = false
+	haveAVX2 = false
+)
+
+func kern4x8AVX(dst *float32, ldd int, ap, bp *float32, kc int) {
+	panic("tensor: kern4x8AVX called without AVX support")
+}
+
+func kern4x8I8AVX2(dst *int32, ldd int, ap, bp *int8, kc int) {
+	panic("tensor: kern4x8I8AVX2 called without AVX2 support")
+}

@@ -1,0 +1,357 @@
+package tensor
+
+// Panel packing for the blocked GEMM kernels.
+//
+// The micro-kernel computes an MR-row by NR-column tile of dst with every
+// accumulator in a local, so its two streams must be contiguous:
+//
+//   - an A panel interleaves MR rows of a: for each k index p, the MR
+//     values a[i..i+MR-1][p] are adjacent. Rows past m are zero-padded;
+//     the padding rows are never stored to dst, so they cannot perturb
+//     results.
+//   - a B sliver interleaves NR columns of b: for each k index p, the NR
+//     values b[p][j..j+NR-1] are adjacent. Columns past the valid range
+//     are zero-padded and likewise never stored.
+//
+// Packing copies each matrix element exactly once per GEMM call, and in
+// exchange the kernel reads both operands sequentially — the B sliver
+// stays resident in L1 while every A panel streams past it.
+
+// Register-tile and cache-block geometry, shared by the float32 and int8
+// kernels. KC and NC are sized for this class of machine (tens of KiB of
+// L1d, 1-2 MiB of L2): one float32 B block (KC x NC) fits in L2, one B
+// sliver (KC x NR) in L1, and one A panel (MR x KC) spans a few KiB.
+const (
+	packMR = 4
+	packNR = 8
+	packKC = 256
+	packNC = 1024
+)
+
+// PanelRows (MR) and PanelCols (NR) expose the register-tile geometry for
+// tests and external packers.
+const (
+	PanelRows = packMR
+	PanelCols = packNR
+)
+
+// BPacker fills dst with the packed form of a virtual B-matrix block:
+// rows [p0, p0+kc) by columns [j0, j0+nc) of a k x n matrix that need not
+// exist in memory. dst receives ceil(nc/NR) slivers of kc*NR floats each;
+// within a sliver, element (p, c) lands at p*NR + c, and columns past nc
+// (the ragged tail) must be written as zeros. kc never exceeds the KC
+// block size.
+type BPacker func(dst []float32, p0, kc, j0, nc int)
+
+// PackedA is matrix a (m x k, row-major) repacked into MR-interleaved
+// panels, grouped by KC block. Block offsets are closed-form — every
+// block except the last has exactly KC depth — so the struct carries no
+// per-block bookkeeping and lives on the caller's stack in the per-call
+// packing path.
+type PackedA struct {
+	m, k   int
+	data   []float32
+	pooled bool
+}
+
+// packedALen is the packed storage size for an m x k matrix: full MR
+// panels per KC block, ragged tails zero-padded.
+func packedALen(m, k int) int {
+	panels := (m + packMR - 1) / packMR
+	return panels * packMR * k
+}
+
+// blockOff is the data offset of KC block bIdx: every preceding block
+// holds panels*MR*KC floats.
+func (pa *PackedA) blockOff(bIdx int) int {
+	panels := (pa.m + packMR - 1) / packMR
+	return bIdx * panels * packMR * packKC
+}
+
+// panel returns the packed panel of rows [i0, i0+MR) within KC block
+// bIdx, whose depth is kc.
+func (pa *PackedA) panel(bIdx, i0, kc int) []float32 {
+	off := pa.blockOff(bIdx) + (i0/packMR)*packMR*kc
+	return pa.data[off : off+packMR*kc]
+}
+
+// PackA packs matrix a with row stride lda (lda >= k; lda == k for a
+// contiguous matrix) into MR-interleaved panels. The result is immutable
+// and safe for concurrent GEMM calls.
+func PackA(a []float32, m, k, lda int) *PackedA {
+	pa := &PackedA{m: m, k: k, data: make([]float32, packedALen(m, k))}
+	pa.fill(a, lda)
+	return pa
+}
+
+// packAPooledInto initializes pa with pool-backed storage; the caller
+// must PutBuf(pa.data) when done.
+func packAPooledInto(pa *PackedA, a []float32, m, k, lda int) {
+	pa.m, pa.k = m, k
+	pa.data = GetBuf(packedALen(m, k))
+	pa.pooled = true
+	pa.fill(a, lda)
+}
+
+// Release returns pool-backed packing storage. No-op for PackA results.
+func (pa *PackedA) Release() {
+	if pa.pooled {
+		PutBuf(pa.data)
+		pa.data = nil
+	}
+}
+
+// Dims returns the packed matrix's (m, k).
+func (pa *PackedA) Dims() (m, k int) { return pa.m, pa.k }
+
+func (pa *PackedA) fill(a []float32, lda int) {
+	m, k := pa.m, pa.k
+	for bIdx, pc := 0, 0; pc < k; bIdx, pc = bIdx+1, pc+packKC {
+		kc := min(packKC, k-pc)
+		d := pa.data[pa.blockOff(bIdx):]
+		di := 0
+		for i0 := 0; i0 < m; i0 += packMR {
+			for p := pc; p < pc+kc; p++ {
+				for r := 0; r < packMR; r++ {
+					if i0+r < m {
+						d[di] = a[(i0+r)*lda+p]
+					} else {
+						d[di] = 0
+					}
+					di++
+				}
+			}
+		}
+	}
+}
+
+// UnpackA reverses PackA into a freshly allocated m x k row-major matrix,
+// dropping the zero padding. It exists for round-trip tests and debugging.
+func (pa *PackedA) UnpackA() []float32 {
+	out := make([]float32, pa.m*pa.k)
+	for bIdx, pc := 0, 0; pc < pa.k; bIdx, pc = bIdx+1, pc+packKC {
+		kc := min(packKC, pa.k-pc)
+		for i0 := 0; i0 < pa.m; i0 += packMR {
+			pan := pa.panel(bIdx, i0, kc)
+			for p := 0; p < kc; p++ {
+				for r := 0; r < packMR && i0+r < pa.m; r++ {
+					out[(i0+r)*pa.k+pc+p] = pan[p*packMR+r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConvGeom describes a convolution's implicit-GEMM B matrix: the virtual
+// [InC*K*K, OutH*OutW] im2col matrix of an [InC, H, W] input under a KxK
+// kernel with the given stride and padding. The direct-convolution packer
+// gathers panel slivers of this matrix straight from the input image, so
+// the full column matrix never exists in memory.
+type ConvGeom struct {
+	InC, H, W      int
+	K, Stride, Pad int
+	OutH, OutW     int
+}
+
+// Rows returns the virtual B matrix's row count (GEMM k).
+func (g ConvGeom) Rows() int { return g.InC * g.K * g.K }
+
+// Cols returns the virtual B matrix's column count (GEMM n).
+func (g ConvGeom) Cols() int { return g.OutH * g.OutW }
+
+// packBBlock packs one cache block of an in-memory k x n matrix stored
+// row-major with row stride ldb (ldb >= n; a larger ldb packs a sub-view
+// of a wider matrix). Layout as documented on BPacker.
+func packBBlock(dst, b []float32, ldb, p0, kc, j0, nc int) {
+	di := 0
+	for s := 0; s < nc; s += packNR {
+		nr := min(packNR, nc-s)
+		for p := p0; p < p0+kc; p++ {
+			row := b[p*ldb+j0+s:]
+			for c := 0; c < nr; c++ {
+				dst[di] = row[c]
+				di++
+			}
+			for c := nr; c < packNR; c++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// packBConv packs one cache block of the virtual im2col matrix directly
+// from the input image src ([InC, H, W] row-major): row p decomposes into
+// (ic, ky, kx), column j into (oy, ox), and padding positions pack as
+// exact zeros — the same values buildColumns materializes, in the same
+// row order, so direct convolution is bit-identical to im2col + GEMM.
+func packBConv(dst, src []float32, g ConvGeom, p0, kc, j0, nc int) {
+	var icArr, rowArr, kxArr [packKC]int32
+	for i := 0; i < kc; i++ {
+		p := p0 + i
+		kx := p % g.K
+		t := p / g.K
+		ky := t % g.K
+		ic := t / g.K
+		icArr[i] = int32(ic)
+		rowArr[i] = int32(ky - g.Pad) // iy = oy*Stride + rowArr
+		kxArr[i] = int32(kx - g.Pad)  // ix = ox*Stride + kxArr
+	}
+	di := 0
+	for s := 0; s < nc; s += packNR {
+		nr := min(packNR, nc-s)
+		jBase := j0 + s
+		oy0 := jBase / g.OutW
+		ox0 := jBase - oy0*g.OutW
+		for i := 0; i < kc; i++ {
+			base := int(icArr[i]) * g.H * g.W
+			dy := int(rowArr[i])
+			dx := int(kxArr[i])
+			oy, ox := oy0, ox0
+			for c := 0; c < packNR; c++ {
+				var v float32
+				if c < nr {
+					iy := oy*g.Stride + dy
+					ix := ox*g.Stride + dx
+					if iy >= 0 && iy < g.H && ix >= 0 && ix < g.W {
+						v = src[base+iy*g.W+ix]
+					}
+				}
+				dst[di] = v
+				di++
+				ox++
+				if ox == g.OutW {
+					ox = 0
+					oy++
+				}
+			}
+		}
+	}
+}
+
+// PackedAI8 is PackedA for int8 operands: the quantized path packs
+// per-channel-quantized weights once at plan compile time and reuses them
+// for every forward pass.
+type PackedAI8 struct {
+	m, k int
+	data []int8
+}
+
+func (pa *PackedAI8) blockOff(bIdx int) int {
+	panels := (pa.m + packMR - 1) / packMR
+	return bIdx * panels * packMR * packKC
+}
+
+func (pa *PackedAI8) panel(bIdx, i0, kc int) []int8 {
+	off := pa.blockOff(bIdx) + (i0/packMR)*packMR*kc
+	return pa.data[off : off+packMR*kc]
+}
+
+// PackAI8 packs int8 matrix a (row stride lda >= k) into MR-interleaved
+// panels, mirroring PackA.
+func PackAI8(a []int8, m, k, lda int) *PackedAI8 {
+	pa := &PackedAI8{m: m, k: k, data: make([]int8, packedALen(m, k))}
+	for bIdx, pc := 0, 0; pc < k; bIdx, pc = bIdx+1, pc+packKC {
+		kc := min(packKC, k-pc)
+		d := pa.data[pa.blockOff(bIdx):]
+		di := 0
+		for i0 := 0; i0 < m; i0 += packMR {
+			for p := pc; p < pc+kc; p++ {
+				for r := 0; r < packMR; r++ {
+					if i0+r < m {
+						d[di] = a[(i0+r)*lda+p]
+					} else {
+						d[di] = 0
+					}
+					di++
+				}
+			}
+		}
+	}
+	return pa
+}
+
+// Dims returns the packed matrix's (m, k).
+func (pa *PackedAI8) Dims() (m, k int) { return pa.m, pa.k }
+
+// UnpackA reverses PackAI8 for round-trip tests.
+func (pa *PackedAI8) UnpackA() []int8 {
+	out := make([]int8, pa.m*pa.k)
+	for bIdx, pc := 0, 0; pc < pa.k; bIdx, pc = bIdx+1, pc+packKC {
+		kc := min(packKC, pa.k-pc)
+		for i0 := 0; i0 < pa.m; i0 += packMR {
+			pan := pa.panel(bIdx, i0, kc)
+			for p := 0; p < kc; p++ {
+				for r := 0; r < packMR && i0+r < pa.m; r++ {
+					out[(i0+r)*pa.k+pc+p] = pan[p*packMR+r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// packBBlockI8 is packBBlock for an int8 matrix.
+func packBBlockI8(dst, b []int8, ldb, p0, kc, j0, nc int) {
+	di := 0
+	for s := 0; s < nc; s += packNR {
+		nr := min(packNR, nc-s)
+		for p := p0; p < p0+kc; p++ {
+			row := b[p*ldb+j0+s:]
+			for c := 0; c < nr; c++ {
+				dst[di] = row[c]
+				di++
+			}
+			for c := nr; c < packNR; c++ {
+				dst[di] = 0
+				di++
+			}
+		}
+	}
+}
+
+// packBConvI8 is packBConv over a quantized int8 input image.
+func packBConvI8(dst, src []int8, g ConvGeom, p0, kc, j0, nc int) {
+	var icArr, rowArr, kxArr [packKC]int32
+	for i := 0; i < kc; i++ {
+		p := p0 + i
+		kx := p % g.K
+		t := p / g.K
+		ky := t % g.K
+		ic := t / g.K
+		icArr[i] = int32(ic)
+		rowArr[i] = int32(ky - g.Pad)
+		kxArr[i] = int32(kx - g.Pad)
+	}
+	di := 0
+	for s := 0; s < nc; s += packNR {
+		nr := min(packNR, nc-s)
+		jBase := j0 + s
+		oy0 := jBase / g.OutW
+		ox0 := jBase - oy0*g.OutW
+		for i := 0; i < kc; i++ {
+			base := int(icArr[i]) * g.H * g.W
+			dy := int(rowArr[i])
+			dx := int(kxArr[i])
+			oy, ox := oy0, ox0
+			for c := 0; c < packNR; c++ {
+				var v int8
+				if c < nr {
+					iy := oy*g.Stride + dy
+					ix := ox*g.Stride + dx
+					if iy >= 0 && iy < g.H && ix >= 0 && ix < g.W {
+						v = src[base+iy*g.W+ix]
+					}
+				}
+				dst[di] = v
+				di++
+				ox++
+				if ox == g.OutW {
+					ox = 0
+					oy++
+				}
+			}
+		}
+	}
+}

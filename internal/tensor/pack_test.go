@@ -1,0 +1,373 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"unsafe"
+)
+
+// fillRand fills s with deterministic pseudo-random values in [-1, 1).
+func fillRand(s []float32, seed uint64) {
+	rng := seed | 1
+	for i := range s {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		v := rng * 2685821657736338717
+		s[i] = float32(int32(v>>40)-1<<23) / (1 << 23)
+	}
+}
+
+func fillRandI8(s []int8, seed uint64) {
+	rng := seed | 1
+	for i := range s {
+		rng ^= rng >> 12
+		rng ^= rng << 25
+		rng ^= rng >> 27
+		s[i] = int8(rng % 255)
+	}
+}
+
+// TestPackARoundTrip packs and unpacks matrices across ragged and
+// degenerate geometries, including views with row stride lda > k.
+func TestPackARoundTrip(t *testing.T) {
+	cases := []struct{ m, k, lda int }{
+		{1, 1, 1}, {1, 7, 7}, {7, 1, 1}, {4, 8, 8}, {5, 8, 8},
+		{3, 300, 300}, {9, 513, 513}, {64, 256, 256}, {17, 259, 300},
+		{4, 300, 512}, {11, 1, 9},
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("m%d_k%d_lda%d", c.m, c.k, c.lda), func(t *testing.T) {
+			a := make([]float32, c.m*c.lda)
+			fillRand(a, uint64(c.m*1000+c.k))
+			pa := PackA(a, c.m, c.k, c.lda)
+			got := pa.UnpackA()
+			for i := 0; i < c.m; i++ {
+				for j := 0; j < c.k; j++ {
+					if got[i*c.k+j] != a[i*c.lda+j] {
+						t.Fatalf("unpack[%d][%d] = %v, want %v", i, j, got[i*c.k+j], a[i*c.lda+j])
+					}
+				}
+			}
+			if m, k := pa.Dims(); m != c.m || k != c.k {
+				t.Fatalf("Dims() = (%d, %d), want (%d, %d)", m, k, c.m, c.k)
+			}
+		})
+	}
+}
+
+// TestPackAI8RoundTrip mirrors the float32 round trip for the int8 packer.
+func TestPackAI8RoundTrip(t *testing.T) {
+	cases := []struct{ m, k, lda int }{
+		{1, 1, 1}, {5, 8, 8}, {9, 513, 513}, {17, 259, 300}, {4, 256, 256},
+	}
+	for _, c := range cases {
+		a := make([]int8, c.m*c.lda)
+		fillRandI8(a, uint64(c.m*77+c.k))
+		pa := PackAI8(a, c.m, c.k, c.lda)
+		got := pa.UnpackA()
+		for i := 0; i < c.m; i++ {
+			for j := 0; j < c.k; j++ {
+				if got[i*c.k+j] != a[i*c.lda+j] {
+					t.Fatalf("m=%d k=%d lda=%d: unpack[%d][%d] = %d, want %d",
+						c.m, c.k, c.lda, i, j, got[i*c.k+j], a[i*c.lda+j])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmEdgeGeometries pins the packed kernel against the naive oracle
+// on ragged tails and degenerate shapes, bit-identically. Sizes straddle
+// the packed-path threshold so both kernels are exercised.
+func TestGemmEdgeGeometries(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{1, 64, 512},   // 1xN degenerate
+		{512, 64, 1},   // Mx1 degenerate (gemv path)
+		{4, 8, 8},      // exactly one register tile
+		{5, 9, 9},      // all-ragged tiny
+		{31, 257, 63},  // ragged M/K/N tails around block sizes
+		{33, 513, 129}, // spans multiple KC blocks with tails
+		{128, 256, 8},  // minimum packed width
+		{4, 1024, 96},  // single panel row, many KC blocks
+		{97, 3, 200},   // k smaller than any block
+	}
+	for _, c := range cases {
+		t.Run(fmt.Sprintf("%dx%dx%d", c.m, c.k, c.n), func(t *testing.T) {
+			a := make([]float32, c.m*c.k)
+			b := make([]float32, c.k*c.n)
+			bias := make([]float32, c.m)
+			fillRand(a, uint64(c.m))
+			fillRand(b, uint64(c.k)+7)
+			fillRand(bias, uint64(c.n)+13)
+			want := make([]float32, c.m*c.n)
+			naiveGemm(want, a, b, bias, c.m, c.k, c.n)
+			got := make([]float32, c.m*c.n)
+			Gemm(got, a, b, bias, c.m, c.k, c.n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Gemm[%d] = %v, want %v (bit-exact)", i, got[i], want[i])
+				}
+			}
+			// The explicit packed driver must agree bit-identically too,
+			// including below the dispatch threshold.
+			pa := PackA(a, c.m, c.k, c.k)
+			got2 := make([]float32, c.m*c.n)
+			GemmPacked(got2, pa, b, c.n, bias, c.n)
+			for i := range want {
+				if got2[i] != want[i] {
+					t.Fatalf("GemmPacked[%d] = %v, want %v (bit-exact)", i, got2[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGemmPackedStridedView runs the packed kernel over a B sub-view with
+// ldb > n and an A view with lda > k, against the oracle on compacted
+// copies.
+func TestGemmPackedStridedView(t *testing.T) {
+	m, k, n, lda, ldb := 13, 100, 50, 160, 77
+	aw := make([]float32, m*lda)
+	bw := make([]float32, k*ldb)
+	fillRand(aw, 3)
+	fillRand(bw, 5)
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	for i := 0; i < m; i++ {
+		copy(a[i*k:(i+1)*k], aw[i*lda:i*lda+k])
+	}
+	for p := 0; p < k; p++ {
+		copy(b[p*n:(p+1)*n], bw[p*ldb:p*ldb+n])
+	}
+	want := make([]float32, m*n)
+	naiveGemm(want, a, b, nil, m, k, n)
+	pa := PackA(aw, m, k, lda)
+	got := make([]float32, m*n)
+	GemmPacked(got, pa, bw, ldb, nil, n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("strided GemmPacked[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// convRef materializes the virtual im2col matrix of a ConvGeom — the
+// golden reference the direct-convolution packer must reproduce.
+func convRef(src []float32, g ConvGeom) []float32 {
+	rows, cols := g.Rows(), g.Cols()
+	col := make([]float32, rows*cols)
+	for p := 0; p < rows; p++ {
+		kx := p % g.K
+		tmp := p / g.K
+		ky := tmp % g.K
+		ic := tmp / g.K
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				iy := oy*g.Stride + ky - g.Pad
+				ix := ox*g.Stride + kx - g.Pad
+				var v float32
+				if iy >= 0 && iy < g.H && ix >= 0 && ix < g.W {
+					v = src[(ic*g.H+iy)*g.W+ix]
+				}
+				col[p*cols+oy*g.OutW+ox] = v
+			}
+		}
+	}
+	return col
+}
+
+func convOutDim(in, k, stride, pad int) int { return (in+2*pad-k)/stride + 1 }
+
+// TestGemmConvMatchesIm2col checks the direct convolution against
+// materialized im2col + Gemm, bit-identically, over padded, strided, and
+// degenerate geometries.
+func TestGemmConvMatchesIm2col(t *testing.T) {
+	cases := []ConvGeom{
+		{InC: 1, H: 5, W: 5, K: 3, Stride: 1, Pad: 0},
+		{InC: 3, H: 17, W: 17, K: 3, Stride: 1, Pad: 1},
+		{InC: 3, H: 33, W: 33, K: 7, Stride: 2, Pad: 3},
+		{InC: 8, H: 14, W: 14, K: 5, Stride: 1, Pad: 2},
+		{InC: 16, H: 9, W: 9, K: 1, Stride: 1, Pad: 0},
+		{InC: 4, H: 12, W: 10, K: 3, Stride: 3, Pad: 1},
+		{InC: 2, H: 3, W: 3, K: 3, Stride: 1, Pad: 0}, // 1x1 output
+	}
+	for ci, g := range cases {
+		g.OutH = convOutDim(g.H, g.K, g.Stride, g.Pad)
+		g.OutW = convOutDim(g.W, g.K, g.Stride, g.Pad)
+		outC := 10
+		src := make([]float32, g.InC*g.H*g.W)
+		w := make([]float32, outC*g.Rows())
+		bias := make([]float32, outC)
+		fillRand(src, uint64(ci)+21)
+		fillRand(w, uint64(ci)+22)
+		fillRand(bias, uint64(ci)+23)
+		col := convRef(src, g)
+		want := make([]float32, outC*g.Cols())
+		Gemm(want, w, col, bias, outC, g.Rows(), g.Cols())
+		got := make([]float32, outC*g.Cols())
+		GemmConv(got, w, bias, outC, src, g)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("geom %+v: GemmConv[%d] = %v, want %v", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// naiveGemmI8 is the unpacked int8 oracle: plain triple loop, int32
+// accumulation.
+func naiveGemmI8(dst []int32, a, b []int8, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(a[i*k+p]) * int32(b[p*n+j])
+			}
+			dst[i*n+j] = acc
+		}
+	}
+}
+
+// TestGemmPackedI8MatchesNaive pins the packed int8 kernel against the
+// unpacked oracle — exact integer equality, any blocking.
+func TestGemmPackedI8MatchesNaive(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{1, 1, 1}, {4, 8, 8}, {5, 9, 9}, {31, 257, 63}, {64, 300, 120}, {3, 513, 17},
+	}
+	for _, c := range cases {
+		a := make([]int8, c.m*c.k)
+		b := make([]int8, c.k*c.n)
+		fillRandI8(a, uint64(c.m)+1)
+		fillRandI8(b, uint64(c.n)+2)
+		want := make([]int32, c.m*c.n)
+		naiveGemmI8(want, a, b, c.m, c.k, c.n)
+		pa := PackAI8(a, c.m, c.k, c.k)
+		got := make([]int32, c.m*c.n)
+		GemmPackedI8(got, pa, b, c.n, c.n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%dx%dx%d: I8[%d] = %d, want %d", c.m, c.k, c.n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGemmConvI8MatchesNaive checks the int8 direct convolution against
+// the materialized-matrix oracle.
+func TestGemmConvI8MatchesNaive(t *testing.T) {
+	g := ConvGeom{InC: 3, H: 15, W: 15, K: 3, Stride: 2, Pad: 1}
+	g.OutH = convOutDim(g.H, g.K, g.Stride, g.Pad)
+	g.OutW = convOutDim(g.W, g.K, g.Stride, g.Pad)
+	outC := 7
+	src := make([]int8, g.InC*g.H*g.W)
+	w := make([]int8, outC*g.Rows())
+	fillRandI8(src, 31)
+	fillRandI8(w, 32)
+	// Materialize the im2col matrix in int8.
+	rows, cols := g.Rows(), g.Cols()
+	col := make([]int8, rows*cols)
+	for p := 0; p < rows; p++ {
+		kx := p % g.K
+		tmp := p / g.K
+		ky := tmp % g.K
+		ic := tmp / g.K
+		for oy := 0; oy < g.OutH; oy++ {
+			for ox := 0; ox < g.OutW; ox++ {
+				iy := oy*g.Stride + ky - g.Pad
+				ix := ox*g.Stride + kx - g.Pad
+				if iy >= 0 && iy < g.H && ix >= 0 && ix < g.W {
+					col[p*cols+oy*g.OutW+ox] = src[(ic*g.H+iy)*g.W+ix]
+				}
+			}
+		}
+	}
+	want := make([]int32, outC*cols)
+	naiveGemmI8(want, w, col, outC, rows, cols)
+	pa := PackAI8(w, outC, rows, rows)
+	got := make([]int32, outC*cols)
+	GemmConvI8(got, pa, src, g)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GemmConvI8[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGemmI8DeterministicAcrossWorkers: the int8 driver is exact integer
+// math, so any GOMAXPROCS must give identical bytes.
+func TestGemmI8DeterministicAcrossWorkers(t *testing.T) {
+	m, k, n := 96, 144, 200
+	a := make([]int8, m*k)
+	b := make([]int8, k*n)
+	fillRandI8(a, 41)
+	fillRandI8(b, 42)
+	pa := PackAI8(a, m, k, k)
+	ref := make([]int32, m*n)
+	GemmPackedI8(ref, pa, b, n, n)
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, w := range []int{1, 2, 4, 7} {
+		runtime.GOMAXPROCS(w)
+		got := make([]int32, m*n)
+		GemmPackedI8(got, pa, b, n, n)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("GOMAXPROCS=%d: [%d] = %d, want %d", w, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestGetBufAlignment verifies the documented guarantee: every pooled
+// buffer's base pointer is BufAlign-byte aligned, including after
+// recycling through the pool.
+func TestGetBufAlignment(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 1000, 4097, 1 << 16} {
+		for round := 0; round < 3; round++ {
+			f := GetBuf(n)
+			if p := uintptr(unsafe.Pointer(&f[0])); p%BufAlign != 0 {
+				t.Fatalf("GetBuf(%d) round %d: base %#x not %d-byte aligned", n, round, p, BufAlign)
+			}
+			b := GetBufI8(n)
+			if p := uintptr(unsafe.Pointer(&b[0])); p%BufAlign != 0 {
+				t.Fatalf("GetBufI8(%d) round %d: base %#x not %d-byte aligned", n, round, p, BufAlign)
+			}
+			PutBuf(f)
+			PutBufI8(b)
+		}
+	}
+}
+
+// TestBufPoolI8RoundTrip mirrors the float32 pool-balance test for the
+// int8 class: Get/Put traffic must balance over a packed-kernel workload.
+func TestBufPoolI8RoundTrip(t *testing.T) {
+	before := ReadPoolStats()
+	s := GetBufI8(1000)
+	if len(s) != 1000 || cap(s) != 1024 {
+		t.Fatalf("GetBufI8(1000): len %d cap %d, want 1000/1024", len(s), cap(s))
+	}
+	PutBufI8(s)
+	// Kernel round trips: every internal Get must be matched by a Put.
+	m, k, n := 40, 300, 120
+	a := make([]int8, m*k)
+	b := make([]int8, k*n)
+	fillRandI8(a, 5)
+	fillRandI8(b, 6)
+	pa := PackAI8(a, m, k, k)
+	dst := make([]int32, m*n)
+	mid := ReadPoolStats()
+	for i := 0; i < 10; i++ {
+		GemmPackedI8(dst, pa, b, n, n)
+	}
+	after := ReadPoolStats()
+	if out := (after.Outstanding() - mid.Outstanding()); out != 0 {
+		t.Fatalf("int8 kernel leaked %d pooled buffers", out)
+	}
+	if after.Gets <= before.Gets {
+		t.Fatal("expected pool traffic from the int8 kernel")
+	}
+	// Non-pool-allocated slices are dropped, not recycled.
+	PutBufI8(make([]int8, 1000))
+}

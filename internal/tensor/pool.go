@@ -4,19 +4,42 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // bufPools recycles float32 scratch buffers in power-of-two size classes.
 // Index i holds buffers of capacity exactly 1<<i. The execution engine
-// allocates its arenas (ping-pong intermediates, im2col scratch) through
-// this pool so steady-state inference performs no large allocations.
+// allocates its arenas (ping-pong intermediates, im2col scratch, packed
+// GEMM panels) through this pool so steady-state inference performs no
+// large allocations.
+//
+// The pools store *pooledF32 / *pooledI8 headers rather than raw slices:
+// boxing a pointer into sync.Pool's interface is allocation-free, whereas
+// boxing a slice header allocates, and the packed GEMM kernels check
+// buffers in and out on every call.
 var bufPools [33]sync.Pool
+
+// bufPoolsI8 recycles int8 buffers (quantized activations and packed int8
+// panels) in the same power-of-two size-class scheme.
+var bufPoolsI8 [33]sync.Pool
+
+type pooledF32 struct{ s []float32 }
+
+type pooledI8 struct{ s []int8 }
+
+// hdrPoolF32 and hdrPoolI8 recycle the header structs themselves, so a
+// steady-state Get/Put cycle performs zero allocations.
+var hdrPoolF32 = sync.Pool{New: func() any { return new(pooledF32) }}
+
+var hdrPoolI8 = sync.Pool{New: func() any { return new(pooledI8) }}
 
 // poolGets and poolPuts count pool traffic for leak accounting: the
 // difference is how many pooled buffers are currently held by callers.
 // Holders with retained scratch (pooled ExecContexts) keep the difference
 // legitimately above zero, so leak checks assert bounded growth over a
-// repeated workload rather than a zero balance.
+// repeated workload rather than a zero balance. Both the float32 and the
+// int8 pool feed the same counters, so one balance covers every pooled
+// buffer class.
 var poolGets, poolPuts atomic.Int64
 
 // PoolStats reports cumulative pool traffic. Outstanding is Gets-Puts: the
@@ -33,10 +56,47 @@ func ReadPoolStats() PoolStats {
 	return PoolStats{Gets: poolGets.Load(), Puts: poolPuts.Load()}
 }
 
+// BufAlign is the byte alignment of every pooled buffer's base pointer.
+// Packed GEMM panels rely on it: a 64-byte base keeps each MRxKC / NRxKC
+// panel sliver on whole cache lines, so the micro-kernel never issues a
+// split-line load and a future vectorized kernel can use aligned moves.
+const BufAlign = 64
+
+// alignUp returns the number of leading elements (elemSize bytes each) to
+// skip so the slice data starts on a BufAlign boundary.
+func alignUp(p unsafe.Pointer, elemSize int) int {
+	rem := int(uintptr(p) & (BufAlign - 1))
+	if rem == 0 {
+		return 0
+	}
+	return (BufAlign - rem) / elemSize
+}
+
+// alignedFloats allocates a float32 slice with capacity exactly 1<<class
+// whose base pointer is BufAlign-aligned. The over-allocation needed to
+// find the boundary is hidden behind the three-index slice: PutBuf sees a
+// power-of-two capacity and recovers the class, and the alignment survives
+// pool recycling because the base pointer never changes.
+func alignedFloats(class int) []float32 {
+	n := 1 << class
+	raw := make([]float32, n+BufAlign/4)
+	off := alignUp(unsafe.Pointer(&raw[0]), 4)
+	return raw[off : off+n : off+n]
+}
+
+func alignedBytes(class int) []int8 {
+	n := 1 << class
+	raw := make([]int8, n+BufAlign)
+	off := alignUp(unsafe.Pointer(&raw[0]), 1)
+	return raw[off : off+n : off+n]
+}
+
 // GetBuf returns a float32 buffer with len n from the pool, allocating a
-// power-of-two-capacity slice when the pool is empty. Contents are
-// unspecified — callers that rely on zeroing must clear it themselves.
-// Return the buffer with PutBuf when done.
+// power-of-two-capacity slice when the pool is empty. The buffer's base
+// pointer is always BufAlign-byte aligned — packed GEMM panels and the
+// int32 accumulator views of the quantized path depend on this guarantee.
+// Contents are unspecified — callers that rely on zeroing must clear it
+// themselves. Return the buffer with PutBuf when done.
 func GetBuf(n int) []float32 {
 	if n <= 0 {
 		return nil
@@ -47,9 +107,13 @@ func GetBuf(n int) []float32 {
 	}
 	poolGets.Add(1)
 	if v := bufPools[class].Get(); v != nil {
-		return v.([]float32)[:n]
+		h := v.(*pooledF32)
+		s := h.s[:n]
+		h.s = nil
+		hdrPoolF32.Put(h)
+		return s
 	}
-	return make([]float32, n, 1<<class)
+	return alignedFloats(class)[:n]
 }
 
 // PutBuf recycles a buffer obtained from GetBuf. Buffers whose capacity
@@ -64,5 +128,58 @@ func PutBuf(s []float32) {
 		return
 	}
 	poolPuts.Add(1)
-	bufPools[class].Put(s[:c]) //nolint:staticcheck // slice header, not pointer: the value is small
+	h := hdrPoolF32.Get().(*pooledF32)
+	h.s = s[:c]
+	bufPools[class].Put(h)
+}
+
+// GetBufI8 returns an int8 buffer with len n from the pool with the same
+// power-of-two size classes, BufAlign-aligned base, and leak accounting as
+// GetBuf. The quantized forward path draws its activation images and
+// packed int8 panels from this pool. Return with PutBufI8.
+func GetBufI8(n int) []int8 {
+	if n <= 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1))
+	if class >= len(bufPoolsI8) {
+		return make([]int8, n)
+	}
+	poolGets.Add(1)
+	if v := bufPoolsI8[class].Get(); v != nil {
+		h := v.(*pooledI8)
+		s := h.s[:n]
+		h.s = nil
+		hdrPoolI8.Put(h)
+		return s
+	}
+	return alignedBytes(class)[:n]
+}
+
+// PutBufI8 recycles a buffer obtained from GetBufI8.
+func PutBufI8(s []int8) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := bits.Len(uint(c - 1))
+	if class >= len(bufPoolsI8) {
+		return
+	}
+	poolPuts.Add(1)
+	h := hdrPoolI8.Get().(*pooledI8)
+	h.s = s[:c]
+	bufPoolsI8[class].Put(h)
+}
+
+// AsInt32 reinterprets a float32 slice as int32 in place (same length,
+// same memory). The quantized kernels accumulate int32 partial sums
+// directly in the destination tensor's storage and dequantize in a final
+// pass, so no separate accumulator buffer exists; float32 and int32 have
+// identical size and alignment, making the view always valid.
+func AsInt32(s []float32) []int32 {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&s[0])), len(s))
 }

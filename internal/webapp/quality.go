@@ -1,0 +1,30 @@
+package webapp
+
+import "websnap/internal/nn"
+
+// GlobalQuality is the well-known global holding an app's model quality
+// tier ("float32" or "int8"). It is an ordinary snapshotted global, so an
+// offloaded session's quality choice travels to the edge server with the
+// rest of the app state and the server-side layers run at the same
+// precision the client chose. Missing or empty means float32.
+const GlobalQuality = "quality"
+
+// SetQuality selects the app's model quality tier. The empty string
+// resets to the float32 default.
+func SetQuality(app *App, prec nn.Precision) error {
+	return app.SetGlobal(GlobalQuality, string(prec))
+}
+
+// Quality reads the app's quality tier, defaulting to float32 when the
+// global is missing, empty, or malformed — handlers must keep working on
+// snapshots captured before the knob existed.
+func Quality(app *App) nn.Precision {
+	if v, ok := app.Global(GlobalQuality); ok {
+		if s, ok := v.(string); ok {
+			if p, err := nn.ParsePrecision(s); err == nil {
+				return p
+			}
+		}
+	}
+	return nn.PrecFloat32
+}
